@@ -1,0 +1,36 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one paper artifact (see DESIGN.md §5): it runs the
+experiment through pytest-benchmark for timing, prints the regenerated
+rows/series, and asserts the paper's shape conclusions so a silent regression
+cannot hide behind a fast run. Experiments run in quick mode (subsets, fewer
+repetitions); full-fidelity numbers live in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_and_report(benchmark, experiment_id: str, quick: bool = True):
+    """Benchmark one experiment and print its report."""
+    from repro.experiments.registry import run_experiment
+
+    result = benchmark.pedantic(
+        lambda: run_experiment(experiment_id, quick=quick),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    return result
+
+
+@pytest.fixture
+def report(benchmark):
+    """Fixture form of :func:`run_and_report`."""
+
+    def runner(experiment_id: str, quick: bool = True):
+        return run_and_report(benchmark, experiment_id, quick=quick)
+
+    return runner

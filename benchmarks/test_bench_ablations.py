@@ -1,0 +1,19 @@
+"""Benchmarks for the design-choice ablations and the headline aggregate."""
+
+
+def test_bench_ablations(report):
+    result = report("ablations")
+    assert result.measured("no-DTV error vs DTV error (ratio)") > 2
+    assert result.measured("no-co-design mismatches") > 0
+
+
+def test_bench_headline_averages(report):
+    result = report("headline")
+    assert result.measured("frame-drop reduction (%)") > 50
+    assert result.measured("stutter reduction (%)") > 50
+    assert 15 <= result.measured("latency reduction (%)") <= 45
+
+
+def test_bench_dvfs_extension(report):
+    result = report("dvfs")
+    assert result.measured("extra energy saved by the larger window (pp)") > 0

@@ -1,0 +1,77 @@
+"""Benchmarks regenerating every figure of the paper's evaluation."""
+
+import pytest
+
+
+def test_bench_fig01_frame_time_cdf(report):
+    result = report("fig01")
+    assert 70 <= result.measured("frames within 1 VSync period (%)") <= 86
+
+
+def test_bench_fig03_pixels_per_second_trend(report):
+    result = report("fig03")
+    assert float(result.measured("growth factor since 2010").rstrip("x")) > 15
+
+
+def test_bench_fig05_frame_drop_summary(report):
+    result = report("fig05")
+    assert result.rows, "per-configuration summary produced"
+
+
+def test_bench_fig06_frame_distribution(report):
+    result = report("fig06")
+    assert result.measured("stuffed frames dominate (avg %, paper: 'most frames')") > 50
+
+
+def test_bench_fig07_touch_latency(report):
+    result = report("fig07")
+    assert result.measured("VSync max lag (px)") > 150
+
+
+def test_bench_fig11_apps_fdps(report):
+    result = report("fig11")
+    vsync = result.measured("avg FDPS, VSync 3 bufs")
+    assert result.measured("avg FDPS, D-VSync 4 bufs") < vsync
+
+
+def test_bench_fig12_oscases_vulkan(report):
+    result = report("fig12")
+    assert result.measured("FDPS reduction (%)") > 55
+
+
+def test_bench_fig13_oscases_gles(report):
+    result = report("fig13")
+    assert result.measured("Mate 40 Pro FDPS reduction (%)") > 40
+
+
+def test_bench_fig14_game_simulations(report):
+    result = report("fig14")
+    assert result.measured("FDPS reduction, 4 bufs (%)") > 40
+
+
+def test_bench_fig15_rendering_latency(report):
+    result = report("fig15")
+    assert 20 <= result.measured("avg latency reduction (%)") <= 45
+
+
+def test_bench_fig16_map_case_study(report):
+    result = report("fig16")
+    assert result.measured("zoom FDPS reduction (%)") > 85
+    assert result.measured("ZDP execution per frame (µs)") == pytest.approx(
+        151.6, abs=1
+    )
+
+
+def test_bench_fig09_scope(report):
+    result = report("fig09")
+    assert result.measured("frames actually pre-rendered (%)") > 85
+
+
+def test_bench_fig10_execution_patterns(report):
+    result = report("fig10")
+    assert result.measured("D-VSync janks from the long frame") == 0
+
+
+def test_bench_fig04_graphics_features(report):
+    result = report("fig04")
+    assert result.measured("catalog size") == 54

@@ -1,0 +1,73 @@
+"""Microbenchmarks of the simulator substrate itself.
+
+Not a paper artifact — these keep the simulation fast enough that the full
+experiment matrix stays runnable on a laptop, and flag algorithmic
+regressions in the kernel, the queue, and the schedulers.
+"""
+
+from repro.core.config import DVSyncConfig
+from repro.core.dvsync import DVSyncScheduler
+from repro.display.device import PIXEL_5
+from repro.graphics.bufferqueue import BufferQueue
+from repro.sim.engine import Simulator
+from repro.testing import light_params, make_animation
+from repro.vsync.scheduler import VSyncScheduler
+from repro.workloads.distributions import FrameTimeParams, PowerLawFrameModel
+from repro.sim.rng import SeededRng
+
+
+def test_bench_simulator_event_throughput(benchmark):
+    def run_10k_events():
+        sim = Simulator()
+
+        count = {"n": 0}
+
+        def tick():
+            count["n"] += 1
+            if count["n"] < 10_000:
+                sim.schedule(10, tick)
+
+        sim.schedule(0, tick)
+        sim.run()
+        return count["n"]
+
+    assert benchmark(run_10k_events) == 10_000
+
+
+def test_bench_buffer_queue_cycle(benchmark):
+    queue = BufferQueue(capacity=4, buffer_bytes=1024)
+
+    def cycle():
+        buffer = queue.try_dequeue()
+        queue.queue(buffer, frame_id=0, content_timestamp=0, render_rate_hz=60, now=0)
+        queue.acquire()
+
+    benchmark(cycle)
+
+
+def test_bench_workload_generation(benchmark):
+    params = FrameTimeParams(refresh_hz=120, key_prob=0.05)
+
+    def generate():
+        model = PowerLawFrameModel(params, SeededRng(1))
+        return model.generate(1000)
+
+    assert len(benchmark(generate)) == 1000
+
+
+def test_bench_vsync_scheduler_second_of_frames(benchmark):
+    def run():
+        driver = make_animation(light_params(), "bench-vs", duration_ms=1000)
+        return VSyncScheduler(driver, PIXEL_5, buffer_count=3).run()
+
+    result = benchmark(run)
+    assert len(result.frames) >= 59
+
+
+def test_bench_dvsync_scheduler_second_of_frames(benchmark):
+    def run():
+        driver = make_animation(light_params(), "bench-dv", duration_ms=1000)
+        return DVSyncScheduler(driver, PIXEL_5, DVSyncConfig(buffer_count=4)).run()
+
+    result = benchmark(run)
+    assert len(result.frames) >= 59

@@ -1,0 +1,33 @@
+"""Benchmarks regenerating the paper's tables and cost sections."""
+
+import pytest
+
+
+def test_bench_tab01_platforms(report):
+    result = report("tab01")
+    assert result.measured("Mate 60 Pro period (ms)") == pytest.approx(8.3)
+
+
+def test_bench_tab02_ux_stutters(report):
+    result = report("tab02")
+    assert result.measured("avg stutter reduction (%)") > 50
+
+
+def test_bench_cost_accounting(report):
+    result = report("cost")
+    assert result.measured("FPE+DTV per frame (µs)") == pytest.approx(102.6, abs=1)
+
+
+def test_bench_power_consumption(report):
+    result = report("power")
+    assert result.measured("end-to-end power increase (%)") < 1.0
+
+
+def test_bench_chromium_case_study(report):
+    result = report("chromium")
+    assert result.measured("FDPS reduction (%)") > 80
+
+
+def test_bench_appendix_a_reference_benchmark(report):
+    result = report("appendix")
+    assert float(result.measured("suite-wide FDPS reduction (%)")) > 40

@@ -1,0 +1,57 @@
+"""Scenario deep dive: closing the notification center on a Mate 60 Pro.
+
+"cls notif ctr" is one of the paper's worst OS use cases (§3.2: many such
+cases only reach 95–105 FPS on the 120 Hz screen). This example runs the
+Table 3 scenario under both architectures, prints the frame outcome
+distribution, and dumps a perfetto-lite trace of each run for inspection.
+
+Run:  python examples/notification_center.py
+"""
+
+from repro import DVSyncConfig, DVSyncScheduler, MATE_60_PRO_VULKAN, VSyncScheduler, fdps
+from repro.metrics.frames import FrameOutcome, frame_distribution
+from repro.metrics.latency import latency_summary
+from repro.trace.analyze import analyze, decoupling_lead_ms
+from repro.trace.format import save_trace
+from repro.trace.record import record_run
+from repro.workloads.os_cases import MATE60_VULKAN_TARGETS, scenario_for_case, use_case
+
+
+def main() -> None:
+    case = use_case("cls notif ctr")
+    scenario = scenario_for_case(
+        case,
+        refresh_hz=MATE_60_PRO_VULKAN.refresh_hz,
+        target_fdps=MATE60_VULKAN_TARGETS["cls notif ctr"],
+        default_profile="fluctuation",
+    )
+    print(f"case #{case.number}: {case.description}")
+    print(f"device: {MATE_60_PRO_VULKAN.name} ({MATE_60_PRO_VULKAN.backend.value})\n")
+
+    runs = {}
+    for label, build in (
+        ("vsync", lambda d: VSyncScheduler(d, MATE_60_PRO_VULKAN, buffer_count=4)),
+        ("dvsync", lambda d: DVSyncScheduler(
+            d, MATE_60_PRO_VULKAN, DVSyncConfig(buffer_count=4))),
+    ):
+        result = build(scenario.build_driver()).run()
+        runs[label] = result
+        distribution = frame_distribution(result)
+        print(f"[{label}]")
+        print(f"  FDPS                {fdps(result):6.2f}")
+        print(f"  mean latency        {latency_summary(result).mean_ms:6.1f} ms")
+        for outcome in FrameOutcome:
+            print(f"  {outcome.value:18s}  {distribution.fraction(outcome) * 100:5.1f} %")
+        trace = record_run(result)
+        path = f"notif_center_{label}.trace.json"
+        save_trace(trace, path)
+        summary = analyze(trace)
+        print(f"  trace: {path} (max queue depth {summary.max_queue_depth:.0f})")
+        leads = decoupling_lead_ms(trace)
+        if leads:
+            print(f"  execution lead over display: up to {max(leads):.1f} ms")
+        print()
+
+
+if __name__ == "__main__":
+    main()

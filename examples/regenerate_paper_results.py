@@ -1,0 +1,45 @@
+"""Regenerate paper artifacts from the command line.
+
+Usage:
+    python examples/regenerate_paper_results.py fig11 fig15
+    python examples/regenerate_paper_results.py --all --quick
+    python examples/regenerate_paper_results.py --list
+"""
+
+import argparse
+
+from repro.experiments.registry import EXPERIMENTS, run_all, run_experiment
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("ids", nargs="*", help="experiment ids (e.g. fig11 tab02)")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--quick", action="store_true", help="subset/fast mode")
+    parser.add_argument("--runs", type=int, default=3, help="repetitions per scenario")
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    args = parser.parse_args()
+
+    if args.list:
+        for experiment_id in EXPERIMENTS:
+            print(experiment_id)
+        return
+
+    if args.all:
+        results = run_all(runs=args.runs, quick=args.quick)
+    elif args.ids:
+        results = [
+            run_experiment(experiment_id, runs=args.runs, quick=args.quick)
+            for experiment_id in args.ids
+        ]
+    else:
+        parser.error("give experiment ids, --all, or --list")
+        return
+
+    for result in results:
+        print(result.render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""A Table 2-style UX task as one continuous session.
+
+Chains three scenes on a single simulated timeline — a heavy app-open
+transition, a feed scroll, and an app switch — with idle gaps where the
+user's hand moves, then counts the stutters a trained evaluator would
+perceive under each architecture (§6.2's methodology).
+
+Run:  python examples/ux_task_session.py
+"""
+
+from repro import (
+    DVSyncConfig,
+    DVSyncScheduler,
+    MATE_60_PRO,
+    AnimationDriver,
+    VSyncScheduler,
+    fdps,
+    params_for_target_fdps,
+)
+from repro.metrics.stutter import count_perceived_stutters, longest_freeze_ms
+from repro.units import ms
+from repro.workloads.composite import CompositeDriver
+from repro.workloads.distributions import PROFILES
+
+
+def build_session(run: int) -> CompositeDriver:
+    hz = MATE_60_PRO.refresh_hz
+    scenes = [
+        ("open-app", 6.0, "fluctuation-deep", 450.0),
+        ("scroll-feed", 4.0, "scattered", 900.0),
+        ("switch-app", 8.0, "fluctuation", 400.0),
+    ]
+    children = []
+    for name, target, profile, duration in scenes:
+        params = params_for_target_fdps(target, hz, profile=PROFILES[profile])
+        children.append(
+            AnimationDriver(f"{name}#{run}", params, duration_ns=ms(duration))
+        )
+    return CompositeDriver(f"ux-session#{run}", children, gap_ns=ms(300))
+
+
+def main() -> None:
+    print(f"device: {MATE_60_PRO.name} ({MATE_60_PRO.refresh_hz} Hz)")
+    print("session: open app -> scroll feed -> switch app (300 ms hand gaps)\n")
+    for label, build in (
+        ("vsync 4buf", lambda d: VSyncScheduler(d, MATE_60_PRO, buffer_count=4)),
+        ("dvsync 4buf", lambda d: DVSyncScheduler(
+            d, MATE_60_PRO, DVSyncConfig(buffer_count=4))),
+    ):
+        driver = build_session(0)
+        result = build(driver).run()
+        stutters = count_perceived_stutters(result, speed_at=driver.animation_speed)
+        print(f"[{label}]")
+        print(f"  frames: {len(result.frames)}  drops: {len(result.effective_drops)}"
+              f"  FDPS: {fdps(result):.2f}")
+        print(f"  perceived stutters: {stutters}")
+        print(f"  longest freeze: {longest_freeze_ms(result):.1f} ms\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim: metadata lives in pyproject.toml.
+
+Kept so environments without the `wheel` package (no PEP 660 editable
+builds) can still do `pip install -e .` / `python setup.py develop`.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,109 @@
+"""D-VSync reproduction: decoupled rendering and displaying for smartphone
+graphics (Wu et al., ASPLOS 2025).
+
+Quick start::
+
+    from repro import (
+        DVSyncConfig, DVSyncScheduler, VSyncScheduler, PIXEL_5,
+        AnimationDriver, params_for_target_fdps, fdps,
+    )
+    from repro.units import ms
+
+    params = params_for_target_fdps(target_fdps=2.0, refresh_hz=60)
+    driver = AnimationDriver("demo", params, duration_ns=ms(3000))
+    baseline = VSyncScheduler(driver, PIXEL_5).run()
+
+    driver = AnimationDriver("demo", params, duration_ns=ms(3000))
+    improved = DVSyncScheduler(driver, PIXEL_5, DVSyncConfig(buffer_count=4)).run()
+
+    print(fdps(baseline), "->", fdps(improved))
+"""
+
+from repro.core import (
+    AlphaBetaPredictor,
+    DecouplingAPI,
+    DVSyncConfig,
+    DVSyncScheduler,
+    FPEStage,
+    InputPredictor,
+    LastValuePredictor,
+    LinearPredictor,
+    LTPOCoDesign,
+    QuadraticPredictor,
+    ZoomingDistancePredictor,
+)
+from repro.display import (
+    ALL_DEVICES,
+    MATE_40_PRO,
+    MATE_60_PRO,
+    MATE_60_PRO_VULKAN,
+    PIXEL_5,
+    DeviceProfile,
+    HWVsyncSource,
+    LTPOController,
+)
+from repro.metrics import (
+    count_perceived_stutters,
+    fdps,
+    frame_distribution,
+    latency_summary,
+    reduction_percent,
+)
+from repro.pipeline import FrameCategory, FrameWorkload, RunResult, ScenarioDriver
+from repro.sim import SeededRng, Simulator
+from repro.vsync import VSyncScheduler
+from repro.workloads import (
+    AnimationDriver,
+    FrameTimeParams,
+    FrameTrace,
+    InteractionDriver,
+    PowerLawFrameModel,
+    Scenario,
+    TraceDriver,
+    params_for_target_fdps,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlphaBetaPredictor",
+    "DecouplingAPI",
+    "DVSyncConfig",
+    "DVSyncScheduler",
+    "FPEStage",
+    "InputPredictor",
+    "LastValuePredictor",
+    "LinearPredictor",
+    "LTPOCoDesign",
+    "QuadraticPredictor",
+    "ZoomingDistancePredictor",
+    "ALL_DEVICES",
+    "MATE_40_PRO",
+    "MATE_60_PRO",
+    "MATE_60_PRO_VULKAN",
+    "PIXEL_5",
+    "DeviceProfile",
+    "HWVsyncSource",
+    "LTPOController",
+    "count_perceived_stutters",
+    "fdps",
+    "frame_distribution",
+    "latency_summary",
+    "reduction_percent",
+    "FrameCategory",
+    "FrameWorkload",
+    "RunResult",
+    "ScenarioDriver",
+    "SeededRng",
+    "Simulator",
+    "VSyncScheduler",
+    "AnimationDriver",
+    "FrameTimeParams",
+    "FrameTrace",
+    "InteractionDriver",
+    "PowerLawFrameModel",
+    "Scenario",
+    "TraceDriver",
+    "params_for_target_fdps",
+    "__version__",
+]

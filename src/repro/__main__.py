@@ -1,0 +1,54 @@
+"""Command-line entry point: ``python -m repro``.
+
+Thin wrapper over the experiment registry so the paper's artifacts can be
+regenerated without writing any code:
+
+    python -m repro --list
+    python -m repro fig11 fig15
+    python -m repro --all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.registry import EXPERIMENTS, run_all, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate D-VSync paper artifacts (figures/tables).",
+    )
+    parser.add_argument("ids", nargs="*", help="experiment ids, e.g. fig11 tab02")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--quick", action="store_true", help="subset/fast mode")
+    parser.add_argument("--runs", type=int, default=3, help="repetitions per scenario")
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in EXPERIMENTS:
+            print(experiment_id)
+        return 0
+    if args.all:
+        results = run_all(runs=args.runs, quick=args.quick)
+    elif args.ids:
+        results = [
+            run_experiment(experiment_id, runs=args.runs, quick=args.quick)
+            for experiment_id in args.ids
+        ]
+    else:
+        parser.print_help()
+        return 2
+    try:
+        for result in results:
+            print(result.render())
+            print()
+    except BrokenPipeError:  # piping into `head` etc. is fine
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

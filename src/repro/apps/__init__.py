@@ -1,0 +1,23 @@
+"""Reference applications: the paper's demo app and two case studies."""
+
+from repro.apps.chromium import (
+    CHROMIUM_PAPER_BASELINE_FDPS,
+    CHROMIUM_PAPER_DVSYNC_FDPS,
+    PAGES,
+    ChromiumFlingDriver,
+    WebPage,
+)
+from repro.apps.map_app import MapApp, MapRunReport
+from repro.apps.touch_ball import BallLagResult, TouchBallApp
+
+__all__ = [
+    "CHROMIUM_PAPER_BASELINE_FDPS",
+    "CHROMIUM_PAPER_DVSYNC_FDPS",
+    "PAGES",
+    "ChromiumFlingDriver",
+    "WebPage",
+    "MapApp",
+    "MapRunReport",
+    "BallLagResult",
+    "TouchBallApp",
+]

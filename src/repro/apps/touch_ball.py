@@ -1,0 +1,85 @@
+"""The touch-follow ball app (Fig 7).
+
+The paper visualizes rendering latency with a minimal app that draws a red
+ball at the position of the latest touch event every frame: swipe fast and
+the ball visibly falls behind the fingertip — about 400 px (2.4 cm) at 45 ms
+of rendering latency.
+
+This module reproduces the app: a fast upward swipe drives an interactive
+driver, and the lag series is the distance between the fingertip's true
+position and the ball the frame actually shows at its present fence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.display.device import PIXEL_5, DeviceProfile
+from repro.metrics.latency import touch_lag_pixels
+from repro.pipeline.scheduler_base import RunResult
+from repro.units import ms
+from repro.workloads.distributions import MODERATE, params_for_target_fdps
+from repro.workloads.drivers import InteractionDriver
+from repro.workloads.touch import SwipeGesture
+
+# A fast full-panel-height swipe: ~350 ms, the speed at which the paper's
+# photo shows the 2.4 cm gap.
+SWIPE_DURATION_MS = 350.0
+SWIPE_DISTANCE = 1.0  # panel heights
+
+
+@dataclasses.dataclass(frozen=True)
+class BallLagResult:
+    """Per-frame lag of the ball behind the fingertip."""
+
+    scheduler: str
+    lags_px: list[float]
+    mean_latency_ms: float
+
+    @property
+    def max_lag_px(self) -> float:
+        return max(self.lags_px, default=0.0)
+
+    def max_lag_cm(self, pixels_per_cm: float = 165.0) -> float:
+        """Convert the peak lag to centimetres (Pixel 5 is ~165 px/cm)."""
+        return self.max_lag_px / pixels_per_cm
+
+
+class TouchBallApp:
+    """Draws a ball at the touch position; measures how far it falls behind."""
+
+    def __init__(self, device: DeviceProfile = PIXEL_5, run: int = 0) -> None:
+        self.device = device
+        self.run = run
+
+    def build_driver(self, run: int | None = None) -> InteractionDriver:
+        """Fresh driver for one swipe (same seed → same gesture and frames)."""
+        index = self.run if run is None else run
+        name = f"touch-ball#{index}"
+        params = params_for_target_fdps(
+            # The workload drops enough that buffer stuffing develops during
+            # the swipe — the state in which the paper photographs the 2.4 cm
+            # gap at ~45 ms of rendering latency.
+            target_fdps=6.0,
+            refresh_hz=self.device.refresh_hz,
+            profile=MODERATE,
+        )
+
+        def factory(start: int, _name=name):
+            return SwipeGesture(
+                start,
+                ms(SWIPE_DURATION_MS),
+                distance=SWIPE_DISTANCE,
+                name=_name,
+            )
+
+        return InteractionDriver(name, params, factory)
+
+    def lag_result(self, result: RunResult, driver: InteractionDriver) -> BallLagResult:
+        """Compute the Fig 7 lag series from a finished run."""
+        lags = touch_lag_pixels(result, driver.true_value, self.device.height)
+        latencies = [f.latency_ns / 1e6 for f in result.presented_frames]
+        mean_latency = sum(latencies) / len(latencies) if latencies else 0.0
+        return BallLagResult(
+            scheduler=result.scheduler, lags_px=lags, mean_latency_ms=mean_latency
+        )

@@ -1,0 +1,43 @@
+"""D-VSync core: the paper's primary contribution.
+
+Exports the decoupled scheduler and its components: Frame Pre-Executor,
+Display Time Virtualizer, runtime controller, dual-channel APIs, Input
+Prediction Layer, and the LTPO co-design bridge.
+"""
+
+from repro.core.api import DecouplingAPI
+from repro.core.config import DVSyncConfig
+from repro.core.controller import RuntimeController, TimingMode
+from repro.core.dtv import DisplayPrediction, DisplayTimeVirtualizer
+from repro.core.dvsync import DVSyncScheduler
+from repro.core.fpe import FPEStage, FramePreExecutor
+from repro.core.ipl import (
+    AlphaBetaPredictor,
+    InputPredictionLayer,
+    InputPredictor,
+    LastValuePredictor,
+    LinearPredictor,
+    QuadraticPredictor,
+    ZoomingDistancePredictor,
+)
+from repro.core.ltpo_codesign import LTPOCoDesign
+
+__all__ = [
+    "DecouplingAPI",
+    "DVSyncConfig",
+    "RuntimeController",
+    "TimingMode",
+    "DisplayPrediction",
+    "DisplayTimeVirtualizer",
+    "DVSyncScheduler",
+    "FPEStage",
+    "FramePreExecutor",
+    "AlphaBetaPredictor",
+    "InputPredictionLayer",
+    "InputPredictor",
+    "LastValuePredictor",
+    "LinearPredictor",
+    "QuadraticPredictor",
+    "ZoomingDistancePredictor",
+    "LTPOCoDesign",
+]

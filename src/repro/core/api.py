@@ -1,0 +1,89 @@
+"""Dual-channel decoupling APIs (§4.5).
+
+Decoupling-*oblivious* apps need nothing from this module: the scheduler
+applies pre-rendering to their deterministic animations automatically.
+Decoupling-*aware* apps (custom rendering engines, interactive scenarios)
+receive a :class:`DecouplingAPI` exposing the four capabilities the paper
+enumerates:
+
+1. registering an Input Prediction Layer curve;
+2. configuring the pre-rendering limit (performance vs. memory);
+3. retrieving the frame display time for app-defined animations;
+4. a runtime switch between D-VSync and VSync.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.fpe import FPEStage
+from repro.core.ipl import InputPredictor
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.dvsync import DVSyncScheduler
+
+
+class DecouplingAPI:
+    """The aware-channel surface handed to custom-rendering apps."""
+
+    def __init__(self, scheduler: "DVSyncScheduler") -> None:
+        self._scheduler = scheduler
+
+    # (1) Input Prediction Layer -------------------------------------------
+    def register_input_predictor(self, predictor: InputPredictor) -> None:
+        """Install an app-specific heuristic curve, e.g. the map app's ZDP."""
+        self._scheduler.ipl.register(predictor)
+
+    # (2) pre-rendering limit ----------------------------------------------
+    def set_prerender_limit(self, limit: int) -> None:
+        """Bound how many frames may be pre-rendered ahead of display.
+
+        Higher limits hide longer frames at the cost of buffer memory (§6.4);
+        the limit can never exceed the back-buffer count of the queue.
+        """
+        max_limit = self._scheduler.buffer_count - 1
+        if not 1 <= limit <= max_limit:
+            raise ConfigurationError(
+                f"prerender limit must be in [1, {max_limit}] for a "
+                f"{self._scheduler.buffer_count}-buffer queue, got {limit}"
+            )
+        self._scheduler.fpe.prerender_limit = limit
+
+    @property
+    def prerender_limit(self) -> int:
+        """The currently effective pre-rendering limit."""
+        return self._scheduler.fpe.prerender_limit
+
+    # (3) frame display time ------------------------------------------------
+    def get_frame_display_time(self) -> int:
+        """Predicted present time of the next frame (for custom animations)."""
+        return self._scheduler.dtv.preview(self._scheduler.sim.now).predicted_present
+
+    def get_d_timestamp(self) -> int:
+        """Predicted D-Timestamp of the next frame (content-time convention)."""
+        return self._scheduler.dtv.preview(self._scheduler.sim.now).d_timestamp
+
+    # (4) runtime switch ------------------------------------------------------
+    def set_dvsync_enabled(self, enabled: bool) -> None:
+        """Switch between D-VSync and VSync at runtime.
+
+        The map case study enables D-VSync only while the user zooms and
+        leaves browsing on the traditional path (§6.5).
+        """
+        self._scheduler.controller.set_enabled(enabled, now=self._scheduler.sim.now)
+        if enabled:
+            self._scheduler._pump()
+        else:
+            self._scheduler._arm_vsync_fallback()
+
+    # introspection -----------------------------------------------------------
+    @property
+    def stage(self) -> FPEStage:
+        """Current FPE stage (accumulation vs sync)."""
+        return self._scheduler.fpe.stage
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the decoupled channel is currently active."""
+        return self._scheduler.controller.enabled

@@ -1,0 +1,74 @@
+"""D-VSync configuration.
+
+Collects every knob the paper exposes: the enlarged buffer count (Fig 11
+sweeps 4/5/7), the pre-rendering limit (§4.3 / §5.1: at most 3 back buffers
+by default), the per-frame FPE+DTV execution overhead (§6.4: 102.6 µs), and
+the ablation switches this reproduction adds for DTV and IPL.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+from repro.units import us
+
+
+@dataclasses.dataclass(frozen=True)
+class DVSyncConfig:
+    """Configuration of the D-VSync scheduler.
+
+    Attributes:
+        buffer_count: Total buffer-queue slots (front + back). The paper's
+            default deployment uses 4 (§5.1); Fig 11 also evaluates 5 and 7.
+        prerender_limit: Maximum *undisplayed* frames (in-flight + queued)
+            allowed when the FPE triggers a new frame — the pre-rendering
+            window in VSync periods. Defaults to ``buffer_count - 1`` (all
+            back buffers usable for pre-rendering).
+        per_frame_overhead_ns: FPE + DTV management cost charged per triggered
+            frame; runs on little cores so it is accounted separately from the
+            UI/render threads (§6.4 measures 102.6 µs).
+        enabled: Master switch (the runtime controller can flip this).
+        dtv_enabled: Ablation switch — when False, pre-rendered frames stamp
+            their content with the trigger wall-clock time instead of the
+            D-Timestamp, reproducing the pacing breakage DTV exists to fix.
+        ipl_enabled: Ablation switch — when False, interactive frames fall
+            back to the last observed input sample.
+        pipeline_depth_periods: The architecture's steady content-to-display
+            distance in periods; DTV back-dates D-Timestamps by this amount so
+            apps see the same content-time convention as under VSync (§4.4).
+    """
+
+    buffer_count: int = 4
+    prerender_limit: int | None = None
+    per_frame_overhead_ns: int = us(102.6)
+    enabled: bool = True
+    dtv_enabled: bool = True
+    ipl_enabled: bool = True
+    pipeline_depth_periods: int = 2
+
+    def __post_init__(self) -> None:
+        if self.buffer_count < 3:
+            raise ConfigurationError(
+                "D-VSync needs at least 3 buffers (front + render + 1 accumulated)"
+            )
+        limit = self.prerender_limit
+        if limit is not None:
+            if limit < 1:
+                raise ConfigurationError("prerender_limit must be >= 1")
+            if limit > self.buffer_count - 1:
+                raise ConfigurationError(
+                    f"prerender_limit {limit} exceeds the {self.buffer_count - 1} "
+                    f"back buffers of a {self.buffer_count}-buffer queue"
+                )
+        if self.per_frame_overhead_ns < 0:
+            raise ConfigurationError("per_frame_overhead_ns must be non-negative")
+        if self.pipeline_depth_periods < 1:
+            raise ConfigurationError("pipeline_depth_periods must be >= 1")
+
+    @property
+    def resolved_prerender_limit(self) -> int:
+        """The effective pre-render occupancy cap."""
+        if self.prerender_limit is not None:
+            return self.prerender_limit
+        return self.buffer_count - 1

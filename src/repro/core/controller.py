@@ -1,0 +1,57 @@
+"""Runtime controller: the D-VSync / VSync mode switch (§4.5).
+
+The controller decides, per frame, which timing channel drives execution:
+
+- deterministic animations → decoupled pre-rendering (oblivious channel);
+- predictable interactions → decoupled *if* the IPL is available;
+- real-time frames (sensor/online content) → the traditional VSync path;
+- everything → VSync when D-VSync is disabled (the runtime switch exposed to
+  aware apps, used by the map app to enable D-VSync for zooming only).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.pipeline.frame import FrameCategory
+
+
+class TimingMode(enum.Enum):
+    """Which architecture triggers a given frame."""
+
+    DVSYNC = "dvsync"
+    VSYNC = "vsync"
+
+
+class RuntimeController:
+    """Per-frame routing between the decoupled and traditional channels."""
+
+    def __init__(self, enabled: bool = True, ipl_enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.ipl_enabled = ipl_enabled
+        self.switch_log: list[tuple[int, bool]] = []
+        self.routed_dvsync = 0
+        self.routed_vsync = 0
+
+    def set_enabled(self, enabled: bool, now: int = 0) -> None:
+        """Flip the runtime switch (aware-channel API #4)."""
+        if enabled != self.enabled:
+            self.switch_log.append((now, enabled))
+        self.enabled = enabled
+
+    def mode_for(self, category: FrameCategory) -> TimingMode:
+        """Choose the timing channel for a frame of *category* (pure)."""
+        if not self.enabled:
+            return TimingMode.VSYNC
+        if not category.decouplable:
+            return TimingMode.VSYNC
+        if category.needs_input_prediction and not self.ipl_enabled:
+            return TimingMode.VSYNC
+        return TimingMode.DVSYNC
+
+    def note_routed(self, mode: TimingMode) -> None:
+        """Record that one frame was actually spawned on *mode*'s channel."""
+        if mode is TimingMode.DVSYNC:
+            self.routed_dvsync += 1
+        else:
+            self.routed_vsync += 1

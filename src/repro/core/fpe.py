@@ -1,0 +1,103 @@
+"""Frame Pre-Executor (FPE, §4.3).
+
+The FPE replaces the fixed VSync trigger with explicit frame-timing control.
+It receives "next frame" demand from the scenario and decides *when* each
+frame's execution starts, running a two-stage policy:
+
+- **Accumulation stage** — while the number of undisplayed frames (in-flight
+  plus queued) is below the pre-rendering limit, the next frame is triggered
+  as soon as the UI thread frees up, regardless of the screen's VSync. Short
+  frames therefore pile up buffers in the queue.
+- **Sync stage** — once the limit is reached, triggering waits for the screen
+  to consume a buffer, pacing production at exactly the display rate, like
+  conventional VSync but with a full queue standing between a long frame and
+  a jank (Fig 10).
+
+Frames whose category cannot be decoupled (REALTIME, §4.2) are routed back to
+the traditional VSync path by the runtime controller.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+from repro.graphics.bufferqueue import BufferQueue
+from repro.pipeline.stages import RenderPipeline
+
+
+class FPEStage(enum.Enum):
+    """The two execution stages of decoupled pre-rendering (Fig 10)."""
+
+    ACCUMULATION = "accumulation"
+    SYNC = "sync"
+
+
+class FramePreExecutor:
+    """Decides when the next frame's execution is triggered.
+
+    The FPE is wired to every event that can open a trigger opportunity:
+    UI-thread completion, buffer consumption (via the compositor's tick hook),
+    and the initial kick. ``try_trigger`` is idempotent per opportunity — it
+    triggers at most one frame (the UI thread can only start one) and is
+    simply called again on the next event.
+    """
+
+    def __init__(
+        self,
+        buffer_queue: BufferQueue,
+        pipeline: RenderPipeline,
+        prerender_limit: int,
+        trigger: Callable[[], bool],
+    ) -> None:
+        self.buffer_queue = buffer_queue
+        self.pipeline = pipeline
+        self.prerender_limit = prerender_limit
+        self._trigger = trigger
+        self.triggers_in_accumulation = 0
+        self.triggers_in_sync = 0
+        self._blocked_on_occupancy = False
+
+    @property
+    def occupancy(self) -> int:
+        """Pre-rendered frames standing between the screen and a jank.
+
+        Counts queued buffers plus in-flight frames *beyond the one currently
+        in production*: with a limit of three back buffers, the FPE may keep
+        three completed frames queued while a fourth renders (§5.1's "at most
+        3 back buffers for pre-rendering"), exactly like the production
+        pipelining of the conventional architecture.
+        """
+        return self.buffer_queue.queued_depth + max(0, self.pipeline.frames_in_flight - 1)
+
+    @property
+    def stage(self) -> FPEStage:
+        """Current pre-execution stage (Fig 10's accumulation vs sync)."""
+        if self.occupancy >= self.prerender_limit:
+            return FPEStage.SYNC
+        return FPEStage.ACCUMULATION
+
+    def can_trigger(self) -> bool:
+        """True if a new frame may start right now."""
+        return self.pipeline.ui_idle and self.occupancy < self.prerender_limit
+
+    def try_trigger(self) -> bool:
+        """Trigger the next frame if the gate is open; returns whether it did.
+
+        A trigger counts as *sync-stage* when the gate had been closed by the
+        occupancy limit since the last trigger — i.e. production was paced by
+        the screen consuming a buffer — and as *accumulation-stage* when it
+        ran ahead of the display freely.
+        """
+        if not self.can_trigger():
+            if self.pipeline.ui_idle and self.occupancy >= self.prerender_limit:
+                self._blocked_on_occupancy = True
+            return False
+        if not self._trigger():
+            return False
+        if self._blocked_on_occupancy:
+            self.triggers_in_sync += 1
+        else:
+            self.triggers_in_accumulation += 1
+        self._blocked_on_occupancy = False
+        return True

@@ -1,0 +1,85 @@
+"""D-VSync × LTPO co-design (§5.3).
+
+LTPO lowers the refresh rate when motion slows; D-VSync accumulates frames
+rendered for a specific rate. Switching the panel while old-rate frames sit
+in the queue would display X-Hz content at Y Hz — animation pacing breaks.
+The co-design enforces the paper's rule: *frames produced at rate X must be
+consumed by the screen's HAL before the panel switches to rate Y*. Every
+buffer carries its rendering rate (``render_rate_hz``); while a switch is
+pending the bridge pauses accumulation (pre-render limit clamped to 1) so
+the queue drains at display speed, applies the switch on the first empty
+edge, and then restores the configured pre-render window at the new rate.
+
+Constructing the bridge with ``enforce_drain=False`` reproduces the conflict
+the co-design exists to prevent (the ablation counts rate-mismatched
+presents).
+"""
+
+from __future__ import annotations
+
+from repro.core.dvsync import DVSyncScheduler
+from repro.display.hal import PresentRecord
+from repro.display.ltpo import LTPOController
+from repro.pipeline.frame import FrameRecord
+from repro.units import period_to_hz
+
+
+class LTPOCoDesign:
+    """Couples an :class:`LTPOController` to a running D-VSync scheduler."""
+
+    def __init__(
+        self,
+        scheduler: DVSyncScheduler,
+        ltpo: LTPOController,
+        enforce_drain: bool = True,
+    ) -> None:
+        self.scheduler = scheduler
+        self.ltpo = ltpo
+        self.enforce_drain = enforce_drain
+        self.rate_mismatched_presents = 0
+        self.deferred_switches = 0
+        self._configured_limit = scheduler.fpe.prerender_limit
+        self._draining = False
+        if enforce_drain:
+            ltpo.switch_gate = self._switch_gate
+        ltpo.add_rate_listener(self._on_rate_change)
+        scheduler.pipeline.on_frame_queued.append(self._on_frame_queued)
+        scheduler.hal.add_listener(self._on_present)
+        scheduler.pipeline.render_rate_hz = ltpo.current_hz
+
+    def _switch_gate(self, target_hz: int) -> bool:
+        """The panel may switch only once old-rate buffers are consumed.
+
+        While the switch is pending, accumulation pauses (limit 1) so the
+        screen drains the queue within a few refreshes instead of waiting
+        for the animation to end.
+        """
+        if self.scheduler.buffer_queue.queued_depth == 0:
+            return True
+        if not self._draining:
+            self._draining = True
+            self._configured_limit = self.scheduler.fpe.prerender_limit
+            self.scheduler.fpe.prerender_limit = 1
+        self.deferred_switches += 1
+        return False
+
+    def _on_rate_change(self, old_period: int, new_period: int) -> None:
+        self.scheduler.dtv.on_rate_change(old_period, new_period)
+        self.scheduler.pipeline.render_rate_hz = self.ltpo.current_hz
+        if self._draining:
+            # Switch applied: resume the configured pre-render window.
+            self.scheduler.fpe.prerender_limit = self._configured_limit
+            self._draining = False
+
+    def _on_frame_queued(self, frame: FrameRecord) -> None:
+        speed = self.scheduler.driver.animation_speed(frame.content_timestamp)
+        self.ltpo.observe_speed(speed)
+
+    def _on_present(self, record: PresentRecord) -> None:
+        frame = self.scheduler._frame_by_id(record.frame_id)
+        if frame is not None and frame.render_rate_hz is not None:
+            panel_hz = round(period_to_hz(record.refresh_period))
+            if frame.render_rate_hz != panel_hz:
+                self.rate_mismatched_presents += 1
+        if self.scheduler.buffer_queue.queued_depth == 0:
+            self.ltpo.notify_buffers_drained()

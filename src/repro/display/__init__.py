@@ -1,0 +1,41 @@
+"""Display substrate: devices, VSync signal generation, HAL, and LTPO."""
+
+from repro.display.device import (
+    ALL_DEVICES,
+    MATE_40_PRO,
+    MATE_60_PRO,
+    MATE_60_PRO_VULKAN,
+    PIXEL_5,
+    DeviceProfile,
+    GraphicsBackend,
+    OperatingSystem,
+    device_by_name,
+)
+from repro.display.hal import PresentRecord, ScreenHAL
+from repro.display.ltpo import DEFAULT_TIERS, LTPOController, RateTier
+from repro.display.trend import FLAGSHIP_DATASET, FlagshipRecord, growth_factor, pixels_per_second_series
+from repro.display.vsync import HWVsyncSource, VsyncChannel, VsyncOffsets
+
+__all__ = [
+    "ALL_DEVICES",
+    "MATE_40_PRO",
+    "MATE_60_PRO",
+    "MATE_60_PRO_VULKAN",
+    "PIXEL_5",
+    "DeviceProfile",
+    "GraphicsBackend",
+    "OperatingSystem",
+    "device_by_name",
+    "PresentRecord",
+    "ScreenHAL",
+    "DEFAULT_TIERS",
+    "LTPOController",
+    "RateTier",
+    "FLAGSHIP_DATASET",
+    "FlagshipRecord",
+    "growth_factor",
+    "pixels_per_second_series",
+    "HWVsyncSource",
+    "VsyncChannel",
+    "VsyncOffsets",
+]

@@ -1,0 +1,143 @@
+"""Device profiles for the evaluation platforms (paper Table 1).
+
+A :class:`DeviceProfile` captures everything the simulator needs to stand in
+for a physical phone: panel geometry, refresh rate, graphics backend, and the
+default buffer-queue capacity of its OS rendering service (triple buffering on
+Android/iOS, four buffers on OpenHarmony, per §2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.errors import ConfigurationError
+from repro.units import hz_to_period
+
+
+class GraphicsBackend(enum.Enum):
+    """GPU API backend used by the rendering service."""
+
+    GLES = "GLES"
+    VULKAN = "Vulkan"
+
+
+class OperatingSystem(enum.Enum):
+    """Smartphone OS families covered by the evaluation."""
+
+    AOSP = "AOSP 13"
+    OPENHARMONY = "OpenHarmony 4.0"
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceProfile:
+    """Static configuration of an evaluation device (Table 1).
+
+    Attributes:
+        name: Marketing name, e.g. ``"Mate 60 Pro"``.
+        release: Human-readable release date.
+        os: Operating system family.
+        backend: Graphics backend the rendering service uses.
+        width / height: Panel resolution in pixels.
+        refresh_hz: Panel refresh rate in Hz.
+        default_buffer_count: Buffer-queue capacity of the stock (VSync)
+            rendering service on this device.
+        bytes_per_pixel: Frame-buffer pixel size; 4 for RGBA8888 (§6.4).
+    """
+
+    name: str
+    release: str
+    os: OperatingSystem
+    backend: GraphicsBackend
+    width: int
+    height: int
+    refresh_hz: int
+    default_buffer_count: int = 3
+    bytes_per_pixel: int = 4
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ConfigurationError(f"invalid panel geometry {self.width}x{self.height}")
+        if self.refresh_hz <= 0:
+            raise ConfigurationError(f"invalid refresh rate {self.refresh_hz}")
+        if self.default_buffer_count < 2:
+            raise ConfigurationError("a swap chain needs at least 2 buffers")
+
+    @property
+    def vsync_period(self) -> int:
+        """VSync period in nanoseconds (16.7 ms at 60 Hz, 8.3 ms at 120 Hz)."""
+        return hz_to_period(self.refresh_hz)
+
+    @property
+    def pixels_per_second(self) -> int:
+        """Pixels the rendering service must produce per second (Fig 3 metric)."""
+        return self.width * self.height * self.refresh_hz
+
+    @property
+    def framebuffer_bytes(self) -> int:
+        """Size of one full-screen frame buffer in bytes (§6.4 memory model)."""
+        return self.width * self.height * self.bytes_per_pixel
+
+    def with_backend(self, backend: GraphicsBackend) -> "DeviceProfile":
+        """Return a copy of this profile using a different graphics backend."""
+        return dataclasses.replace(self, backend=backend)
+
+    def at_refresh(self, refresh_hz: int) -> "DeviceProfile":
+        """Return a copy of this profile running at a different refresh rate.
+
+        Games commonly render below the panel's maximum (Fig 14 labels each
+        game with its rate); LTPO experiments also rebase profiles this way.
+        """
+        return dataclasses.replace(self, refresh_hz=refresh_hz)
+
+
+PIXEL_5 = DeviceProfile(
+    name="Google Pixel 5",
+    release="Oct 2020",
+    os=OperatingSystem.AOSP,
+    backend=GraphicsBackend.GLES,
+    width=1080,
+    height=2340,
+    refresh_hz=60,
+    default_buffer_count=3,
+)
+
+MATE_40_PRO = DeviceProfile(
+    name="Mate 40 Pro",
+    release="Nov 2020",
+    os=OperatingSystem.OPENHARMONY,
+    backend=GraphicsBackend.GLES,
+    width=1344,
+    height=2772,
+    refresh_hz=90,
+    default_buffer_count=4,
+)
+
+MATE_60_PRO = DeviceProfile(
+    name="Mate 60 Pro",
+    release="Aug 2023",
+    os=OperatingSystem.OPENHARMONY,
+    backend=GraphicsBackend.GLES,
+    width=1260,
+    height=2720,
+    refresh_hz=120,
+    default_buffer_count=4,
+)
+
+MATE_60_PRO_VULKAN = MATE_60_PRO.with_backend(GraphicsBackend.VULKAN)
+
+ALL_DEVICES: tuple[DeviceProfile, ...] = (
+    PIXEL_5,
+    MATE_40_PRO,
+    MATE_60_PRO,
+    MATE_60_PRO_VULKAN,
+)
+
+
+def device_by_name(name: str) -> DeviceProfile:
+    """Look up a predefined device profile by (case-insensitive) name."""
+    for device in ALL_DEVICES:
+        if device.name.lower() == name.lower():
+            return device
+    known = ", ".join(d.name for d in ALL_DEVICES)
+    raise ConfigurationError(f"unknown device {name!r}; known devices: {known}")

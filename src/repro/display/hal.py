@@ -1,0 +1,64 @@
+"""Screen hardware-abstraction layer: present fences.
+
+The HAL is the boundary the paper's latency script measures against: a frame's
+*present fence* signals when its buffer actually reached the panel (§6.3).
+:class:`ScreenHAL` records every present and fans the event out to listeners
+(DTV calibration, metrics collectors, LTPO rate logic).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+PresentListener = Callable[["PresentRecord"], None]
+
+
+@dataclasses.dataclass(frozen=True)
+class PresentRecord:
+    """One buffer reaching the panel.
+
+    Attributes:
+        frame_id: Producer-assigned frame identifier.
+        present_time: Present-fence timestamp (ns) — the HW-VSync edge at
+            which the panel latched the buffer.
+        vsync_index: Index of that HW-VSync tick.
+        content_timestamp: The timestamp the frame's content represents
+            (VSync-app tick under VSync; D-Timestamp under D-VSync).
+        queue_depth_after: Buffers still waiting in the queue after the latch.
+        refresh_period: Panel period (ns) in effect at this present.
+    """
+
+    frame_id: int
+    present_time: int
+    vsync_index: int
+    content_timestamp: int
+    queue_depth_after: int
+    refresh_period: int
+
+
+class ScreenHAL:
+    """Collects present fences and notifies interested components."""
+
+    def __init__(self) -> None:
+        self.presents: list[PresentRecord] = []
+        self._listeners: list[PresentListener] = []
+
+    def add_listener(self, listener: PresentListener) -> None:
+        """Register a callback invoked on every present fence."""
+        self._listeners.append(listener)
+
+    def signal_present(self, record: PresentRecord) -> None:
+        """Record a present fence and notify listeners."""
+        self.presents.append(record)
+        for listener in list(self._listeners):
+            listener(record)
+
+    @property
+    def presented_count(self) -> int:
+        """Total number of distinct buffers presented so far."""
+        return len(self.presents)
+
+    def last_present(self) -> PresentRecord | None:
+        """The most recent present fence, or None before the first frame."""
+        return self.presents[-1] if self.presents else None

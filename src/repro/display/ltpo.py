@@ -1,0 +1,116 @@
+"""LTPO variable-refresh-rate model (§5.3).
+
+LTPO panels lower the refresh rate when on-screen motion is slow enough that
+human eyes cannot perceive the difference, saving power. State-of-the-art
+policies (ProMotion, X-True, O-Sync) track the animation's velocity: a fling
+may start at 120 Hz, drop to 90 Hz as the list decelerates, and settle at
+60 Hz. :class:`LTPOController` implements that velocity-tiered policy on top
+of :class:`repro.display.vsync.HWVsyncSource`.
+
+The interplay with D-VSync — frames rendered at X Hz must not be displayed at
+Y Hz — lives in :mod:`repro.core.ltpo_codesign`, which gates the rate switch
+on the accumulated buffers draining.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.display.vsync import HWVsyncSource
+from repro.units import hz_to_period
+
+
+@dataclasses.dataclass(frozen=True)
+class RateTier:
+    """One refresh-rate tier with its activation threshold.
+
+    The tier is selected when the animation speed (panel heights per second,
+    a resolution-independent velocity measure) is at least ``min_speed``.
+    """
+
+    refresh_hz: int
+    min_speed: float
+
+
+DEFAULT_TIERS: tuple[RateTier, ...] = (
+    RateTier(refresh_hz=120, min_speed=1.0),
+    RateTier(refresh_hz=90, min_speed=0.35),
+    RateTier(refresh_hz=60, min_speed=0.05),
+    RateTier(refresh_hz=30, min_speed=0.0),
+)
+
+RateChangeListener = Callable[[int, int], None]
+"""Callback signature: (old_period_ns, new_period_ns)."""
+
+
+class LTPOController:
+    """Velocity-tiered refresh-rate governor for an LTPO panel.
+
+    The controller observes the current animation speed (reported by the
+    scenario driver each frame), picks the lowest tier whose threshold the
+    speed still meets, and requests the corresponding period from the VSync
+    source. A ``switch_gate`` hook lets the D-VSync co-design defer the actual
+    hardware switch until accumulated buffers rendered at the old rate have
+    been consumed.
+    """
+
+    def __init__(
+        self,
+        source: HWVsyncSource,
+        tiers: tuple[RateTier, ...] = DEFAULT_TIERS,
+        max_hz: int | None = None,
+    ) -> None:
+        if not tiers:
+            raise ConfigurationError("LTPO needs at least one rate tier")
+        ordered = sorted(tiers, key=lambda t: -t.refresh_hz)
+        if max_hz is not None:
+            ordered = [t for t in ordered if t.refresh_hz <= max_hz]
+            if not ordered:
+                raise ConfigurationError(f"no LTPO tier at or below {max_hz} Hz")
+        self.source = source
+        self.tiers = tuple(ordered)
+        self.current_hz = self.tiers[0].refresh_hz
+        self.switch_gate: Callable[[int], bool] | None = None
+        self._listeners: list[RateChangeListener] = []
+        self._pending_hz: int | None = None
+        self.switch_log: list[tuple[int, int, int]] = []  # (time, old_hz, new_hz)
+
+    def add_rate_listener(self, listener: RateChangeListener) -> None:
+        """Register a callback invoked when the panel period changes."""
+        self._listeners.append(listener)
+
+    def select_tier(self, speed: float) -> int:
+        """Return the refresh rate (Hz) the policy picks for *speed*."""
+        for tier in self.tiers:
+            if speed >= tier.min_speed:
+                return tier.refresh_hz
+        return self.tiers[-1].refresh_hz
+
+    def observe_speed(self, speed: float) -> None:
+        """Feed the current animation speed; may request a rate switch."""
+        target_hz = self.select_tier(speed)
+        if target_hz != self.current_hz:
+            self._pending_hz = target_hz
+        self._try_apply_pending()
+
+    def notify_buffers_drained(self) -> None:
+        """Re-check a deferred switch once accumulated buffers are consumed."""
+        self._try_apply_pending()
+
+    def _try_apply_pending(self) -> None:
+        if self._pending_hz is None:
+            return
+        target_hz = self._pending_hz
+        if self.switch_gate is not None and not self.switch_gate(target_hz):
+            return  # co-design defers the switch until old-rate frames drain
+        old_hz = self.current_hz
+        old_period = hz_to_period(old_hz)
+        new_period = hz_to_period(target_hz)
+        self.source.request_period(new_period)
+        self.current_hz = target_hz
+        self._pending_hz = None
+        self.switch_log.append((self.source.sim.now, old_hz, target_hz))
+        for listener in list(self._listeners):
+            listener(old_period, new_period)

@@ -1,0 +1,78 @@
+"""Flagship-display dataset behind Figure 3.
+
+The paper plots the number of pixels the rendering architecture must produce
+per second (height x width x refresh rate) for flagship phones from 2010 to
+2024, showing an ~25x increase since Project Butter introduced the VSync
+architecture. This module carries a representative dataset of the same phone
+lines and reproduces the series and the headline growth factor.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class FlagshipRecord:
+    """One phone model's display demand data point."""
+
+    line: str
+    model: str
+    year: int
+    width: int
+    height: int
+    refresh_hz: int
+
+    @property
+    def pixels_per_second(self) -> int:
+        """Figure 3's y-axis: pixels the OS must render per second."""
+        return self.width * self.height * self.refresh_hz
+
+
+# Public display specifications of the phone lines shown in Figure 3's legend.
+FLAGSHIP_DATASET: tuple[FlagshipRecord, ...] = (
+    FlagshipRecord("iPhone", "iPhone 4", 2010, 640, 960, 60),
+    FlagshipRecord("Galaxy S", "Galaxy S", 2010, 480, 800, 60),
+    FlagshipRecord("Galaxy S", "Galaxy S II", 2011, 480, 800, 60),
+    FlagshipRecord("iPhone", "iPhone 5", 2012, 640, 1136, 60),
+    FlagshipRecord("Galaxy S", "Galaxy S III", 2012, 720, 1280, 60),
+    FlagshipRecord("iPhone Plus", "iPhone 6 Plus", 2014, 1080, 1920, 60),
+    FlagshipRecord("Galaxy S", "Galaxy S5", 2014, 1080, 1920, 60),
+    FlagshipRecord("Galaxy S", "Galaxy S6", 2015, 1440, 2560, 60),
+    FlagshipRecord("Xiaomi", "Mi 5", 2016, 1080, 1920, 60),
+    FlagshipRecord("Pixel", "Pixel", 2016, 1080, 1920, 60),
+    FlagshipRecord("Mate Pro", "Mate 9 Pro", 2016, 1440, 2560, 60),
+    FlagshipRecord("iPhone", "iPhone X", 2017, 1125, 2436, 60),
+    FlagshipRecord("Oppo Find X", "Find X", 2018, 1080, 2340, 60),
+    FlagshipRecord("Mate Pro", "Mate 20 Pro", 2018, 1440, 3120, 60),
+    FlagshipRecord("ROG Phone", "ROG Phone II", 2019, 1080, 2340, 120),
+    FlagshipRecord("Pixel", "Pixel 4 XL", 2019, 1440, 3040, 90),
+    FlagshipRecord("Galaxy S Ultra", "Galaxy S20 Ultra", 2020, 1440, 3200, 120),
+    FlagshipRecord("Mate Pro", "Mate 40 Pro", 2020, 1344, 2772, 90),
+    FlagshipRecord("Pixel", "Pixel 5", 2020, 1080, 2340, 60),
+    FlagshipRecord("Galaxy Z Fold", "Galaxy Z Fold 2", 2020, 1768, 2208, 120),
+    FlagshipRecord("Oppo Find X Pro", "Find X3 Pro", 2021, 1440, 3216, 120),
+    FlagshipRecord("iPhone Pro Max", "iPhone 13 Pro Max", 2021, 1284, 2778, 120),
+    FlagshipRecord("Xiaomi Pro", "Xiaomi 12 Pro", 2022, 1440, 3200, 120),
+    FlagshipRecord("Oppo Find N", "Find N2", 2022, 1792, 1920, 120),
+    FlagshipRecord("ROG Phone", "ROG Phone 6", 2022, 1080, 2448, 165),
+    FlagshipRecord("Mate X", "Mate X3", 2023, 2224, 2496, 120),
+    FlagshipRecord("Mate Pro", "Mate 60 Pro", 2023, 1260, 2720, 120),
+    FlagshipRecord("Pixel Fold", "Pixel Fold", 2023, 1840, 2208, 120),
+    FlagshipRecord("Galaxy S Ultra", "Galaxy S24 Ultra", 2024, 1440, 3120, 120),
+    FlagshipRecord("iPhone Pro Max", "iPhone 15 Pro Max", 2024, 1290, 2796, 120),
+)
+
+
+def pixels_per_second_series() -> list[tuple[int, str, int]]:
+    """Return (year, model, pixels/s) rows sorted by year, as Fig 3 plots."""
+    rows = [(r.year, r.model, r.pixels_per_second) for r in FLAGSHIP_DATASET]
+    rows.sort()
+    return rows
+
+
+def growth_factor() -> float:
+    """Ratio of the 2023+ maximum to the 2010 baseline (paper quotes ~25x)."""
+    baseline = min(r.pixels_per_second for r in FLAGSHIP_DATASET if r.year == 2010)
+    peak = max(r.pixels_per_second for r in FLAGSHIP_DATASET)
+    return peak / baseline

@@ -1,0 +1,193 @@
+"""Hardware VSync generation and software VSync channels.
+
+The screen generates a hardware VSync (HW-VSync) before every panel refresh
+(§2). The OS then derives *software* VSync signals — VSync-app for the app UI
+thread, VSync-rs for the render service, VSync-sf for the compositor — at
+fixed offsets from HW-VSync. Components do not receive every tick; like
+Android's Choreographer they *request* the next callback when they have work,
+which is what lets an idle app consume no rendering resources.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+
+VsyncCallback = Callable[[int, int], None]
+"""Callback signature: (timestamp_ns, vsync_index)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class VsyncOffsets:
+    """Phase offsets (ns) of the software VSync signals from HW-VSync.
+
+    Real systems stagger the pipeline stages so each stage's output is ready
+    exactly when the next stage wakes. Offsets here are *delays after* the
+    HW-VSync edge, matching Android's positive phase-offset convention.
+    """
+
+    app_offset: int = 0
+    rs_offset: int = 0
+    sf_offset: int = 0
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("app_offset", self.app_offset),
+            ("rs_offset", self.rs_offset),
+            ("sf_offset", self.sf_offset),
+        ):
+            if value < 0:
+                raise ConfigurationError(f"{label} must be non-negative, got {value}")
+
+
+class HWVsyncSource:
+    """Periodic hardware VSync generator bound to a simulator.
+
+    Emits ticks every ``period`` nanoseconds once started. The period can be
+    changed at runtime (LTPO variable refresh rates); a change takes effect at
+    the *next* tick so that the current scanout is never torn, mirroring how
+    real panels switch modes on frame boundaries.
+    """
+
+    def __init__(self, sim: Simulator, period: int) -> None:
+        if period <= 0:
+            raise ConfigurationError(f"vsync period must be positive, got {period}")
+        self.sim = sim
+        self._period = period
+        self._pending_period: int | None = None
+        self._listeners: list[VsyncCallback] = []
+        self._index = -1
+        self._running = False
+        self._next_handle = None
+        self.tick_times: list[int] = []
+
+    @property
+    def period(self) -> int:
+        """Current VSync period in nanoseconds."""
+        return self._period
+
+    @property
+    def index(self) -> int:
+        """Index of the most recent tick (-1 before the first tick)."""
+        return self._index
+
+    @property
+    def running(self) -> bool:
+        """True while the source is emitting ticks."""
+        return self._running
+
+    def add_listener(self, callback: VsyncCallback) -> None:
+        """Register a persistent listener invoked on every tick."""
+        self._listeners.append(callback)
+
+    def remove_listener(self, callback: VsyncCallback) -> None:
+        """Unregister a persistent listener."""
+        self._listeners.remove(callback)
+
+    def start(self, first_tick_at: int | None = None) -> None:
+        """Begin emitting ticks, the first at *first_tick_at* (default: now)."""
+        if self._running:
+            return
+        self._running = True
+        at = self.sim.now if first_tick_at is None else first_tick_at
+        self._next_handle = self.sim.schedule_at(at, self._tick)
+
+    def stop(self) -> None:
+        """Stop emitting ticks; a pending tick is cancelled."""
+        if not self._running:
+            return
+        self._running = False
+        if self._next_handle is not None and self._next_handle.pending:
+            self._next_handle.cancel()
+        self._next_handle = None
+
+    def request_period(self, period: int) -> None:
+        """Request a refresh-rate change effective at the next tick (LTPO)."""
+        if period <= 0:
+            raise ConfigurationError(f"vsync period must be positive, got {period}")
+        self._pending_period = period
+
+    def next_tick_time(self) -> int:
+        """Absolute time of the next tick (the first tick if not started)."""
+        if self._next_handle is not None and self._next_handle.pending:
+            return self._next_handle.time
+        return self.sim.now
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._index += 1
+        now = self.sim.now
+        self.tick_times.append(now)
+        if self._pending_period is not None:
+            self._period = self._pending_period
+            self._pending_period = None
+        self._next_handle = self.sim.schedule(self._period, self._tick)
+        # Iterate over a snapshot: listeners may add/remove listeners while
+        # handling the tick.
+        for callback in list(self._listeners):
+            callback(now, self._index)
+
+
+class VsyncChannel:
+    """A software VSync line derived from HW-VSync at a fixed offset.
+
+    Components *request* the next callback (one-shot), as with Android's
+    ``Choreographer.postFrameCallback``. Multiple requests before the next
+    tick coalesce into a single delivery per requester. A request that lands
+    *before the current tick's offset window has passed* is served within
+    this period — the property that lets an OpenHarmony render service pick
+    up a UI record at this period's VSync-rs instead of waiting a full frame.
+    """
+
+    def __init__(self, source: HWVsyncSource, offset: int = 0, name: str = "vsync") -> None:
+        if offset < 0:
+            raise ConfigurationError(f"offset must be non-negative, got {offset}")
+        self.source = source
+        self.offset = offset
+        self.name = name
+        self._waiters: list[VsyncCallback] = []
+        self._last_tick: tuple[int, int] | None = None  # (timestamp, index)
+        source.add_listener(self._on_hw_vsync)
+
+    @property
+    def sim(self) -> Simulator:
+        """The simulator this channel schedules on."""
+        return self.source.sim
+
+    def request_callback(self, callback: VsyncCallback) -> None:
+        """Deliver *callback* at the next offset edge of this channel.
+
+        Normally that is the next HW-VSync plus the offset; if this tick's
+        offset edge is still in the future, the delivery happens there.
+        """
+        if self._last_tick is not None and self.offset > 0:
+            tick_time, tick_index = self._last_tick
+            edge = tick_time + self.offset
+            if self.sim.now < edge:
+                self.sim.schedule_at(edge, lambda: callback(tick_time, tick_index))
+                return
+        self._waiters.append(callback)
+
+    @property
+    def pending_requests(self) -> int:
+        """Number of callbacks waiting for the next tick."""
+        return len(self._waiters)
+
+    def _on_hw_vsync(self, timestamp: int, index: int) -> None:
+        self._last_tick = (timestamp, index)
+        if not self._waiters:
+            return
+        waiters, self._waiters = self._waiters, []
+
+        def deliver() -> None:
+            for callback in waiters:
+                callback(timestamp, index)
+
+        if self.offset == 0:
+            deliver()
+        else:
+            self.sim.schedule(self.offset, deliver)

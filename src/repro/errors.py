@@ -1,0 +1,44 @@
+"""Exception hierarchy for the D-VSync reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch library failures without masking programming errors such as
+``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly.
+
+    Raised for scheduling in the past, running a finished simulator, or
+    cancelling an event twice.
+    """
+
+
+class BufferQueueError(ReproError):
+    """A buffer-queue state-machine rule was violated.
+
+    Raised for queueing a buffer that was never dequeued, releasing a buffer
+    that is not acquired, or configuring an invalid capacity.
+    """
+
+
+class PipelineError(ReproError):
+    """A rendering-pipeline stage was driven out of order."""
+
+
+class ConfigurationError(ReproError):
+    """A scheduler or device configuration is invalid or inconsistent."""
+
+
+class WorkloadError(ReproError):
+    """A workload trace or scenario definition is malformed."""
+
+
+class PredictionError(ReproError):
+    """An Input Prediction Layer curve could not be fitted or evaluated."""

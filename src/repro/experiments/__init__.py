@@ -1,0 +1,10 @@
+"""Experiment harness: one module per paper figure/table (see DESIGN.md §5)."""
+
+from repro.experiments.runner import (
+    DEFAULT_RUNS,
+    ScenarioComparison,
+    compare_scenario,
+    run_driver,
+)
+
+__all__ = ["DEFAULT_RUNS", "ScenarioComparison", "compare_scenario", "run_driver"]

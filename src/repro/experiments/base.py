@@ -1,0 +1,66 @@
+"""Common shape for experiment modules.
+
+Every experiment module exposes ``run(runs=..., quick=...) -> ExperimentResult``
+that regenerates one paper artifact: the same rows/series the figure or table
+reports, plus a paper-vs-measured block for EXPERIMENTS.md. ``quick=True``
+trims repetitions for benchmark runs; the shape conclusions must hold in both
+modes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.metrics.report import format_table
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """One regenerated paper artifact."""
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list]
+    comparisons: list[tuple[str, object, object]]
+    notes: str = ""
+
+    def render(self) -> str:
+        """Full printable report: data table + paper-vs-measured block."""
+        parts = [f"=== {self.experiment_id}: {self.title} ==="]
+        if self.rows:
+            parts.append(format_table(self.headers, self.rows))
+        if self.comparisons:
+            parts.append("")
+            parts.append("paper vs measured:")
+            parts.append(
+                format_table(
+                    ["metric", "paper", "measured"],
+                    [list(c) for c in self.comparisons],
+                )
+            )
+        if self.notes:
+            parts.append("")
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+    def measured(self, metric: str):
+        """Look up one measured value from the comparisons block."""
+        for name, _, value in self.comparisons:
+            if name == metric:
+                return value
+        raise KeyError(f"no comparison metric {metric!r} in {self.experiment_id}")
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean with an explicit zero for empty input."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def pct_reduction(baseline: float, improved: float) -> float:
+    """Percentage reduction, 0 when the baseline is 0."""
+    if baseline <= 0:
+        return 0.0
+    return (baseline - improved) / baseline * 100.0

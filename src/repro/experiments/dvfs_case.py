@@ -1,0 +1,108 @@
+"""Extension study: DVFS governing inside D-VSync's larger time window (§8).
+
+The related work adjusts CPU/GPU frequency so each frame finishes just before
+its VSync deadline. The paper's position: such governors compose with
+D-VSync, which "gives a bigger time window for frame execution". This
+experiment quantifies that claim: the same prediction-guided governor runs
+with a 1-period budget under VSync and with the pre-render window under
+D-VSync, reporting drops, mean clock level, and dynamic-energy savings.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import DVSyncConfig
+from repro.display.device import PIXEL_5
+from repro.experiments.base import ExperimentResult, mean
+from repro.experiments.runner import run_driver
+from repro.extensions.dvfs import FrequencyGovernor, GovernedDriver
+from repro.metrics.fdps import fdps
+from repro.units import ms
+from repro.workloads.distributions import SCATTERED, params_for_target_fdps
+from repro.workloads.drivers import AnimationDriver
+
+
+def _base_driver(repetition: int, bursts: int) -> AnimationDriver:
+    params = params_for_target_fdps(1.5, PIXEL_5.refresh_hz, profile=SCATTERED)
+    return AnimationDriver(
+        f"dvfs-case#{repetition}",
+        params,
+        duration_ns=ms(400),
+        bursts=bursts,
+        burst_period_ns=ms(600),
+    )
+
+
+def run(runs: int = 3, quick: bool = False) -> ExperimentResult:
+    """Run the governor under both architectures' deadline budgets."""
+    effective_runs = 2 if quick else runs
+    bursts = 8 if quick else 16
+    period = PIXEL_5.vsync_period
+    arms = {
+        # (architecture, governor window in periods)
+        "vsync, no DVFS": ("vsync", None),
+        "vsync + DVFS (1-period window)": ("vsync", 1.0),
+        "dvsync + DVFS (3-period window)": ("dvsync", 3.0),
+    }
+    rows = []
+    results = {}
+    for label, (architecture, window) in arms.items():
+        fdps_values, levels, savings = [], [], []
+        for repetition in range(effective_runs):
+            driver = _base_driver(repetition, bursts)
+            governor = None
+            if window is not None:
+                governor = FrequencyGovernor(window_periods=window, period_ns=period)
+                driver = GovernedDriver(driver, governor)
+            if architecture == "vsync":
+                result = run_driver(driver, PIXEL_5, "vsync", buffer_count=3)
+            else:
+                result = run_driver(
+                    driver, PIXEL_5, "dvsync",
+                    dvsync_config=DVSyncConfig(buffer_count=4),
+                )
+            fdps_values.append(fdps(result))
+            if governor is not None:
+                levels.append(governor.stats.mean_level)
+                savings.append(governor.stats.energy_saving_percent)
+        results[label] = {
+            "fdps": mean(fdps_values),
+            "level": mean(levels) if levels else 1.0,
+            "saving": mean(savings) if savings else 0.0,
+        }
+        rows.append(
+            [label, round(results[label]["fdps"], 2),
+             round(results[label]["level"], 2), round(results[label]["saving"], 1)]
+        )
+    vsync_gov = results["vsync + DVFS (1-period window)"]
+    dvsync_gov = results["dvsync + DVFS (3-period window)"]
+    return ExperimentResult(
+        experiment_id="dvfs",
+        title="DVFS governing composed with D-VSync's larger execution window",
+        headers=["arm", "FDPS", "mean clock level", "dynamic energy saved (%)"],
+        rows=rows,
+        comparisons=[
+            (
+                "D-VSync lets the governor clock lower",
+                "level(dvsync) < level(vsync)",
+                f"{dvsync_gov['level']:.2f} < {vsync_gov['level']:.2f}"
+                if dvsync_gov["level"] < vsync_gov["level"]
+                else "NOT OBSERVED",
+            ),
+            (
+                "extra energy saved by the larger window (pp)",
+                "> 0",
+                round(dvsync_gov["saving"] - vsync_gov["saving"], 1),
+            ),
+            (
+                "drops stay lower than governed VSync",
+                "yes",
+                "yes" if dvsync_gov["fdps"] <= vsync_gov["fdps"] else "no",
+            ),
+        ],
+        notes=(
+            "Execution stretches as 1/f, dynamic energy scales as f² for "
+            "fixed work; a 50 FPS-style down-clock under plain VSync janks "
+            "(§8's critique of Pathania et al.), while D-VSync's window "
+            "absorbs the stretched frames."
+        ),
+    )

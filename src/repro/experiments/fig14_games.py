@@ -1,0 +1,80 @@
+"""Figure 14: simulation of 15 mobile games for frame-drop reduction.
+
+Replays synthesized CPU+GPU runtime traces (the paper's own methodology)
+through the schedulers at each game's rendering rate. Paper averages:
+0.79 → 0.25 (4 buf, −68.4 %) and −87.3 % at 5 buffers.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import DVSyncConfig
+from repro.display.device import MATE_60_PRO
+from repro.experiments.base import ExperimentResult, mean, pct_reduction
+from repro.experiments.runner import run_driver
+from repro.metrics.fdps import fdps
+from repro.workloads.drivers import TraceDriver
+from repro.workloads.games import GAME_SPECS, record_game_trace
+
+PAPER_VSYNC = 0.79
+PAPER_DVSYNC_4 = 0.25
+PAPER_REDUCTION_4 = 68.4
+PAPER_REDUCTION_5 = 87.3
+
+
+def run(runs: int = 3, quick: bool = False) -> ExperimentResult:
+    """Regenerate the Fig 14 bars."""
+    specs = GAME_SPECS[::3] if quick else GAME_SPECS
+    effective_runs = min(runs, 2) if quick else runs
+    rows = []
+    averages = {"vsync": [], 4: [], 5: []}
+    for spec in specs:
+        device = MATE_60_PRO.at_refresh(spec.refresh_hz)
+        values = {"vsync": [], 4: [], 5: []}
+        for repetition in range(effective_runs):
+            trace = record_game_trace(spec, repetition)
+            values["vsync"].append(
+                fdps(run_driver(TraceDriver(trace), device, "vsync", buffer_count=3))
+            )
+            for buffers in (4, 5):
+                trace = record_game_trace(spec, repetition)
+                values[buffers].append(
+                    fdps(
+                        run_driver(
+                            TraceDriver(trace),
+                            device,
+                            "dvsync",
+                            dvsync_config=DVSyncConfig(buffer_count=buffers),
+                        )
+                    )
+                )
+        row = [f"{spec.name}, {spec.refresh_hz}Hz"]
+        for key in ("vsync", 4, 5):
+            value = mean(values[key])
+            averages[key].append(value)
+            row.append(round(value, 2))
+        rows.append(row)
+    avg = {key: mean(vals) for key, vals in averages.items()}
+    return ExperimentResult(
+        experiment_id="fig14",
+        title="Game-trace simulation: FDPS under VSync 3 bufs vs D-VSync 4/5 bufs",
+        headers=["game", "vsync 3buf", "dvsync 4buf", "dvsync 5buf"],
+        rows=rows,
+        comparisons=[
+            ("avg FDPS, VSync", PAPER_VSYNC, round(avg["vsync"], 2)),
+            ("avg FDPS, D-VSync 4 bufs", PAPER_DVSYNC_4, round(avg[4], 2)),
+            (
+                "FDPS reduction, 4 bufs (%)",
+                PAPER_REDUCTION_4,
+                round(pct_reduction(avg["vsync"], avg[4]), 1),
+            ),
+            (
+                "FDPS reduction, 5 bufs (%)",
+                PAPER_REDUCTION_5,
+                round(pct_reduction(avg["vsync"], avg[5]), 1),
+            ),
+        ],
+        notes=(
+            "Games use custom engines bypassing the OS framework; this is the "
+            "decoupling-aware channel applied to recorded traces, as in §6.1."
+        ),
+    )

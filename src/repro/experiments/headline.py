@@ -1,0 +1,60 @@
+"""The paper's headline averages (§1, §6).
+
+Aggregates the figure experiments into the three numbers the abstract leads
+with: frame drops −72.7 %, user-perceptible stutters −72.3 %, rendering
+latency −31.1 %.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    fig11_apps_fdps,
+    fig12_oscases_vulkan,
+    fig13_oscases_gles,
+    fig14_games,
+    fig15_latency,
+    tab02_stutters,
+)
+from repro.experiments.base import ExperimentResult, mean
+
+PAPER_FD_REDUCTION = 72.7
+PAPER_STUTTER_REDUCTION = 72.3
+PAPER_LATENCY_REDUCTION = 31.1
+
+
+def run(runs: int = 2, quick: bool = False) -> ExperimentResult:
+    """Regenerate the headline averages from the underlying experiments."""
+    fig11 = fig11_apps_fdps.run(runs=runs, quick=quick)
+    fig12 = fig12_oscases_vulkan.run(runs=runs, quick=quick)
+    fig13 = fig13_oscases_gles.run(runs=runs, quick=quick)
+    fig14 = fig14_games.run(runs=runs, quick=quick)
+    fig15 = fig15_latency.run(runs=runs, quick=quick)
+    tab02 = tab02_stutters.run(runs=runs, quick=quick)
+
+    fd_reductions = [
+        fig11.measured("FDPS reduction, 4 bufs (%)"),
+        fig12.measured("FDPS reduction (%)"),
+        fig13.measured("Mate 40 Pro FDPS reduction (%)"),
+        fig13.measured("Mate 60 Pro FDPS reduction (%)"),
+        fig14.measured("FDPS reduction, 4 bufs (%)"),
+    ]
+    fd_reduction = mean(fd_reductions)
+    stutter_reduction = tab02.measured("avg stutter reduction (%)")
+    latency_reduction = fig15.measured("avg latency reduction (%)")
+
+    rows = [
+        ["frame drops (avg reduction %)", PAPER_FD_REDUCTION, round(fd_reduction, 1)],
+        ["user-perceptible stutters (%)", PAPER_STUTTER_REDUCTION, round(stutter_reduction, 1)],
+        ["rendering latency (%)", PAPER_LATENCY_REDUCTION, round(latency_reduction, 1)],
+    ]
+    return ExperimentResult(
+        experiment_id="headline",
+        title="Headline averages across all evaluations",
+        headers=["metric", "paper", "measured"],
+        rows=rows,
+        comparisons=[
+            ("frame-drop reduction (%)", PAPER_FD_REDUCTION, round(fd_reduction, 1)),
+            ("stutter reduction (%)", PAPER_STUTTER_REDUCTION, round(stutter_reduction, 1)),
+            ("latency reduction (%)", PAPER_LATENCY_REDUCTION, round(latency_reduction, 1)),
+        ],
+    )

@@ -1,0 +1,85 @@
+"""Experiment registry: every paper artifact, addressable by id.
+
+``run_experiment("fig11")`` regenerates one artifact;
+``run_all()`` produces the full paper-vs-measured report that EXPERIMENTS.md
+records.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.experiments import (
+    ablations,
+    appendix_a,
+    chromium_case,
+    costs,
+    dvfs_case,
+    fig01_cdf,
+    fig03_pixels,
+    fig04_features,
+    fig05_fd_summary,
+    fig06_frame_distribution,
+    fig07_touch_latency,
+    fig09_scope,
+    fig10_patterns,
+    fig11_apps_fdps,
+    fig12_oscases_vulkan,
+    fig13_oscases_gles,
+    fig14_games,
+    fig15_latency,
+    fig16_map_case,
+    headline,
+    power_case,
+    tab01_platforms,
+    tab02_stutters,
+)
+from repro.experiments.base import ExperimentResult
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig01": fig01_cdf.run,
+    "fig03": fig03_pixels.run,
+    "fig04": fig04_features.run,
+    "fig05": fig05_fd_summary.run,
+    "fig06": fig06_frame_distribution.run,
+    "fig07": fig07_touch_latency.run,
+    "fig09": fig09_scope.run,
+    "fig10": fig10_patterns.run,
+    "fig11": fig11_apps_fdps.run,
+    "fig12": fig12_oscases_vulkan.run,
+    "fig13": fig13_oscases_gles.run,
+    "fig14": fig14_games.run,
+    "fig15": fig15_latency.run,
+    "fig16": fig16_map_case.run,
+    "tab01": tab01_platforms.run,
+    "tab02": tab02_stutters.run,
+    "cost": costs.run,
+    "power": power_case.run,
+    "chromium": chromium_case.run,
+    "appendix": appendix_a.run,
+    "dvfs": dvfs_case.run,
+    "ablations": ablations.run,
+    "headline": headline.run,
+}
+
+
+def run_experiment(experiment_id: str, runs: int = 3, quick: bool = False) -> ExperimentResult:
+    """Regenerate one paper artifact by id."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ReproError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(runs=runs, quick=quick)
+
+
+def run_all(runs: int = 3, quick: bool = False, skip: set[str] | None = None) -> list[ExperimentResult]:
+    """Regenerate every artifact (headline last, since it reruns others)."""
+    skip = skip or set()
+    order = [key for key in EXPERIMENTS if key not in skip and key != "headline"]
+    results = [run_experiment(key, runs=runs, quick=quick) for key in order]
+    if "headline" not in skip:
+        results.append(run_experiment("headline", runs=runs, quick=quick))
+    return results

@@ -1,0 +1,111 @@
+"""Shared harness for running scenarios under both architectures.
+
+Experiments describe *what* to run (scenario, device, buffer configuration);
+this module owns the mechanics: building seeded drivers, instantiating the
+right scheduler, averaging over repetitions the way the paper averages over
+five runs (Appendix A.2), and pairing VSync/D-VSync arms over the same
+workloads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+from typing import Callable
+
+from repro.core.config import DVSyncConfig
+from repro.core.dvsync import DVSyncScheduler
+from repro.display.device import DeviceProfile
+from repro.metrics.fdps import fdps
+from repro.metrics.latency import latency_summary
+from repro.pipeline.driver import ScenarioDriver
+from repro.pipeline.scheduler_base import RunResult
+from repro.vsync.scheduler import VSyncScheduler
+from repro.workloads.scenarios import Scenario
+
+DEFAULT_RUNS = 5  # the paper averages five runs to mitigate fluctuations
+
+
+def run_driver(
+    driver: ScenarioDriver,
+    device: DeviceProfile,
+    architecture: str = "vsync",
+    buffer_count: int | None = None,
+    dvsync_config: DVSyncConfig | None = None,
+) -> RunResult:
+    """Run one driver to completion under the requested architecture."""
+    if architecture == "vsync":
+        scheduler = VSyncScheduler(driver, device, buffer_count=buffer_count)
+    elif architecture == "dvsync":
+        config = dvsync_config or DVSyncConfig(buffer_count=buffer_count or 4)
+        scheduler = DVSyncScheduler(driver, device, config=config)
+    else:
+        raise ValueError(f"unknown architecture {architecture!r}")
+    return scheduler.run()
+
+
+@dataclasses.dataclass
+class ScenarioComparison:
+    """Paired VSync / D-VSync measurements for one scenario."""
+
+    scenario: str
+    vsync_fdps: float
+    dvsync_fdps: float
+    vsync_latency_ms: float
+    dvsync_latency_ms: float
+    vsync_results: list[RunResult]
+    dvsync_results: list[RunResult]
+
+    @property
+    def fdps_reduction_percent(self) -> float:
+        if self.vsync_fdps <= 0:
+            return 0.0
+        return (self.vsync_fdps - self.dvsync_fdps) / self.vsync_fdps * 100.0
+
+    @property
+    def latency_reduction_percent(self) -> float:
+        if self.vsync_latency_ms <= 0:
+            return 0.0
+        return (
+            (self.vsync_latency_ms - self.dvsync_latency_ms)
+            / self.vsync_latency_ms
+            * 100.0
+        )
+
+
+def compare_scenario(
+    scenario: Scenario,
+    device: DeviceProfile,
+    vsync_buffers: int | None = None,
+    dvsync_config: DVSyncConfig | None = None,
+    runs: int = DEFAULT_RUNS,
+    driver_factory: Callable[[int], ScenarioDriver] | None = None,
+) -> ScenarioComparison:
+    """Run a scenario under both architectures, averaged over *runs* seeds.
+
+    Each repetition builds two drivers from the same seed, so both arms see
+    the exact same series of workloads (Fig 10's premise).
+    """
+    factory = driver_factory or scenario.build_driver
+    vsync_results: list[RunResult] = []
+    dvsync_results: list[RunResult] = []
+    for run in range(runs):
+        vsync_results.append(
+            run_driver(factory(run), device, "vsync", buffer_count=vsync_buffers)
+        )
+        dvsync_results.append(
+            run_driver(factory(run), device, "dvsync", dvsync_config=dvsync_config)
+        )
+    return ScenarioComparison(
+        scenario=scenario.name,
+        vsync_fdps=statistics.fmean(fdps(r) for r in vsync_results),
+        dvsync_fdps=statistics.fmean(fdps(r) for r in dvsync_results),
+        vsync_latency_ms=statistics.fmean(
+            latency_summary(r).mean_ms for r in vsync_results
+        ),
+        dvsync_latency_ms=statistics.fmean(
+            latency_summary(r).mean_ms for r in dvsync_results
+        ),
+        vsync_results=vsync_results,
+        dvsync_results=dvsync_results,
+    )

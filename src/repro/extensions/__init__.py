@@ -1,0 +1,15 @@
+"""Extensions beyond the paper's core contribution.
+
+Composable techniques from the paper's related-work section (§8) that the
+authors call orthogonal-but-applicable to D-VSync — currently the
+prediction-guided DVFS governor.
+"""
+
+from repro.extensions.dvfs import (
+    DEFAULT_LEVELS,
+    FrequencyGovernor,
+    GovernedDriver,
+    GovernorStats,
+)
+
+__all__ = ["DEFAULT_LEVELS", "FrequencyGovernor", "GovernedDriver", "GovernorStats"]

@@ -1,0 +1,136 @@
+"""Prediction-guided DVFS governing (§8's orthogonal energy work).
+
+Lo et al. and Choi et al. estimate each frame's execution time and lower the
+CPU/GPU frequency so the frame finishes *just before* its VSync deadline,
+trading slack for energy. The paper argues these governors compose with
+D-VSync, which hands them a bigger time window: with a pre-render window of W
+periods the governor can clock lower than a 1-period deadline allows, for the
+same (or fewer) drops.
+
+The model here is the standard DVFS first-order approximation: execution time
+scales as ``1/f`` and dynamic energy for fixed work scales as ``f²`` (through
+the voltage/frequency proportionality). :class:`GovernedDriver` wraps any
+scenario driver, picks a frequency level per frame from an EWMA estimate of
+recent frame cost at maximum frequency, stretches the frame's stage times
+accordingly, and keeps an energy ledger for comparison.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+from repro.pipeline.driver import ScenarioDriver
+from repro.pipeline.frame import FrameCategory, FrameWorkload
+
+DEFAULT_LEVELS = (0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+@dataclasses.dataclass
+class GovernorStats:
+    """What the governor did over one run."""
+
+    frames: int = 0
+    level_sum: float = 0.0
+    energy_index: float = 0.0  # sum(work_at_fmax * level^2), arbitrary units
+    baseline_energy_index: float = 0.0  # the same work always at fmax
+
+    @property
+    def mean_level(self) -> float:
+        return self.level_sum / self.frames if self.frames else 1.0
+
+    @property
+    def energy_saving_percent(self) -> float:
+        if self.baseline_energy_index <= 0:
+            return 0.0
+        return (1 - self.energy_index / self.baseline_energy_index) * 100
+
+
+class FrequencyGovernor:
+    """Chooses a frequency level so the frame fits its deadline window."""
+
+    def __init__(
+        self,
+        window_periods: float,
+        period_ns: int,
+        levels: tuple[float, ...] = DEFAULT_LEVELS,
+        margin: float = 1.2,
+        ewma_alpha: float = 0.3,
+    ) -> None:
+        if window_periods <= 0:
+            raise ConfigurationError("window must be positive")
+        if not levels or any(not 0 < level <= 1 for level in levels):
+            raise ConfigurationError("levels must be fractions of fmax in (0, 1]")
+        if margin < 1:
+            raise ConfigurationError("margin must be >= 1")
+        self.window_ns = round(window_periods * period_ns)
+        self.levels = tuple(sorted(levels))
+        self.margin = margin
+        self.ewma_alpha = ewma_alpha
+        self._estimate_ns = period_ns // 2
+        self.stats = GovernorStats()
+
+    def choose_level(self) -> float:
+        """Lowest level whose stretched estimate still fits the window."""
+        budget = self.window_ns / self.margin
+        for level in self.levels:
+            if self._estimate_ns / level <= budget:
+                return level
+        return self.levels[-1]
+
+    def observe(self, fmax_cost_ns: int, level: float) -> None:
+        """Account one executed frame and update the cost estimate."""
+        self._estimate_ns = round(
+            (1 - self.ewma_alpha) * self._estimate_ns + self.ewma_alpha * fmax_cost_ns
+        )
+        self.stats.frames += 1
+        self.stats.level_sum += level
+        self.stats.energy_index += fmax_cost_ns * level**2
+        self.stats.baseline_energy_index += fmax_cost_ns
+
+
+class GovernedDriver(ScenarioDriver):
+    """Wraps a driver, stretching each frame per the governor's level.
+
+    The wrapped driver's workloads are taken as costs at maximum frequency;
+    the governed workload divides every stage by the chosen level (longer
+    wall time, quadratically less dynamic energy).
+    """
+
+    def __init__(self, inner: ScenarioDriver, governor: FrequencyGovernor) -> None:
+        self.inner = inner
+        self.governor = governor
+        self.name = f"{inner.name}+dvfs"
+
+    def begin(self, start_time: int) -> None:
+        super().begin(start_time)
+        self.inner.begin(start_time)
+
+    def wants_frame(self, content_timestamp: int, now: int) -> bool:
+        return self.inner.wants_frame(content_timestamp, now)
+
+    def finished(self, now: int) -> bool:
+        return self.inner.finished(now)
+
+    def frame_category(self, frame_index: int) -> FrameCategory:
+        return self.inner.frame_category(frame_index)
+
+    def make_workload(self, frame_index: int, content_timestamp: int) -> FrameWorkload:
+        workload = self.inner.make_workload(frame_index, content_timestamp)
+        level = self.governor.choose_level()
+        self.governor.observe(workload.total_ns, level)
+        return FrameWorkload(
+            ui_ns=round(workload.ui_ns / level),
+            render_ns=round(workload.render_ns / level),
+            gpu_ns=round(workload.gpu_ns / level),
+            category=workload.category,
+        )
+
+    def observe_input(self, up_to: int):
+        return self.inner.observe_input(up_to)
+
+    def true_value(self, at: int):
+        return self.inner.true_value(at)
+
+    def animation_speed(self, at: int) -> float:
+        return self.inner.animation_speed(at)

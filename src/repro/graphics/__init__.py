@@ -1,0 +1,7 @@
+"""Graphics substrate: frame buffers, the BufferQueue, and fences."""
+
+from repro.graphics.buffer import BufferState, FrameBuffer
+from repro.graphics.bufferqueue import BufferQueue
+from repro.graphics.fence import Fence
+
+__all__ = ["BufferState", "FrameBuffer", "BufferQueue", "Fence"]

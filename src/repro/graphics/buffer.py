@@ -1,0 +1,100 @@
+"""Frame buffers and their state machine.
+
+A :class:`FrameBuffer` models one slot of graphics memory cycling through the
+classic BufferQueue states:
+
+``FREE`` → (producer dequeues) → ``DEQUEUED`` → (producer queues rendered
+content) → ``QUEUED`` → (compositor latches at VSync) → ``ACQUIRED`` →
+(next latch replaces it) → ``FREE``.
+
+Buffers carry the metadata D-VSync needs: the content timestamp the frame was
+rendered for, and — for the LTPO co-design (§5.3) — the rendering rate bound
+to the buffer, which controls how long the frame stays on screen and when the
+panel may switch refresh rates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.errors import BufferQueueError
+
+
+class BufferState(enum.Enum):
+    """Lifecycle states of a frame buffer in the queue."""
+
+    FREE = "free"
+    DEQUEUED = "dequeued"
+    QUEUED = "queued"
+    ACQUIRED = "acquired"
+
+
+@dataclasses.dataclass
+class FrameBuffer:
+    """One slot of frame-buffer memory plus its per-frame metadata.
+
+    Attributes:
+        slot: Stable identity of the buffer within its queue.
+        size_bytes: Graphics-memory footprint (full-screen RGBA8888 is ~10 MB
+            on Pixel 5 and ~15 MB on the Mate phones, §6.4).
+        state: Current lifecycle state.
+        frame_id: Id of the frame currently stored, or None when FREE.
+        content_timestamp: Timestamp (ns) the stored content represents.
+        render_rate_hz: Refresh rate the frame was produced for (LTPO).
+        queued_at: Simulation time the buffer entered QUEUED state.
+    """
+
+    slot: int
+    size_bytes: int
+    state: BufferState = BufferState.FREE
+    frame_id: int | None = None
+    content_timestamp: int | None = None
+    render_rate_hz: int | None = None
+    queued_at: int | None = None
+
+    def _transition(self, expected: BufferState, target: BufferState) -> None:
+        if self.state is not expected:
+            raise BufferQueueError(
+                f"buffer slot {self.slot}: illegal transition {self.state.value} -> "
+                f"{target.value} (expected to be {expected.value})"
+            )
+        self.state = target
+
+    def mark_dequeued(self) -> None:
+        """FREE → DEQUEUED: a producer starts rendering into this buffer."""
+        self._transition(BufferState.FREE, BufferState.DEQUEUED)
+        self.frame_id = None
+        self.content_timestamp = None
+        self.render_rate_hz = None
+        self.queued_at = None
+
+    def mark_queued(
+        self, frame_id: int, content_timestamp: int, render_rate_hz: int, now: int
+    ) -> None:
+        """DEQUEUED → QUEUED: rendered content is ready for display."""
+        self._transition(BufferState.DEQUEUED, BufferState.QUEUED)
+        self.frame_id = frame_id
+        self.content_timestamp = content_timestamp
+        self.render_rate_hz = render_rate_hz
+        self.queued_at = now
+
+    def mark_acquired(self) -> None:
+        """QUEUED → ACQUIRED: the compositor latched this buffer for scanout."""
+        self._transition(BufferState.QUEUED, BufferState.ACQUIRED)
+
+    def mark_free(self) -> None:
+        """ACQUIRED or DEQUEUED → FREE: the buffer returns to the pool.
+
+        DEQUEUED → FREE happens when a producer cancels an in-flight frame
+        (e.g. the runtime controller switches architectures mid-animation).
+        """
+        if self.state not in (BufferState.ACQUIRED, BufferState.DEQUEUED):
+            raise BufferQueueError(
+                f"buffer slot {self.slot}: cannot free from state {self.state.value}"
+            )
+        self.state = BufferState.FREE
+        self.frame_id = None
+        self.content_timestamp = None
+        self.render_rate_hz = None
+        self.queued_at = None

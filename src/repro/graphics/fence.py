@@ -1,0 +1,50 @@
+"""Synchronization fences.
+
+A :class:`Fence` is a one-shot completion signal, the simulation counterpart
+of Android's ``SyncFence``: GPU work signals it, and waiters registered before
+the signal run exactly once when it fires. Used for GPU-completion ordering in
+the game traces (CPU and GPU stages overlap) and for present fences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import PipelineError
+
+
+class Fence:
+    """One-shot signalled/unsignalled synchronization primitive."""
+
+    def __init__(self, name: str = "fence") -> None:
+        self.name = name
+        self._signalled_at: int | None = None
+        self._waiters: list[Callable[[int], None]] = []
+
+    @property
+    def signalled(self) -> bool:
+        """True once :meth:`signal` has been called."""
+        return self._signalled_at is not None
+
+    @property
+    def signal_time(self) -> int:
+        """Time the fence fired; raises if it has not fired yet."""
+        if self._signalled_at is None:
+            raise PipelineError(f"fence {self.name!r} has not been signalled")
+        return self._signalled_at
+
+    def signal(self, now: int) -> None:
+        """Fire the fence at time *now*, running all registered waiters."""
+        if self._signalled_at is not None:
+            raise PipelineError(f"fence {self.name!r} signalled twice")
+        self._signalled_at = now
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter(now)
+
+    def on_signal(self, callback: Callable[[int], None]) -> None:
+        """Run *callback* when the fence fires (immediately if already fired)."""
+        if self._signalled_at is not None:
+            callback(self._signalled_at)
+        else:
+            self._waiters.append(callback)

@@ -1,0 +1,63 @@
+"""Metrics: everything the paper's evaluation section reports."""
+
+from repro.metrics.fdps import drop_fraction, effective_fps, fdps, reduction_percent
+from repro.metrics.frames import (
+    FrameDistribution,
+    FrameOutcome,
+    classify_frame,
+    frame_distribution,
+)
+from repro.metrics.latency import (
+    LatencySummary,
+    content_staleness_ms,
+    frame_latencies_ms,
+    latency_summary,
+    queue_wait_ms,
+    touch_lag_pixels,
+)
+from repro.metrics.memory import MemoryFootprint, extra_memory_mb, queue_footprint
+from repro.metrics.power import (
+    PowerBreakdown,
+    instructions_per_frame,
+    power_breakdown,
+    power_increase_percent,
+    scheduler_overhead_per_frame_us,
+)
+from repro.metrics.report import format_table, paper_vs_measured
+from repro.metrics.stutter import (
+    DropEpisode,
+    count_perceived_stutters,
+    drop_episodes,
+    longest_freeze_ms,
+)
+
+__all__ = [
+    "drop_fraction",
+    "effective_fps",
+    "fdps",
+    "reduction_percent",
+    "FrameDistribution",
+    "FrameOutcome",
+    "classify_frame",
+    "frame_distribution",
+    "LatencySummary",
+    "content_staleness_ms",
+    "frame_latencies_ms",
+    "latency_summary",
+    "queue_wait_ms",
+    "touch_lag_pixels",
+    "MemoryFootprint",
+    "extra_memory_mb",
+    "queue_footprint",
+    "PowerBreakdown",
+    "instructions_per_frame",
+    "power_breakdown",
+    "power_increase_percent",
+    "scheduler_overhead_per_frame_us",
+    "format_table",
+    "paper_vs_measured",
+    "DropEpisode",
+    "count_perceived_stutters",
+    "drop_episodes",
+    "longest_freeze_ms",
+]

@@ -1,0 +1,43 @@
+"""Frame drops per second (FDPS) — the industrial headline metric (§3.2).
+
+FDPS divides the janks observed during active display time by that time's
+length. The paper's testing framework reports it per use case; Figures 11–14
+are FDPS bar charts.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.scheduler_base import RunResult
+from repro.units import to_seconds
+
+
+def fdps(result: RunResult) -> float:
+    """Frame drops per second of active display time for one run."""
+    span = result.display_span_ns
+    if span <= 0:
+        return 0.0
+    return len(result.effective_drops) / to_seconds(span)
+
+
+def drop_fraction(result: RunResult) -> float:
+    """Janks as a fraction of total display slots (Fig 5's FD %)."""
+    drops = len(result.effective_drops)
+    slots = drops + len(result.presents)
+    if slots == 0:
+        return 0.0
+    return drops / slots
+
+
+def effective_fps(result: RunResult) -> float:
+    """Distinct frames actually shown per second (the 95–105 FPS of §3.2)."""
+    span = result.display_span_ns
+    if span <= 0:
+        return 0.0
+    return len(result.presents) / to_seconds(span)
+
+
+def reduction_percent(baseline: float, improved: float) -> float:
+    """Percentage reduction from *baseline* to *improved* (0 when baseline=0)."""
+    if baseline <= 0:
+        return 0.0
+    return (baseline - improved) / baseline * 100.0

@@ -1,0 +1,77 @@
+"""Per-frame outcome classification (Fig 6).
+
+Every display slot in a run ends one of three ways:
+
+- **direct composition** — the frame's buffer was latched at the first VSync
+  edge after it was queued (no waiting);
+- **buffer stuffing** — the buffer sat in the queue for one or more extra
+  periods behind older buffers (the latency tax of §3.3);
+- **frame drop** — the edge had no new buffer and the previous frame was
+  shown again.
+
+Under D-VSync, stuffing is *intentional* accumulation and its wait is hidden
+by the D-Timestamp; the classification still reports it so experiments can
+show where the queue time went.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.pipeline.frame import FrameRecord
+from repro.pipeline.scheduler_base import RunResult
+
+
+class FrameOutcome(enum.Enum):
+    """How a display slot was filled."""
+
+    DIRECT = "direct"
+    STUFFED = "stuffed"
+    DROP = "drop"
+
+
+@dataclasses.dataclass(frozen=True)
+class FrameDistribution:
+    """Fig 6's per-app frame distribution, as fractions of display slots."""
+
+    direct: int
+    stuffed: int
+    drops: int
+
+    @property
+    def total(self) -> int:
+        return self.direct + self.stuffed + self.drops
+
+    def fraction(self, outcome: FrameOutcome) -> float:
+        """Share of display slots with the given outcome."""
+        if self.total == 0:
+            return 0.0
+        counts = {
+            FrameOutcome.DIRECT: self.direct,
+            FrameOutcome.STUFFED: self.stuffed,
+            FrameOutcome.DROP: self.drops,
+        }
+        return counts[outcome] / self.total
+
+
+def classify_frame(frame: FrameRecord, period_ns: int) -> FrameOutcome | None:
+    """Classify one presented frame; None if it never displayed."""
+    if not frame.presented or frame.latch_time is None or frame.queued_time is None:
+        return None
+    if frame.queue_wait_ns < period_ns:
+        return FrameOutcome.DIRECT
+    return FrameOutcome.STUFFED
+
+
+def frame_distribution(result: RunResult) -> FrameDistribution:
+    """Compute the Fig 6 distribution for one run."""
+    period = result.device.vsync_period
+    direct = stuffed = 0
+    for frame in result.presented_frames:
+        outcome = classify_frame(frame, period)
+        if outcome is FrameOutcome.DIRECT:
+            direct += 1
+        elif outcome is FrameOutcome.STUFFED:
+            stuffed += 1
+    return FrameDistribution(direct=direct, stuffed=stuffed, drops=len(result.effective_drops))

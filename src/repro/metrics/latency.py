@@ -1,0 +1,92 @@
+"""Rendering-latency metrics (§3.3, §6.3, Fig 15).
+
+The paper's measurement script computes, for every displayed frame, the
+duration from the frame's execution anchor — the VSync-app tick under VSync,
+the D-Timestamp under D-VSync — to its present fence, across buffer-stuffing
+frames, direct-composition frames, and post-drop frames alike. This module
+reproduces that script over :class:`RunResult` records and adds the
+content-staleness view (how old the displayed content is), which quantifies
+what the user's finger perceives (Fig 7).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+
+from repro.pipeline.scheduler_base import RunResult
+from repro.units import to_ms
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencySummary:
+    """Distribution summary of per-frame rendering latency (ms)."""
+
+    mean_ms: float
+    median_ms: float
+    p95_ms: float
+    max_ms: float
+    samples: int
+
+    @staticmethod
+    def from_values(values_ms: list[float]) -> "LatencySummary":
+        if not values_ms:
+            return LatencySummary(0.0, 0.0, 0.0, 0.0, 0)
+        ordered = sorted(values_ms)
+        n = len(ordered)
+        return LatencySummary(
+            mean_ms=statistics.fmean(ordered),
+            median_ms=ordered[n // 2],
+            p95_ms=ordered[min(n - 1, round(0.95 * n))],
+            max_ms=ordered[-1],
+            samples=n,
+        )
+
+
+def frame_latencies_ms(result: RunResult) -> list[float]:
+    """Per-frame §6.3 rendering latency, in milliseconds."""
+    return [to_ms(f.latency_ns) for f in result.presented_frames]
+
+
+def latency_summary(result: RunResult) -> LatencySummary:
+    """Summary of the §6.3 rendering latency for one run."""
+    return LatencySummary.from_values(frame_latencies_ms(result))
+
+
+def content_staleness_ms(result: RunResult) -> list[float]:
+    """Age of the displayed content at each present (ms).
+
+    ``present − content_timestamp``: how far behind "now" the pixels are.
+    Under D-VSync this stays at the pipeline depth regardless of queue
+    residence, because DTV future-dates the content.
+    """
+    values = []
+    for frame in result.presented_frames:
+        assert frame.present_time is not None
+        values.append(to_ms(frame.present_time - frame.content_timestamp))
+    return values
+
+
+def queue_wait_ms(result: RunResult) -> list[float]:
+    """Per-frame buffer-queue residence time (the stuffing wait), ms."""
+    return [to_ms(f.queue_wait_ns) for f in result.presented_frames]
+
+
+def touch_lag_pixels(
+    result: RunResult, true_value_at, panel_height_px: int
+) -> list[float]:
+    """Fig 7's ball-behind-finger lag, in pixels.
+
+    For each presented frame, the lag is the distance between where the
+    content *was drawn* (the frame's recorded content value, in panel
+    heights) and where the ground truth — ``true_value_at(present_time)``,
+    usually the driver's ``true_value`` — sits when the frame is actually on
+    screen.
+    """
+    lags = []
+    for frame in result.presented_frames:
+        if frame.content_value is None or frame.present_time is None:
+            continue
+        actual = true_value_at(frame.present_time)
+        lags.append(abs(actual - frame.content_value) * panel_height_px)
+    return lags

@@ -1,0 +1,55 @@
+"""Graphics-memory accounting (§6.4).
+
+D-VSync's only material memory cost is the enlarged buffer queue: a
+full-screen RGBA8888 buffer is ~10 MB on Pixel 5 and ~15 MB on the Mate
+phones, so a 4-buffer D-VSync queue costs one extra buffer per app over
+Android's triple buffering — and nothing over OpenHarmony's 4-buffer default.
+The FPE/DTV/API bookkeeping itself is under 10 KB.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.display.device import DeviceProfile
+
+# The scheduler module's own state (§6.4: "less than 10 KB").
+MODULE_STATE_BYTES = 8 * 1024
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryFootprint:
+    """Graphics-memory cost of one rendering configuration."""
+
+    device: str
+    buffer_count: int
+    buffer_bytes: int
+
+    @property
+    def queue_bytes(self) -> int:
+        return self.buffer_count * self.buffer_bytes
+
+    @property
+    def queue_mb(self) -> float:
+        return self.queue_bytes / (1024 * 1024)
+
+
+def queue_footprint(device: DeviceProfile, buffer_count: int) -> MemoryFootprint:
+    """Memory pinned by a buffer queue of *buffer_count* slots on *device*."""
+    return MemoryFootprint(
+        device=device.name,
+        buffer_count=buffer_count,
+        buffer_bytes=device.framebuffer_bytes,
+    )
+
+
+def extra_memory_mb(device: DeviceProfile, dvsync_buffers: int) -> float:
+    """Per-app memory D-VSync adds over the device's stock queue (§6.4).
+
+    Positive on Android (stock triple buffering); zero on the Mate phones
+    when D-VSync uses the render service's existing 4 buffers.
+    """
+    stock = queue_footprint(device, device.default_buffer_count)
+    dvsync = queue_footprint(device, dvsync_buffers)
+    extra_buffers_mb = max(0.0, dvsync.queue_mb - stock.queue_mb)
+    return extra_buffers_mb + MODULE_STATE_BYTES / (1024 * 1024)

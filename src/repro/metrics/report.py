@@ -1,0 +1,41 @@
+"""Plain-text report tables for the experiment harness.
+
+Every experiment prints the same rows/series its paper figure or table
+reports; these helpers keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned monospace table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        line = "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        lines.append(line.rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def paper_vs_measured(
+    title: str,
+    rows: Sequence[tuple[str, object, object]],
+    measured_label: str = "measured",
+) -> str:
+    """Standard paper-vs-measured block used in EXPERIMENTS.md and stdout."""
+    table = format_table(
+        ["metric", "paper", measured_label],
+        [(name, paper, measured) for name, paper, measured in rows],
+    )
+    return f"== {title} ==\n{table}"

@@ -1,0 +1,94 @@
+"""Perceptual stutter model (§6.2, Table 2).
+
+The paper's subjective data comes from trained UX evaluators whose reports
+are confirmed with a high-speed camera: a perceived stutter is a repeated
+frame during visible motion. This module encodes that as a deterministic
+perceptual rule applied to the drop log:
+
+- consecutive janks are merged into one *drop episode* (the eye perceives the
+  freeze, not each missed refresh);
+- an episode is *perceived* when the screen stalls long enough to notice:
+  two or more consecutive missed refreshes, or a single miss while the
+  content moves faster than a perceptual speed threshold (slow-motion single
+  drops hide below the human JND, which is also what lets LTPO lower rates).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.pipeline.compositor import DropEvent
+from repro.pipeline.scheduler_base import RunResult
+
+# Motion faster than this (panel heights per second) makes even a single
+# missed refresh visible to a trained evaluator.
+DEFAULT_SPEED_JND = 0.8
+
+
+@dataclasses.dataclass(frozen=True)
+class DropEpisode:
+    """A maximal run of consecutive janks."""
+
+    start_time: int
+    vsync_start: int
+    length: int
+
+    @property
+    def perceivable_length(self) -> int:
+        """Consecutive missed refreshes (the camera-visible freeze length)."""
+        return self.length
+
+
+def drop_episodes(drops: list[DropEvent]) -> list[DropEpisode]:
+    """Merge consecutive-VSync drops into episodes."""
+    episodes: list[DropEpisode] = []
+    run_start: DropEvent | None = None
+    run_length = 0
+    previous_index = None
+    for drop in drops:
+        if previous_index is not None and drop.vsync_index == previous_index + 1:
+            run_length += 1
+        else:
+            if run_start is not None:
+                episodes.append(
+                    DropEpisode(run_start.time, run_start.vsync_index, run_length)
+                )
+            run_start = drop
+            run_length = 1
+        previous_index = drop.vsync_index
+    if run_start is not None:
+        episodes.append(DropEpisode(run_start.time, run_start.vsync_index, run_length))
+    return episodes
+
+
+def count_perceived_stutters(
+    result: RunResult,
+    speed_at: Callable[[int], float] | None = None,
+    speed_jnd: float = DEFAULT_SPEED_JND,
+) -> int:
+    """Number of stutters a trained evaluator would report for one run.
+
+    Args:
+        result: The run to evaluate.
+        speed_at: Motion speed (panel heights/s) at an absolute time; usually
+            the driver's ``animation_speed``. When omitted, single-frame
+            episodes are assumed visible (fast motion).
+        speed_jnd: Speed above which a single missed refresh is noticeable.
+    """
+    stutters = 0
+    for episode in drop_episodes(result.effective_drops):
+        if episode.length >= 2:
+            stutters += 1
+        elif speed_at is None or speed_at(episode.start_time) >= speed_jnd:
+            stutters += 1
+    return stutters
+
+
+def longest_freeze_ms(result: RunResult) -> float:
+    """Longest consecutive freeze in milliseconds (QoE tail indicator)."""
+    episodes = drop_episodes(result.effective_drops)
+    if not episodes:
+        return 0.0
+    period_ms = result.device.vsync_period / 1e6
+    return max(e.length for e in episodes) * period_ms

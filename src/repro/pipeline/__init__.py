@@ -1,0 +1,21 @@
+"""Rendering-pipeline substrate: frames, threads, stages, compositor."""
+
+from repro.pipeline.compositor import Compositor, DropEvent
+from repro.pipeline.driver import ScenarioDriver
+from repro.pipeline.frame import FrameCategory, FrameRecord, FrameWorkload
+from repro.pipeline.scheduler_base import RunResult, SchedulerBase
+from repro.pipeline.stages import RenderPipeline
+from repro.pipeline.threads import SimThread
+
+__all__ = [
+    "Compositor",
+    "DropEvent",
+    "ScenarioDriver",
+    "FrameCategory",
+    "FrameRecord",
+    "FrameWorkload",
+    "RunResult",
+    "SchedulerBase",
+    "RenderPipeline",
+    "SimThread",
+]

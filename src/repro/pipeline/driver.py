@@ -1,0 +1,85 @@
+"""Scenario drivers: the app side of the rendering contract.
+
+A :class:`ScenarioDriver` stands in for "the thing that wants frames" — an
+animation started by a click, a fling, a pinch-zoom, a game scene. It is
+deliberately *time-based*: ``wants_frame(content_timestamp, now)`` asks
+whether a frame should exist for that content time, so the same driver
+produces fewer displayed frames under a janky scheduler (dropped ticks) and
+early-rendered frames under D-VSync (content timestamps run ahead of the wall
+clock) without any driver changes — exactly the decoupling-oblivious channel.
+
+Two times matter:
+
+- ``content_timestamp`` — the moment the frame's content represents;
+- ``now`` — the wall clock at trigger time. Real workloads are *bursts* of
+  animation separated by user inputs (a swipe every half second, §6.1), and
+  an animation cannot be pre-rendered before the input that starts it has
+  physically happened. Drivers enforce that causality through ``now``.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.pipeline.frame import FrameCategory, FrameWorkload
+
+
+class ScenarioDriver(abc.ABC):
+    """Produces per-frame workloads for a scenario.
+
+    Subclasses implement the demand side: whether the scenario still needs a
+    frame at a given content time, what that frame costs, and (optionally)
+    what the frame draws, so correctness experiments can compare drawn content
+    against ground truth.
+    """
+
+    name: str = "scenario"
+
+    def begin(self, start_time: int) -> None:
+        """Called once before the first frame with the run's start time (ns)."""
+        self.start_time = start_time
+
+    @abc.abstractmethod
+    def wants_frame(self, content_timestamp: int, now: int) -> bool:
+        """True if a frame should exist for this content timestamp.
+
+        ``now`` is the wall-clock trigger time: a frame may not be produced
+        for an animation whose starting input has not yet arrived, no matter
+        how far ahead the scheduler would like to render.
+        """
+
+    @abc.abstractmethod
+    def finished(self, now: int) -> bool:
+        """True once the scenario is over at wall-clock time *now*.
+
+        Monotonic: once True it stays True. Between bursts a driver is
+        neither wanting frames nor finished — the screen is simply idle.
+        """
+
+    @abc.abstractmethod
+    def make_workload(self, frame_index: int, content_timestamp: int) -> FrameWorkload:
+        """Return the execution demand of frame *frame_index*."""
+
+    def frame_category(self, frame_index: int) -> FrameCategory:
+        """Category of the upcoming frame, known before its workload is built.
+
+        The FPE consults this *before* triggering: REALTIME frames must take
+        the traditional VSync path (§4.2).
+        """
+        return FrameCategory.DETERMINISTIC_ANIMATION
+
+    def observe_input(self, up_to: int) -> list[tuple[int, float]]:
+        """Input samples (time, value) visible by wall-clock time *up_to*.
+
+        Interactive drivers override this; the IPL fits its curve on these
+        samples. Animation drivers have no input stream.
+        """
+        return []
+
+    def true_value(self, at: int) -> float | None:
+        """Ground-truth content value at time *at* (for correctness metrics)."""
+        return None
+
+    def animation_speed(self, at: int) -> float:
+        """Motion speed in panel-heights/second at content time *at* (LTPO)."""
+        return 1.0

@@ -1,0 +1,223 @@
+"""Common machinery shared by the VSync and D-VSync schedulers.
+
+:class:`SchedulerBase` wires one scenario run together: the simulator, the
+HW-VSync source, software VSync channels, the buffer queue sized for the
+architecture under test, the two-stage render pipeline, the compositor, and
+the HAL. Subclasses implement exactly one thing — the *frame triggering
+policy* — which is the entire difference between VSync and D-VSync (§4.1).
+
+A run produces a :class:`RunResult`: the raw material every metric in
+:mod:`repro.metrics` is computed from.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+
+from repro.display.device import DeviceProfile
+from repro.display.hal import PresentRecord, ScreenHAL
+from repro.display.vsync import HWVsyncSource, VsyncChannel, VsyncOffsets
+from repro.errors import ConfigurationError
+from repro.graphics.bufferqueue import BufferQueue
+from repro.pipeline.compositor import Compositor, DropEvent
+from repro.pipeline.driver import ScenarioDriver
+from repro.pipeline.frame import FrameCategory, FrameRecord
+from repro.pipeline.stages import RenderPipeline
+from repro.sim.engine import Simulator
+
+# Safety valve for run(); generous enough for hours of simulated 120 Hz.
+_MAX_EVENTS = 20_000_000
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Everything observed during one scenario run."""
+
+    scheduler: str
+    scenario: str
+    device: DeviceProfile
+    buffer_count: int
+    frames: list[FrameRecord]
+    drops: list[DropEvent]
+    presents: list[PresentRecord]
+    start_time: int
+    end_time: int
+    ui_busy_ns: int
+    render_busy_ns: int
+    gpu_busy_ns: int
+    scheduler_overhead_ns: int = 0
+    extra: dict = dataclasses.field(default_factory=dict)
+
+    @property
+    def presented_frames(self) -> list[FrameRecord]:
+        """Frames that reached the panel."""
+        return [f for f in self.frames if f.presented]
+
+    @property
+    def first_present_time(self) -> int | None:
+        """Present-fence time of the first displayed frame."""
+        return self.presents[0].present_time if self.presents else None
+
+    @property
+    def last_present_time(self) -> int | None:
+        """Present-fence time of the last displayed frame."""
+        return self.presents[-1].present_time if self.presents else None
+
+    @property
+    def display_span_ns(self) -> int:
+        """Active display span: first present to one period past the last.
+
+        This is the denominator of FDPS, matching the industrial "drops per
+        second of display time" metric (§3.2).
+        """
+        if not self.presents:
+            return 0
+        return (
+            self.presents[-1].present_time
+            - self.presents[0].present_time
+            + self.presents[-1].refresh_period
+        )
+
+    @property
+    def effective_drops(self) -> list[DropEvent]:
+        """Drops within the active display span (pipeline-fill edges excluded).
+
+        The first frame of any run necessarily spends the pipeline depth
+        without content on screen; industrial counters start once content is
+        up, so we exclude janks before the first latch.
+        """
+        first = self.first_present_time
+        if first is None:
+            return list(self.drops)
+        first_latch = self.presents[0].present_time - self.presents[0].refresh_period
+        return [d for d in self.drops if d.time >= first_latch]
+
+
+class SchedulerBase(abc.ABC):
+    """One scenario run under a specific frame-triggering architecture."""
+
+    scheduler_name = "base"
+
+    def __init__(
+        self,
+        driver: ScenarioDriver,
+        device: DeviceProfile,
+        buffer_count: int | None = None,
+        offsets: VsyncOffsets | None = None,
+        sim: Simulator | None = None,
+    ) -> None:
+        self.driver = driver
+        self.device = device
+        self.buffer_count = buffer_count or device.default_buffer_count
+        if self.buffer_count < 2:
+            raise ConfigurationError("buffer_count must be at least 2")
+        self.sim = sim or Simulator()
+        self.offsets = offsets or VsyncOffsets()
+        self.hw_vsync = HWVsyncSource(self.sim, device.vsync_period)
+        self.buffer_queue = BufferQueue(self.buffer_count, device.framebuffer_bytes)
+        self.pipeline = RenderPipeline(self.sim, self.buffer_queue)
+        self.pipeline.render_rate_hz = device.refresh_hz
+        self.hal = ScreenHAL()
+        # The compositor registers on HW-VSync *before* the app channel so
+        # that, on any given edge, buffer consumption (and the jank check)
+        # happens before new frames are triggered — a frame spawned at edge T
+        # must not count as content that edge T was waiting for.
+        self.compositor = Compositor(
+            self.hw_vsync,
+            self.buffer_queue,
+            self.hal,
+            self._frame_by_id,
+            self._expects_content,
+            lambda: self.pipeline.frames_in_flight,
+        )
+        self.app_channel = VsyncChannel(self.hw_vsync, self.offsets.app_offset, "vsync-app")
+        self.frames: list[FrameRecord] = []
+        self._frames_by_id: dict[int, FrameRecord] = {}
+        self._frame_counter = 0
+        self._driver_done = False
+        self._started = False
+        self.scheduler_overhead_ns = 0
+        self.compositor.after_tick.append(self._after_tick)
+
+    # ------------------------------------------------------------------ hooks
+    def _frame_by_id(self, frame_id: int) -> FrameRecord | None:
+        return self._frames_by_id.get(frame_id)
+
+    def _expects_content(self) -> bool:
+        return self.pipeline.frames_in_flight > 0
+
+    def _after_tick(self, timestamp: int, index: int) -> None:
+        if (
+            self._driver_done
+            and self.pipeline.frames_in_flight == 0
+            and self.buffer_queue.queued_depth == 0
+        ):
+            self.hw_vsync.stop()
+
+    # -------------------------------------------------------------- frame ops
+    def _next_frame_index(self) -> int:
+        return self._frame_counter
+
+    def _mark_driver_done(self) -> None:
+        self._driver_done = True
+
+    def _spawn_frame(self, content_timestamp: int, decoupled: bool) -> FrameRecord:
+        """Create frame records and hand the frame to the pipeline."""
+        index = self._frame_counter
+        self._frame_counter += 1
+        workload = self.driver.make_workload(index, content_timestamp)
+        frame = FrameRecord(
+            frame_id=index,
+            workload=workload,
+            trigger_time=self.sim.now,
+            content_timestamp=content_timestamp,
+            decoupled=decoupled,
+        )
+        frame.content_value = self._content_value_for(frame)
+        self.frames.append(frame)
+        self._frames_by_id[index] = frame
+        self.pipeline.start_frame(frame)
+        return frame
+
+    def _content_value_for(self, frame: FrameRecord) -> float | None:
+        """What the app draws in this frame.
+
+        Animations sample their motion curve at the content timestamp (they
+        are deterministic functions of time). Interactions can only use input
+        observed by *now*; the D-VSync scheduler overrides this to route
+        interactive frames through the IPL.
+        """
+        if frame.workload.category is FrameCategory.PREDICTABLE_INTERACTION:
+            samples = self.driver.observe_input(self.sim.now)
+            return samples[-1][1] if samples else None
+        return self.driver.true_value(frame.content_timestamp)
+
+    # --------------------------------------------------------------- run loop
+    @abc.abstractmethod
+    def _kick(self) -> None:
+        """Arm the first frame trigger; subclasses define the policy."""
+
+    def run(self, start_time: int = 0, horizon: int | None = None) -> RunResult:
+        """Execute the scenario to completion and return the run result."""
+        self.driver.begin(start_time)
+        self._started = True
+        self.hw_vsync.start(start_time)
+        self._kick()
+        self.sim.run(until=horizon, max_events=_MAX_EVENTS)
+        self.hw_vsync.stop()
+        return RunResult(
+            scheduler=self.scheduler_name,
+            scenario=self.driver.name,
+            device=self.device,
+            buffer_count=self.buffer_count,
+            frames=self.frames,
+            drops=list(self.compositor.drops),
+            presents=list(self.hal.presents),
+            start_time=start_time,
+            end_time=self.sim.now,
+            ui_busy_ns=self.pipeline.ui_thread.total_busy_ns,
+            render_busy_ns=self.pipeline.render_thread.total_busy_ns,
+            gpu_busy_ns=self.pipeline.gpu.total_busy_ns,
+            scheduler_overhead_ns=self.scheduler_overhead_ns,
+        )

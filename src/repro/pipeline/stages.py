@@ -1,0 +1,170 @@
+"""The two-stage rendering pipeline (Fig 2).
+
+``RenderPipeline`` executes frames through the stage graph of a real
+smartphone rendering service:
+
+1. **UI stage** — the app UI thread handles input and UI logic;
+2. **Render stage** — the render thread (Android) or render service
+   (OpenHarmony/iOS) dequeues a buffer, records GPU commands, and — for
+   workloads that model GPU time separately (games) — waits for the GPU
+   before the buffer is queued for composition.
+
+The pipeline is policy-free: *when* a frame starts is the scheduler's
+decision (VSync tick or D-VSync event). The pipeline faithfully models the
+resource constraints that create frame drops: one UI thread, one render
+thread, and buffer-pool backpressure (``dequeueBuffer`` stalls when every
+slot is in flight — the "buffer stuffing" mechanism of §3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import PipelineError
+from repro.graphics.bufferqueue import BufferQueue
+from repro.pipeline.frame import FrameRecord
+from repro.pipeline.threads import SimThread
+from repro.sim.engine import Simulator
+
+FrameCallback = Callable[[FrameRecord], None]
+
+
+class RenderPipeline:
+    """Executes frames through UI → render → (GPU) → buffer queue."""
+
+    def __init__(
+        self, sim: Simulator, buffer_queue: BufferQueue, auto_render: bool = True
+    ) -> None:
+        self.sim = sim
+        self.buffer_queue = buffer_queue
+        self.ui_thread = SimThread(sim, "ui")
+        self.render_thread = SimThread(sim, "render")
+        self.gpu = SimThread(sim, "gpu")
+        self.on_ui_complete: list[FrameCallback] = []
+        self.on_frame_queued: list[FrameCallback] = []
+        self.frames_in_flight = 0
+        self.render_rate_hz = 60
+        # Android-style pipelines chain the render stage on UI completion;
+        # OpenHarmony's render service instead picks records up on its own
+        # VSync-rs signal — schedulers for that flavor set auto_render=False
+        # and call submit_render() themselves.
+        self.auto_render = auto_render
+        self._render_backlog: list[FrameRecord] = []
+        self._render_active = False
+        self._waiting_for_buffer = False
+        self._waiting_since: int | None = None
+        buffer_queue.on_slot_freed.append(self._on_slot_freed)
+
+    @property
+    def ui_idle(self) -> bool:
+        """True if the UI thread can start a new frame's logic immediately."""
+        return self.ui_thread.idle
+
+    @property
+    def render_backlog(self) -> int:
+        """Frames at the render stage: currently rendering plus waiting.
+
+        Classic VSync pipelines are lockstep — the UI thread synchronizes
+        with the render thread each frame (Android's ``syncAndDrawFrame``),
+        so the app never runs more than one frame ahead of rendering. The
+        VSync scheduler consults this to skip ticks when the pipe is full;
+        D-VSync deliberately does not (decoupled run-ahead is the point).
+        """
+        return len(self._render_backlog) + (1 if self._render_active else 0)
+
+    @property
+    def undisplayed_frames(self) -> int:
+        """Frames committed to the pipeline but not yet latched: in-flight
+        plus queued buffers. This is the FPE's pre-render occupancy."""
+        return self.frames_in_flight + self.buffer_queue.queued_depth
+
+    def start_frame(self, frame: FrameRecord) -> None:
+        """Begin executing *frame*, starting with its UI-stage work."""
+        if frame.ui_start is not None:
+            raise PipelineError(f"frame {frame.frame_id} was already started")
+        self.frames_in_flight += 1
+
+        def ui_started(at: int) -> None:
+            frame.ui_start = at
+
+        def ui_finished(at: int) -> None:
+            frame.ui_end = at
+            for hook in list(self.on_ui_complete):
+                hook(frame)
+            if self.auto_render:
+                self.submit_render(frame)
+
+        self.ui_thread.submit(frame.workload.ui_ns, ui_started, ui_finished)
+
+    def submit_render(self, frame: FrameRecord) -> None:
+        """Hand a UI-completed frame to the render stage.
+
+        Called automatically when ``auto_render`` is set; OpenHarmony-flavor
+        schedulers call it from their VSync-rs handler instead.
+        """
+        if frame.ui_end is None:
+            raise PipelineError(
+                f"frame {frame.frame_id} cannot render before its UI stage completes"
+            )
+        self._render_backlog.append(frame)
+        self._pump_render()
+
+    # ------------------------------------------------------------ render side
+    def _on_slot_freed(self) -> None:
+        if self._waiting_for_buffer:
+            self._waiting_for_buffer = False
+            self._pump_render()
+
+    def _pump_render(self) -> None:
+        """Start the next backlog frame if the render thread and a buffer are free."""
+        if self._render_active or not self._render_backlog:
+            return
+        frame = self._render_backlog[0]
+        buffer = self.buffer_queue.try_dequeue()
+        if buffer is None:
+            # dequeueBuffer stalls: remember when the stall began so the
+            # frame's buffer_wait_ns reflects backpressure time.
+            self._waiting_for_buffer = True
+            if self._waiting_since is None:
+                self._waiting_since = self.sim.now
+            return
+        self._render_backlog.pop(0)
+        if self._waiting_since is not None:
+            frame.buffer_wait_ns = self.sim.now - self._waiting_since
+            self._waiting_since = None
+        self._render_active = True
+        frame.buffer_slot = buffer.slot
+
+        def render_started(at: int) -> None:
+            frame.render_start = at
+
+        def render_finished(at: int) -> None:
+            frame.render_end = at
+            if frame.workload.gpu_ns > 0:
+                self.gpu.submit(
+                    frame.workload.gpu_ns,
+                    on_complete=lambda t: self._finish_frame(frame, buffer, t),
+                )
+            else:
+                self._finish_frame(frame, buffer, at)
+            # The render thread is free for the next frame's CPU work even
+            # while the GPU finishes this one (pipelined, as on real devices).
+            self._render_active = False
+            self._pump_render()
+
+        self.render_thread.submit(frame.workload.render_ns, render_started, render_finished)
+
+    def _finish_frame(self, frame: FrameRecord, buffer, at: int) -> None:
+        frame.gpu_end = at if frame.workload.gpu_ns > 0 else None
+        frame.queued_time = at
+        frame.render_rate_hz = self.render_rate_hz
+        self.buffer_queue.queue(
+            buffer,
+            frame_id=frame.frame_id,
+            content_timestamp=frame.content_timestamp,
+            render_rate_hz=self.render_rate_hz,
+            now=at,
+        )
+        self.frames_in_flight -= 1
+        for hook in list(self.on_frame_queued):
+            hook(frame)

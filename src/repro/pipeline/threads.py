@@ -1,0 +1,76 @@
+"""Simulated CPU threads.
+
+A :class:`SimThread` serializes work items on one logical core: a submitted
+task starts when the thread becomes idle and completes ``duration`` later.
+This captures what matters for the rendering pipeline — the UI thread cannot
+start frame N+1's logic while frame N's logic still runs — without modelling
+instruction-level detail. Total busy time feeds the §6.7 power model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import PipelineError
+from repro.sim.engine import Simulator
+
+
+class SimThread:
+    """A serialized execution resource on the simulator.
+
+    Tasks run in submission order (FIFO). ``busy_until`` is the time the
+    thread drains everything currently queued.
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self._busy_until = 0
+        self.total_busy_ns = 0
+        self.tasks_executed = 0
+
+    @property
+    def busy_until(self) -> int:
+        """Absolute time at which all queued work completes."""
+        return max(self._busy_until, self.sim.now)
+
+    @property
+    def idle(self) -> bool:
+        """True if the thread has no queued or running work."""
+        return self._busy_until <= self.sim.now
+
+    def submit(
+        self,
+        duration: int,
+        on_start: Callable[[int], Any] | None = None,
+        on_complete: Callable[[int], Any] | None = None,
+    ) -> int:
+        """Queue *duration* ns of work; returns the completion time.
+
+        ``on_start`` fires when the work actually begins (after queued work
+        drains), ``on_complete`` when it finishes. Zero-duration tasks are
+        legal and complete at their start instant.
+        """
+        if duration < 0:
+            raise PipelineError(f"task duration must be non-negative, got {duration}")
+        start = max(self.sim.now, self._busy_until)
+        end = start + duration
+        self._busy_until = end
+        self.total_busy_ns += duration
+        self.tasks_executed += 1
+        if on_start is not None:
+            self.sim.schedule_at(start, lambda: on_start(start))
+        if on_complete is not None:
+            self.sim.schedule_at(end, lambda: on_complete(end))
+        return end
+
+    def utilization(self, window_ns: int) -> float:
+        """Fraction of *window_ns* this thread spent busy (can exceed 1 only
+        if more work was queued than the window can hold — callers normally
+        pass the full run duration)."""
+        if window_ns <= 0:
+            raise PipelineError("utilization window must be positive")
+        return self.total_busy_ns / window_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimThread({self.name!r}, busy_until={self._busy_until})"

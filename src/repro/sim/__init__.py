@@ -1,0 +1,11 @@
+"""Discrete-event simulation substrate.
+
+Exports the deterministic event-queue kernel (:class:`Simulator`), event
+handles, and seeded randomness used by every other subsystem.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, EventHandle
+from repro.sim.rng import SeededRng, seed_from_name
+
+__all__ = ["Simulator", "Event", "EventHandle", "SeededRng", "seed_from_name"]

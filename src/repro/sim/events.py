@@ -1,0 +1,83 @@
+"""Event objects and handles for the discrete-event simulator.
+
+An :class:`Event` pairs a firing time with a callback. Ordering is total:
+events fire by timestamp, ties broken by insertion sequence, so two events
+scheduled for the same instant fire in the order they were scheduled. This
+determinism matters for the rendering pipeline, where a buffer queued "at" a
+VSync edge must be visible to the compositor callback scheduled earlier or
+later at that same edge depending on program order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+
+@dataclasses.dataclass(order=True)
+class Event:
+    """A scheduled callback inside the simulator.
+
+    Attributes:
+        time: Absolute firing time in nanoseconds.
+        seq: Monotonic tie-breaker assigned by the simulator.
+        callback: Zero-argument callable invoked at ``time``. Excluded from
+            ordering comparisons.
+        cancelled: True once the event has been cancelled; the simulator skips
+            cancelled events when it pops them.
+    """
+
+    time: int
+    seq: int
+    callback: Callable[[], Any] = dataclasses.field(compare=False)
+    cancelled: bool = dataclasses.field(default=False, compare=False)
+    fired: bool = dataclasses.field(default=False, compare=False)
+
+
+class EventHandle:
+    """Caller-facing handle to a scheduled event.
+
+    Allows cancelling the event before it fires. Handles are single-use:
+    cancelling twice, or cancelling an event that already fired, raises
+    :class:`SimulationError` so scheduling bugs surface immediately instead of
+    silently double-freeing timer slots.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> int:
+        """Absolute firing time of the underlying event in nanoseconds."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """True if :meth:`cancel` was called before the event fired."""
+        return self._event.cancelled
+
+    @property
+    def fired(self) -> bool:
+        """True once the event's callback has run."""
+        return self._event.fired
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still waiting to fire."""
+        return not self._event.fired and not self._event.cancelled
+
+    def cancel(self) -> None:
+        """Cancel the event so its callback never runs."""
+        if self._event.fired:
+            raise SimulationError("cannot cancel an event that already fired")
+        if self._event.cancelled:
+            raise SimulationError("event was already cancelled")
+        self._event.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "fired" if self.fired else ("cancelled" if self.cancelled else "pending")
+        return f"EventHandle(time={self._event.time}, seq={self._event.seq}, {state})"

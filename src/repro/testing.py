@@ -1,0 +1,54 @@
+"""Test helpers, public so downstream projects can reuse them.
+
+Small factories for seeded drivers and one-call scheduler runs, used heavily
+by this repository's own test suite.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import DVSyncConfig
+from repro.core.dvsync import DVSyncScheduler
+from repro.display.device import PIXEL_5, DeviceProfile
+from repro.pipeline.scheduler_base import RunResult
+from repro.units import ms
+from repro.vsync.scheduler import VSyncScheduler
+from repro.workloads.distributions import FrameTimeParams
+from repro.workloads.drivers import AnimationDriver
+
+
+def make_animation(
+    params: FrameTimeParams,
+    name: str = "test-anim",
+    duration_ms: float = 500.0,
+    bursts: int = 1,
+    burst_period_ms: float | None = None,
+) -> AnimationDriver:
+    """Build a small seeded animation driver for scheduler tests."""
+    return AnimationDriver(
+        name,
+        params,
+        duration_ns=ms(duration_ms),
+        bursts=bursts,
+        burst_period_ns=ms(burst_period_ms) if burst_period_ms else None,
+    )
+
+
+def run_vsync(
+    driver, device: DeviceProfile = PIXEL_5, buffer_count: int = 3
+) -> RunResult:
+    """Run a driver to completion under the baseline VSync scheduler."""
+    return VSyncScheduler(driver, device, buffer_count=buffer_count).run()
+
+
+def run_dvsync(
+    driver,
+    device: DeviceProfile = PIXEL_5,
+    config: DVSyncConfig | None = None,
+) -> RunResult:
+    """Run a driver to completion under the D-VSync scheduler."""
+    return DVSyncScheduler(driver, device, config or DVSyncConfig(buffer_count=4)).run()
+
+
+def light_params(refresh_hz: int = 60) -> FrameTimeParams:
+    """A workload with no key frames (never drops at full rate)."""
+    return FrameTimeParams(refresh_hz=refresh_hz, key_prob=0.0)

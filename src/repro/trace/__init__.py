@@ -1,0 +1,32 @@
+"""Trace recording, serialization, and analysis (perfetto-lite)."""
+
+from repro.trace.analyze import TraceAnalysis, analyze, decoupling_lead_ms
+from repro.trace.format import (
+    load_frame_trace,
+    load_trace,
+    save_frame_trace,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.trace.record import CounterSample, Instant, Span, Trace, record_run
+from repro.trace.render_ascii import render_queue_depth, render_timeline
+
+__all__ = [
+    "TraceAnalysis",
+    "analyze",
+    "decoupling_lead_ms",
+    "load_frame_trace",
+    "load_trace",
+    "save_frame_trace",
+    "save_trace",
+    "trace_from_dict",
+    "trace_to_dict",
+    "CounterSample",
+    "Instant",
+    "Span",
+    "Trace",
+    "record_run",
+    "render_queue_depth",
+    "render_timeline",
+]

@@ -1,0 +1,84 @@
+"""Trace analysis: reconstruct run metrics from raw trace events.
+
+The paper's measurement scripts post-process device traces rather than
+instrumenting the scheduler; this module does the same against
+:class:`repro.trace.record.Trace` objects, giving an independent path to the
+headline numbers that the test suite cross-checks against the scheduler's own
+bookkeeping.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+
+from repro.trace.record import Trace
+from repro.units import to_ms, to_seconds
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceAnalysis:
+    """Summary reconstructed purely from trace events."""
+
+    frames_displayed: int
+    frame_drops: int
+    fdps: float
+    mean_queue_wait_ms: float
+    mean_render_ms: float
+    max_queue_depth: float
+    span_seconds: float
+
+
+def analyze(trace: Trace) -> TraceAnalysis:
+    """Reconstruct the run summary from a pipeline trace."""
+    presents = trace.instants_on("present")
+    drops = trace.instants_on("janks")
+    queue_spans = trace.spans_on("queue")
+    render_spans = trace.spans_on("render")
+    depth_samples = [c.value for c in trace.counters if c.track == "queue-depth"]
+
+    if presents:
+        span_ns = presents[-1].time - presents[0].time
+        # Warmup exclusion mirrors RunResult.effective_drops: nothing before
+        # the first content is on screen counts as a jank.
+        effective_drops = [d for d in drops if d.time >= presents[0].time]
+    else:
+        span_ns = 0
+        effective_drops = list(drops)
+    span_s = to_seconds(span_ns) if span_ns else 0.0
+
+    return TraceAnalysis(
+        frames_displayed=len(presents),
+        frame_drops=len(effective_drops),
+        fdps=(len(effective_drops) / span_s) if span_s else 0.0,
+        mean_queue_wait_ms=(
+            statistics.fmean(to_ms(s.duration) for s in queue_spans) if queue_spans else 0.0
+        ),
+        mean_render_ms=(
+            statistics.fmean(to_ms(s.duration) for s in render_spans) if render_spans else 0.0
+        ),
+        max_queue_depth=max(depth_samples, default=0.0),
+        span_seconds=span_s,
+    )
+
+
+def decoupling_lead_ms(trace: Trace) -> list[float]:
+    """Per-frame lead time of the decoupled triggers over their display.
+
+    How far ahead of its present each frame's execution started — the
+    pre-rendering window D-VSync actually achieved (Fig 10's accumulation
+    depth over time).
+    """
+    triggers = trace.instants_on("trigger")
+    presents = {i.name: i.time for i in trace.instants_on("present")}
+    display_spans = trace.spans_on("display")
+    frame_start = {}
+    for index, instant in enumerate(triggers):
+        frame_start[index] = instant.time
+    leads = []
+    for span in display_spans:
+        # span names are "frame-<id>"; triggers are ordered by frame id.
+        frame_id = int(span.name.split("-")[1])
+        if frame_id in frame_start and span.name in presents:
+            leads.append(to_ms(presents[span.name] - frame_start[frame_id]))
+    return leads

@@ -1,0 +1,91 @@
+"""ASCII timeline rendering of pipeline traces (Fig 10-style).
+
+Graphics engineers debug schedulers by *looking* at timelines. This module
+renders a recorded :class:`repro.trace.record.Trace` as monospace art, one
+row per track, one column per time bucket — enough to see the paper's Fig 10
+patterns in a terminal: VSync's lockstep cadence with janks as gaps, versus
+D-VSync's accumulation ramp and sync-stage pacing.
+
+Glyphs: ``#`` span active in the bucket, ``.`` idle, ``!`` jank instant,
+``|`` VSync-aligned present.
+"""
+
+from __future__ import annotations
+
+from repro.trace.record import Trace
+from repro.units import to_ms
+
+DEFAULT_WIDTH = 100
+SPAN_TRACKS = ("ui", "render", "gpu", "queue", "display")
+
+
+def render_timeline(
+    trace: Trace,
+    width: int = DEFAULT_WIDTH,
+    start: int | None = None,
+    end: int | None = None,
+) -> str:
+    """Render the trace as an ASCII timeline.
+
+    Args:
+        trace: The recorded run.
+        width: Number of character columns (time buckets).
+        start / end: Window to render (ns); defaults to the trace bounds.
+    """
+    bounds = trace.time_bounds()
+    lo = bounds[0] if start is None else start
+    hi = bounds[1] if end is None else end
+    if hi <= lo:
+        return "(empty trace)"
+    bucket = max(1, (hi - lo) // width)
+
+    def column(t: int) -> int:
+        return min(width - 1, max(0, (t - lo) // bucket))
+
+    lines = []
+    header = f"{'':>8s} {to_ms(lo):.1f} ms {'-' * max(0, width - 24)} {to_ms(hi):.1f} ms"
+    lines.append(header)
+    for track in SPAN_TRACKS:
+        spans = trace.spans_on(track)
+        if not spans:
+            continue
+        row = ["."] * width
+        for span in spans:
+            if span.end < lo or span.start > hi:
+                continue
+            for col in range(column(span.start), column(min(span.end, hi)) + 1):
+                row[col] = "#"
+        lines.append(f"{track:>8s} {''.join(row)}")
+    jank_row = ["."] * width
+    for instant in trace.instants_on("janks"):
+        if lo <= instant.time <= hi:
+            jank_row[column(instant.time)] = "!"
+    lines.append(f"{'janks':>8s} {''.join(jank_row)}")
+    present_row = ["."] * width
+    for instant in trace.instants_on("present"):
+        if lo <= instant.time <= hi:
+            present_row[column(instant.time)] = "|"
+    lines.append(f"{'present':>8s} {''.join(present_row)}")
+    return "\n".join(lines)
+
+
+def render_queue_depth(trace: Trace, width: int = DEFAULT_WIDTH) -> str:
+    """Render the queue-depth counter as a bar strip (accumulation profile).
+
+    Each column shows the maximum depth sampled in its bucket as a digit;
+    D-VSync runs show the Fig 10 accumulation ramp followed by a plateau at
+    the pre-render limit.
+    """
+    samples = [(c.time, c.value) for c in trace.counters if c.track == "queue-depth"]
+    if not samples:
+        return "(no queue-depth samples)"
+    lo = min(t for t, _ in samples)
+    hi = max(t for t, _ in samples)
+    if hi == lo:
+        return str(int(samples[0][1]))
+    bucket = max(1, (hi - lo) // width)
+    row = [0.0] * width
+    for t, value in samples:
+        col = min(width - 1, (t - lo) // bucket)
+        row[col] = max(row[col], value)
+    return "".join(str(min(9, int(v))) for v in row)

@@ -1,0 +1,68 @@
+"""Time units and conversions used across the simulator.
+
+All simulation timestamps and durations are **integer nanoseconds**. Integer
+time keeps the discrete-event queue exactly ordered and reproducible: two
+events scheduled for the same VSync edge compare equal instead of differing by
+float rounding. The helpers here are the only sanctioned way to build
+durations, so call sites read in the paper's own units (``ms(16.7)``,
+``us(102.6)``).
+"""
+
+from __future__ import annotations
+
+NSEC_PER_USEC = 1_000
+NSEC_PER_MSEC = 1_000_000
+NSEC_PER_SEC = 1_000_000_000
+
+
+def ns(value: float) -> int:
+    """Return *value* nanoseconds as an integer duration."""
+    return round(value)
+
+
+def us(value: float) -> int:
+    """Return *value* microseconds as an integer nanosecond duration."""
+    return round(value * NSEC_PER_USEC)
+
+
+def ms(value: float) -> int:
+    """Return *value* milliseconds as an integer nanosecond duration."""
+    return round(value * NSEC_PER_MSEC)
+
+
+def seconds(value: float) -> int:
+    """Return *value* seconds as an integer nanosecond duration."""
+    return round(value * NSEC_PER_SEC)
+
+
+def to_us(duration_ns: int) -> float:
+    """Convert a nanosecond duration to microseconds (float)."""
+    return duration_ns / NSEC_PER_USEC
+
+
+def to_ms(duration_ns: int) -> float:
+    """Convert a nanosecond duration to milliseconds (float)."""
+    return duration_ns / NSEC_PER_MSEC
+
+
+def to_seconds(duration_ns: int) -> float:
+    """Convert a nanosecond duration to seconds (float)."""
+    return duration_ns / NSEC_PER_SEC
+
+
+def hz_to_period(refresh_hz: float) -> int:
+    """Return the VSync period in nanoseconds for a refresh rate in Hz.
+
+    ``hz_to_period(60)`` is 16,666,667 ns, matching the 16.7 ms figure the
+    paper quotes for a 60 Hz panel.
+    """
+    if refresh_hz <= 0:
+        raise ValueError(f"refresh rate must be positive, got {refresh_hz}")
+    return round(NSEC_PER_SEC / refresh_hz)
+
+
+def period_to_hz(period_ns: int) -> float:
+    """Return the refresh rate in Hz for a VSync period in nanoseconds."""
+    if period_ns <= 0:
+        raise ValueError(f"period must be positive, got {period_ns}")
+    return NSEC_PER_SEC / period_ns

@@ -1,0 +1,6 @@
+"""Baseline VSync rendering architectures (Android and OpenHarmony flavors)."""
+
+from repro.vsync.oh_scheduler import OpenHarmonyVSyncScheduler, default_rs_offset
+from repro.vsync.scheduler import VSyncScheduler
+
+__all__ = ["OpenHarmonyVSyncScheduler", "VSyncScheduler", "default_rs_offset"]

@@ -1,0 +1,84 @@
+"""OpenHarmony-flavor VSync scheduling: a render *service* on VSync-rs.
+
+§2 describes two realizations of the VSync architecture. Android chains the
+render thread on UI completion; OpenHarmony (and iOS) run a separate render
+service whose frames are triggered by their own software signal, VSync-rs,
+at a fixed offset from HW-VSync. A UI record produced before this period's
+VSync-rs edge is rendered within the same period (preserving the two-period
+floor); a record that misses the edge waits for the next one — which is the
+signal-alignment slip this flavor models and the Android-style chaining
+cannot exhibit.
+
+The D-VSync scheduler needs no OH variant: §5.1 replaces both VSync-app and
+VSync-rs with decoupling-enhanced events, i.e. completion-driven triggering,
+which is exactly what :class:`repro.core.DVSyncScheduler` does.
+"""
+
+from __future__ import annotations
+
+from repro.display.device import DeviceProfile
+from repro.display.vsync import VsyncChannel, VsyncOffsets
+from repro.pipeline.driver import ScenarioDriver
+from repro.pipeline.frame import FrameRecord
+from repro.sim.engine import Simulator
+from repro.vsync.scheduler import VSyncScheduler
+
+
+def default_rs_offset(device: DeviceProfile) -> int:
+    """VSync-rs phase offset: ~35 % into the period, as OEM tuning does."""
+    return round(device.vsync_period * 0.35)
+
+
+class OpenHarmonyVSyncScheduler(VSyncScheduler):
+    """Baseline VSync with the render service on its own VSync-rs signal."""
+
+    scheduler_name = "vsync-oh"
+
+    def __init__(
+        self,
+        driver: ScenarioDriver,
+        device: DeviceProfile,
+        buffer_count: int | None = None,
+        offsets: VsyncOffsets | None = None,
+        sim: Simulator | None = None,
+    ) -> None:
+        if offsets is None:
+            offsets = VsyncOffsets(rs_offset=default_rs_offset(device))
+        super().__init__(
+            driver,
+            device,
+            buffer_count=buffer_count or device.default_buffer_count,
+            offsets=offsets,
+            sim=sim,
+        )
+        self.rs_channel = VsyncChannel(self.hw_vsync, self.offsets.rs_offset, "vsync-rs")
+        self.pipeline.auto_render = False
+        self.pipeline.on_ui_complete.append(self._on_ui_record_ready)
+        self._pending_records: list[FrameRecord] = []
+        self._rs_armed = False
+        self.rs_slips = 0  # records that missed their period's VSync-rs edge
+
+    # ---------------------------------------------------------------- UI side
+    def _on_ui_record_ready(self, frame: FrameRecord) -> None:
+        self._pending_records.append(frame)
+        self._arm_rs()
+
+    def _arm_rs(self) -> None:
+        if self._rs_armed or not self._pending_records:
+            return
+        self._rs_armed = True
+        self.rs_channel.request_callback(self._on_vsync_rs)
+
+    # ---------------------------------------------------------------- RS side
+    def _on_vsync_rs(self, timestamp: int, index: int) -> None:
+        self._rs_armed = False
+        if self._pending_records:
+            frame = self._pending_records.pop(0)
+            if frame.ui_end is not None and frame.ui_end < timestamp:
+                # The record waited for this edge rather than rendering the
+                # moment the UI finished — count edge-alignment slips where
+                # the wait crossed into a later period.
+                if timestamp - frame.ui_end > self.offsets.rs_offset:
+                    self.rs_slips += 1
+            self.pipeline.submit_render(frame)
+        self._arm_rs()

@@ -1,0 +1,80 @@
+"""Workload generation: distributions, traces, scenarios, and registries."""
+
+from repro.workloads.animations import (
+    CURVES,
+    DecelerateCurve,
+    EaseInOutCurve,
+    LinearCurve,
+    MotionCurve,
+    SpringCurve,
+    curve_by_name,
+)
+from repro.workloads.distributions import (
+    MODERATE,
+    PROFILES,
+    SCATTERED,
+    SKEWED,
+    FrameTimeParams,
+    PowerLawFrameModel,
+    TailProfile,
+    fig1_model,
+    params_for_target_fdps,
+)
+from repro.workloads.composite import CompositeDriver
+from repro.workloads.drivers import AnimationDriver, InteractionDriver, TraceDriver
+from repro.workloads.features import (
+    FEATURES,
+    CostClass,
+    EffectComposer,
+    GraphicsFeature,
+    cumulative_feature_count,
+    feature,
+    features_in,
+)
+from repro.workloads.frametrace import FrameTrace
+from repro.workloads.scenarios import Scenario, targets_from_weights
+from repro.workloads.touch import (
+    FlingGesture,
+    InputGesture,
+    PinchGesture,
+    SwipeGesture,
+    TouchSample,
+)
+
+__all__ = [
+    "CURVES",
+    "DecelerateCurve",
+    "EaseInOutCurve",
+    "LinearCurve",
+    "MotionCurve",
+    "SpringCurve",
+    "curve_by_name",
+    "MODERATE",
+    "PROFILES",
+    "SCATTERED",
+    "SKEWED",
+    "FrameTimeParams",
+    "PowerLawFrameModel",
+    "TailProfile",
+    "fig1_model",
+    "params_for_target_fdps",
+    "AnimationDriver",
+    "CompositeDriver",
+    "FEATURES",
+    "CostClass",
+    "EffectComposer",
+    "GraphicsFeature",
+    "cumulative_feature_count",
+    "feature",
+    "features_in",
+    "InteractionDriver",
+    "TraceDriver",
+    "FrameTrace",
+    "Scenario",
+    "targets_from_weights",
+    "FlingGesture",
+    "InputGesture",
+    "PinchGesture",
+    "SwipeGesture",
+    "TouchSample",
+]

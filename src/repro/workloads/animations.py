@@ -1,0 +1,135 @@
+"""Motion curves for deterministic animations.
+
+Animations are deterministic functions of time (§4.2): a frame's content is
+fully determined by sampling its motion curve at the frame's content
+timestamp. This is the property that makes pre-rendering correct once DTV
+supplies the right timestamp — and the property the DTV-off ablation breaks.
+
+All curves map normalized progress ``u ∈ [0, 1]`` to a normalized position
+``[0, 1]`` (panel heights, zoom fractions, alpha — whatever the scenario
+animates). Velocity is analytic so the LTPO policy gets exact speeds.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+from repro.errors import WorkloadError
+
+
+class MotionCurve(abc.ABC):
+    """Normalized position/velocity curve of an animation."""
+
+    name = "curve"
+
+    @abc.abstractmethod
+    def position(self, u: float) -> float:
+        """Normalized position at progress *u* (clamped to [0, 1])."""
+
+    @abc.abstractmethod
+    def velocity(self, u: float) -> float:
+        """d(position)/du at progress *u*."""
+
+    @staticmethod
+    def _clamp(u: float) -> float:
+        return min(1.0, max(0.0, u))
+
+
+class LinearCurve(MotionCurve):
+    """Constant-velocity motion (progress bars, marquee)."""
+
+    name = "linear"
+
+    def position(self, u: float) -> float:
+        return self._clamp(u)
+
+    def velocity(self, u: float) -> float:
+        return 1.0 if 0.0 <= u <= 1.0 else 0.0
+
+
+class EaseInOutCurve(MotionCurve):
+    """Cubic ease-in-out: the default app-open/page-transition curve."""
+
+    name = "ease-in-out"
+
+    def position(self, u: float) -> float:
+        u = self._clamp(u)
+        if u < 0.5:
+            return 4 * u**3
+        return 1 - ((-2 * u + 2) ** 3) / 2
+
+    def velocity(self, u: float) -> float:
+        u = self._clamp(u)
+        if u < 0.5:
+            return 12 * u**2
+        return 3 * (-2 * u + 2) ** 2
+
+
+class DecelerateCurve(MotionCurve):
+    """Exponential deceleration: list flings after a swipe release.
+
+    ``rate`` controls how sharply the fling decays; the curve reaches
+    ``1 - e^-rate`` of the distance at u = 1 and is renormalized to end at 1.
+    """
+
+    name = "decelerate"
+
+    def __init__(self, rate: float = 4.0) -> None:
+        if rate <= 0:
+            raise WorkloadError("deceleration rate must be positive")
+        self.rate = rate
+        self._norm = 1 - math.exp(-rate)
+
+    def position(self, u: float) -> float:
+        u = self._clamp(u)
+        return (1 - math.exp(-self.rate * u)) / self._norm
+
+    def velocity(self, u: float) -> float:
+        u = self._clamp(u)
+        return self.rate * math.exp(-self.rate * u) / self._norm
+
+
+class SpringCurve(MotionCurve):
+    """Under-damped spring: physics-based bounce at the end of a transition."""
+
+    name = "spring"
+
+    def __init__(self, damping: float = 0.55, oscillations: float = 2.0) -> None:
+        if not 0 < damping < 1:
+            raise WorkloadError("damping must be in (0, 1)")
+        if oscillations <= 0:
+            raise WorkloadError("oscillations must be positive")
+        self.damping = damping
+        self.omega = oscillations * 2 * math.pi
+
+    def position(self, u: float) -> float:
+        u = self._clamp(u)
+        decay = math.exp(-self.damping * self.omega * u)
+        return 1 - decay * math.cos(self.omega * math.sqrt(1 - self.damping**2) * u)
+
+    def velocity(self, u: float) -> float:
+        u = self._clamp(u)
+        wd = self.omega * math.sqrt(1 - self.damping**2)
+        decay = math.exp(-self.damping * self.omega * u)
+        return decay * (
+            self.damping * self.omega * math.cos(wd * u) + wd * math.sin(wd * u)
+        )
+
+
+CURVES: dict[str, MotionCurve] = {
+    "linear": LinearCurve(),
+    "ease-in-out": EaseInOutCurve(),
+    "decelerate": DecelerateCurve(),
+    "spring": SpringCurve(),
+}
+
+
+def curve_by_name(name: str) -> MotionCurve:
+    """Look up a shared motion-curve instance by name."""
+    try:
+        return CURVES[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown motion curve {name!r}; available: {sorted(CURVES)}"
+        ) from None

@@ -1,0 +1,125 @@
+"""Composite drivers: several scenarios in one simulated session.
+
+The Table 2 UX tasks chain different scenes — open an app, swipe its feed,
+switch to another app — inside one continuous evaluation. A
+:class:`CompositeDriver` plays a sequence of child drivers back to back on a
+single simulator timeline, with an idle gap between segments (the user's
+hand moving), so queue drain and re-accumulation across scene boundaries are
+exercised exactly once per boundary rather than approximated by separate
+runs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.pipeline.driver import ScenarioDriver
+from repro.pipeline.frame import FrameCategory, FrameWorkload
+from repro.units import ms
+
+
+class CompositeDriver(ScenarioDriver):
+    """Plays child drivers sequentially with idle gaps in between.
+
+    Children are positioned on the timeline at ``begin`` time: child *k*
+    starts when child *k-1*'s span ends plus ``gap_ns``. Each child keeps its
+    own workload trace, categories, and content curves; the composite
+    forwards every query to whichever child owns the queried time or frame.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        children: list[ScenarioDriver],
+        gap_ns: int = ms(250),
+    ) -> None:
+        if not children:
+            raise WorkloadError("a composite needs at least one child driver")
+        if gap_ns < 0:
+            raise WorkloadError("gap must be non-negative")
+        self.name = name
+        self.children = children
+        self.gap_ns = gap_ns
+        self._offsets: list[int] = []
+        self._frame_base: list[int] = []
+        self._frames_issued = 0
+        self.start_time = 0
+
+    # ---------------------------------------------------------------- layout
+    def _child_span(self, child: ScenarioDriver) -> int:
+        span = getattr(child, "total_span_ns", None)
+        if span is not None:
+            return span
+        duration = getattr(child, "duration_ns", None)
+        if duration is None:
+            raise WorkloadError(
+                f"child {child.name!r} exposes neither total_span_ns nor duration_ns"
+            )
+        return duration
+
+    def begin(self, start_time: int) -> None:
+        super().begin(start_time)
+        self._offsets = []
+        cursor = start_time
+        for child in self.children:
+            child.begin(cursor)
+            self._offsets.append(cursor)
+            cursor += self._child_span(child) + self.gap_ns
+        self._end_time = cursor - self.gap_ns
+        self._frame_base = [0] * len(self.children)
+        self._frames_issued = 0
+        self._active_index = 0
+
+    def _child_for_time(self, at: int) -> int:
+        index = 0
+        for child_index, offset in enumerate(self._offsets):
+            if at >= offset:
+                index = child_index
+        return index
+
+    # --------------------------------------------------------------- protocol
+    def wants_frame(self, content_timestamp: int, now: int) -> bool:
+        index = self._child_for_time(content_timestamp)
+        return self.children[index].wants_frame(content_timestamp, now)
+
+    def finished(self, now: int) -> bool:
+        return now >= self._end_time
+
+    def frame_category(self, frame_index: int) -> FrameCategory:
+        child, local = self._resolve_frame(frame_index)
+        return child.frame_category(local)
+
+    def make_workload(self, frame_index: int, content_timestamp: int) -> FrameWorkload:
+        # Frames are issued in timestamp order; track which child the run has
+        # progressed into so local frame indices restart per segment.
+        index = self._child_for_time(content_timestamp)
+        if index != self._active_index:
+            self._active_index = index
+            self._frame_base[index] = frame_index
+        child = self.children[index]
+        local = frame_index - self._frame_base[index]
+        return child.make_workload(local, content_timestamp)
+
+    def _resolve_frame(self, frame_index: int):
+        # Best-effort mapping for category queries that may precede the
+        # workload call: attribute the frame to the currently active child.
+        index = self._active_index if hasattr(self, "_active_index") else 0
+        child = self.children[index]
+        local = max(0, frame_index - (self._frame_base[index] if self._frame_base else 0))
+        return child, local
+
+    def observe_input(self, up_to: int) -> list[tuple[int, float]]:
+        index = self._child_for_time(up_to)
+        return self.children[index].observe_input(up_to)
+
+    def true_value(self, at: int) -> float | None:
+        index = self._child_for_time(at)
+        return self.children[index].true_value(at)
+
+    def animation_speed(self, at: int) -> float:
+        index = self._child_for_time(at)
+        child = self.children[index]
+        offset = self._offsets[index]
+        span = self._child_span(child)
+        if not offset <= at < offset + span:
+            return 0.0  # inter-segment gap: the screen is static
+        return child.animation_speed(at)

@@ -1,0 +1,197 @@
+"""The graphics-feature catalog behind Figure 4.
+
+Figure 4 lists the visual effects each OS generation added — Gaussian blur,
+dynamic shadows, particle effects, … — with darker entries marking heavier
+rendering work in key frames ("usually over 1 ms"). This module turns that
+figure into data: every feature carries its introducing OS release and a cost
+class, and :class:`EffectComposer` converts a feature set into the render-
+stage cost a key frame pays, so scenario authors can build workloads from
+named effects instead of raw milliseconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.errors import WorkloadError
+from repro.sim.rng import SeededRng
+from repro.units import ms
+
+
+class CostClass(enum.Enum):
+    """Rendering weight of a feature's key frames (Fig 4's shading)."""
+
+    LIGHT = "light"  # layout/metadata work, well under a millisecond
+    MEDIUM = "medium"  # ~1 ms key frames, cache usually reusable
+    HEAVY = "heavy"  # multi-millisecond key frames, often re-rendered
+
+
+# Representative key-frame cost per class (milliseconds of render work).
+CLASS_COST_MS = {
+    CostClass.LIGHT: 0.3,
+    CostClass.MEDIUM: 1.2,
+    CostClass.HEAVY: 3.5,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class GraphicsFeature:
+    """One Fig 4 entry: a visual effect and where it appeared."""
+
+    name: str
+    os_release: str
+    cost: CostClass
+
+
+# The Fig 4 inventory. OpenHarmony generations first, then Android.
+FEATURES: tuple[GraphicsFeature, ...] = (
+    # OpenHarmony 4.0
+    GraphicsFeature("Gaussian Blur", "OH 4.0", CostClass.HEAVY),
+    GraphicsFeature("Transparency", "OH 4.0", CostClass.LIGHT),
+    GraphicsFeature("Color Gradient", "OH 4.0", CostClass.LIGHT),
+    GraphicsFeature("Shadowing", "OH 4.0", CostClass.MEDIUM),
+    GraphicsFeature("Complementary Colors", "OH 4.0", CostClass.LIGHT),
+    GraphicsFeature("Particle Effect", "OH 4.0", CostClass.HEAVY),
+    GraphicsFeature("Geometric Transformation", "OH 4.0", CostClass.LIGHT),
+    GraphicsFeature("HSL/HSV", "OH 4.0", CostClass.LIGHT),
+    # OpenHarmony 4.1
+    GraphicsFeature("Glyph Blur", "OH 4.1", CostClass.MEDIUM),
+    GraphicsFeature("Glass Material", "OH 4.1", CostClass.HEAVY),
+    GraphicsFeature("Double Stroke", "OH 4.1", CostClass.LIGHT),
+    GraphicsFeature("Blurring Gradient", "OH 4.1", CostClass.HEAVY),
+    GraphicsFeature("G2 Rounded Corner", "OH 4.1", CostClass.LIGHT),
+    GraphicsFeature("Icon Blur", "OH 4.1", CostClass.MEDIUM),
+    GraphicsFeature("Transparency Gradient", "OH 4.1", CostClass.LIGHT),
+    GraphicsFeature("Dynamic Lighting", "OH 4.1", CostClass.HEAVY),
+    # OpenHarmony 5.x (beta)
+    GraphicsFeature("Motion Blur", "OH 5.X", CostClass.HEAVY),
+    GraphicsFeature("Parallax", "OH 5.X", CostClass.MEDIUM),
+    GraphicsFeature("Bokeh", "OH 5.X", CostClass.HEAVY),
+    GraphicsFeature("Rim Light", "OH 5.X", CostClass.MEDIUM),
+    GraphicsFeature("Dynamic Shadowing", "OH 5.X", CostClass.HEAVY),
+    GraphicsFeature("Dynamic Icon", "OH 5.X", CostClass.MEDIUM),
+    # Android generations (abridged to the figure's entries)
+    GraphicsFeature("Scene Transition", "Android 4", CostClass.MEDIUM),
+    GraphicsFeature("Translucent UI", "Android 4", CostClass.LIGHT),
+    GraphicsFeature("Full-screen Immersive", "Android 4", CostClass.LIGHT),
+    GraphicsFeature("Resolution Switch", "Android 4", CostClass.LIGHT),
+    GraphicsFeature("3D Views", "Android 5/6", CostClass.MEDIUM),
+    GraphicsFeature("Realtime Shadowing", "Android 5/6", CostClass.HEAVY),
+    GraphicsFeature("Ripple Animation", "Android 5/6", CostClass.MEDIUM),
+    GraphicsFeature("Vector Drawable", "Android 5/6", CostClass.LIGHT),
+    GraphicsFeature("Multi-window", "Android 7", CostClass.MEDIUM),
+    GraphicsFeature("Notification Template", "Android 7", CostClass.LIGHT),
+    GraphicsFeature("Custom Pointer", "Android 7", CostClass.LIGHT),
+    GraphicsFeature("Color Calibration", "Android 8/9", CostClass.LIGHT),
+    GraphicsFeature("Unified Margin", "Android 8/9", CostClass.LIGHT),
+    GraphicsFeature("Picture-in-Picture", "Android 8/9", CostClass.MEDIUM),
+    GraphicsFeature("Wide-gamut Color", "Android 8/9", CostClass.MEDIUM),
+    GraphicsFeature("Adaptive Icon", "Android 8/9", CostClass.LIGHT),
+    GraphicsFeature("Dark Theme", "Android 10/11", CostClass.LIGHT),
+    GraphicsFeature("Bubbles", "Android 10/11", CostClass.MEDIUM),
+    GraphicsFeature("Gesture Navigation", "Android 10/11", CostClass.MEDIUM),
+    GraphicsFeature("Flexible Layouts", "Android 10/11", CostClass.LIGHT),
+    GraphicsFeature("Splash Screen", "Android 12", CostClass.MEDIUM),
+    GraphicsFeature("Color Vector Fonts", "Android 12", CostClass.LIGHT),
+    GraphicsFeature("Programmable Shaders", "Android 13/14", CostClass.HEAVY),
+    GraphicsFeature("Custom Meshes", "Android 13/14", CostClass.HEAVY),
+    GraphicsFeature("Matrix44", "Android 13/14", CostClass.LIGHT),
+    GraphicsFeature("ClipShader", "Android 13/14", CostClass.MEDIUM),
+    GraphicsFeature("Large-screen Multitasking", "Android 13/14", CostClass.MEDIUM),
+    GraphicsFeature("Dynamic Depth", "Android 15", CostClass.HEAVY),
+    GraphicsFeature("Rounded Corner API", "Android 15", CostClass.LIGHT),
+    GraphicsFeature("Themed Icon", "Android 15", CostClass.LIGHT),
+    GraphicsFeature("HDR Headroom", "Android 15", CostClass.MEDIUM),
+    GraphicsFeature("Picture-in-Picture Animations", "Android 15", CostClass.MEDIUM),
+)
+
+_BY_NAME = {feature.name: feature for feature in FEATURES}
+
+# Ordered generations for trend queries.
+OS_GENERATIONS: tuple[str, ...] = (
+    "Android 4", "Android 5/6", "Android 7", "Android 8/9", "Android 10/11",
+    "Android 12", "Android 13/14", "Android 15",
+    "OH 4.0", "OH 4.1", "OH 5.X",
+)
+
+
+def feature(name: str) -> GraphicsFeature:
+    """Look up a feature by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise WorkloadError(f"unknown graphics feature {name!r}") from None
+
+
+def features_in(os_release: str) -> list[GraphicsFeature]:
+    """All features introduced by one OS generation."""
+    found = [f for f in FEATURES if f.os_release == os_release]
+    if not found:
+        raise WorkloadError(f"unknown OS release {os_release!r}")
+    return found
+
+
+def cumulative_feature_count() -> list[tuple[str, int, int]]:
+    """(generation, new features, cumulative heavy features) per lineage.
+
+    The Fig 4 trend: both the list and its heavy share keep growing.
+    """
+    rows = []
+    heavy_android = heavy_oh = total_android = total_oh = 0
+    for generation in OS_GENERATIONS:
+        batch = features_in(generation)
+        heavy = sum(1 for f in batch if f.cost is CostClass.HEAVY)
+        if generation.startswith("OH"):
+            total_oh += len(batch)
+            heavy_oh += heavy
+            rows.append((generation, len(batch), heavy_oh))
+        else:
+            total_android += len(batch)
+            heavy_android += heavy
+            rows.append((generation, len(batch), heavy_android))
+    return rows
+
+
+class EffectComposer:
+    """Turns a set of active effects into per-key-frame render cost.
+
+    Key frames pay each active feature's class cost plus lognormal jitter;
+    subsequent frames "may or may not reuse the rendered cache" (§3.1), so a
+    per-feature reuse probability discounts the steady-state cost.
+    """
+
+    def __init__(
+        self,
+        effect_names: list[str],
+        rng: SeededRng | None = None,
+        cache_reuse_probability: float = 0.7,
+    ) -> None:
+        if not effect_names:
+            raise WorkloadError("an effect composition needs at least one feature")
+        if not 0 <= cache_reuse_probability <= 1:
+            raise WorkloadError("cache_reuse_probability must be in [0, 1]")
+        # Sorted so the same stack samples identically regardless of the
+        # order the caller listed the effects in.
+        self.effects = sorted(
+            (feature(name) for name in effect_names), key=lambda f: f.name
+        )
+        self.rng = rng or SeededRng.for_scenario("+".join(sorted(effect_names)))
+        self.cache_reuse_probability = cache_reuse_probability
+
+    def key_frame_cost_ns(self) -> int:
+        """Render cost of a key frame with every effect re-rendered."""
+        total_ms = 0.0
+        for effect in self.effects:
+            base = CLASS_COST_MS[effect.cost]
+            total_ms += base * self.rng.lognormal(0.0, 0.25)
+        return ms(total_ms)
+
+    def steady_frame_cost_ns(self) -> int:
+        """Render cost of a steady frame, with per-feature cache reuse."""
+        total_ms = 0.0
+        for effect in self.effects:
+            if self.rng.chance(self.cache_reuse_probability):
+                continue  # cached layer composited for free (approximately)
+            total_ms += CLASS_COST_MS[effect.cost] * self.rng.lognormal(0.0, 0.25)
+        return ms(total_ms)

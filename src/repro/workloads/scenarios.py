@@ -1,0 +1,150 @@
+"""Scenario specifications: named, reproducible evaluation cases.
+
+A :class:`Scenario` is the declarative description of one evaluation case —
+its refresh rate, how drop-prone the paper measured it to be under VSync
+(``target_vsync_fdps``, the calibration anchor from DESIGN.md §6), its tail
+profile, and whether it is an animation or a touch interaction.
+:meth:`Scenario.build_driver` turns the spec into a fresh, seeded
+:class:`ScenarioDriver`; passing a ``run`` index derives an independent seed
+per repetition, matching the paper's five-run averaging (Appendix A.2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import WorkloadError
+from repro.pipeline.driver import ScenarioDriver
+from repro.pipeline.frame import FrameCategory
+from repro.units import ms
+from repro.workloads.animations import curve_by_name
+from repro.workloads.distributions import (
+    PROFILES,
+    FrameTimeParams,
+    TailProfile,
+    params_for_target_fdps,
+)
+from repro.workloads.drivers import AnimationDriver, InteractionDriver
+from repro.workloads.touch import PinchGesture, SwipeGesture
+
+
+@dataclasses.dataclass(frozen=True)
+class Scenario:
+    """Declarative description of one evaluation case.
+
+    Attributes:
+        name: Stable identifier (the paper's abbreviation where one exists).
+        description: Human-readable description (Table 3 wording).
+        refresh_hz: Panel rate of the device/configuration under test.
+        target_vsync_fdps: Frame drops per second the paper measured under
+            VSync — the workload generator is inverted against this value.
+        profile: Tail-profile name (``scattered`` / ``moderate`` / ``skewed``).
+        duration_ms: Length of one animation burst (or of the whole gesture
+            for interactive scenarios).
+        bursts: Number of animation bursts per run — real test scripts repeat
+            the operation (a swipe every half second, §6.1), and each burst
+            starts from a drained buffer queue.
+        burst_period_ms: Input-to-input spacing of the bursts.
+        key_zone_period_ms: Cadence of the content-load key-frame zone when
+            it differs from the burst structure (continuous scrolls reload
+            content every swipe segment without re-gating production).
+        curve: Motion-curve name for animation scenarios.
+        interactive: True for fingertip-driven scenarios (IPL territory).
+        gesture: ``"swipe"`` or ``"pinch"`` for interactive scenarios.
+        gpu_fraction: GPU share of body frames (games).
+        base_fraction: Median short-frame load as a period fraction.
+    """
+
+    name: str
+    description: str
+    refresh_hz: int
+    target_vsync_fdps: float
+    profile: str = "moderate"
+    duration_ms: float = 400.0
+    bursts: int = 10
+    burst_period_ms: float | None = 600.0
+    key_zone_period_ms: float | None = None
+    curve: str = "ease-in-out"
+    interactive: bool = False
+    gesture: str = "swipe"
+    gpu_fraction: float = 0.0
+    base_fraction: float = 0.42
+
+    def tail_profile(self) -> TailProfile:
+        """Resolve the named tail profile."""
+        try:
+            return PROFILES[self.profile]
+        except KeyError:
+            raise WorkloadError(
+                f"scenario {self.name!r}: unknown profile {self.profile!r}"
+            ) from None
+
+    def frame_params(self) -> FrameTimeParams:
+        """Frame-time parameters calibrated to the published baseline."""
+        category = (
+            FrameCategory.PREDICTABLE_INTERACTION
+            if self.interactive
+            else FrameCategory.DETERMINISTIC_ANIMATION
+        )
+        return params_for_target_fdps(
+            self.target_vsync_fdps,
+            self.refresh_hz,
+            profile=self.tail_profile(),
+            category=category,
+            base_fraction=self.base_fraction,
+            gpu_fraction=self.gpu_fraction,
+        )
+
+    def build_driver(self, run: int = 0) -> ScenarioDriver:
+        """Instantiate a seeded driver for repetition *run*."""
+        run_name = self.name if run == 0 else f"{self.name}#run{run}"
+        duration_ns = ms(self.duration_ms)
+        params = self.frame_params()
+        if self.interactive:
+            if self.gesture == "pinch":
+                def factory(start: int, _n=run_name, _d=duration_ns):
+                    return PinchGesture(start, _d, name=_n)
+            elif self.gesture == "swipe":
+                def factory(start: int, _n=run_name, _d=duration_ns):
+                    return SwipeGesture(start, _d, name=_n)
+            else:
+                raise WorkloadError(
+                    f"scenario {self.name!r}: unknown gesture {self.gesture!r}"
+                )
+            return InteractionDriver(run_name, params, factory)
+        burst_period_ns = ms(self.burst_period_ms) if self.burst_period_ms else None
+        key_zone_frames = None
+        if self.key_zone_period_ms is not None:
+            key_zone_frames = max(1, round(self.key_zone_period_ms * self.refresh_hz / 1000))
+        return AnimationDriver(
+            run_name,
+            params,
+            duration_ns=duration_ns,
+            curve=curve_by_name(self.curve),
+            bursts=self.bursts,
+            burst_period_ns=burst_period_ns,
+            key_zone_period_frames=key_zone_frames,
+        )
+
+
+def targets_from_weights(
+    names: list[str], weights: list[float], published_average: float
+) -> dict[str, float]:
+    """Scale relative per-case weights so their mean equals the paper's average.
+
+    The figures publish exact averages and bar *shapes*; this helper keeps the
+    shape (read off the bars) while pinning the mean to the published number.
+    """
+    if len(names) != len(weights):
+        raise WorkloadError("names and weights must have the same length")
+    if not names:
+        raise WorkloadError("at least one case is required")
+    if any(w < 0 for w in weights):
+        raise WorkloadError("weights must be non-negative")
+    mean_weight = sum(weights) / len(weights)
+    if mean_weight <= 0:
+        raise WorkloadError("weights must have a positive mean")
+    return {
+        name: published_average * weight / mean_weight
+        for name, weight in zip(names, weights)
+    }

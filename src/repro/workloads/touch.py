@@ -1,0 +1,159 @@
+"""Touch-input synthesis for interactive scenarios.
+
+The paper's interactive frames (§4.6) have a fingertip physically on the
+screen producing a stream of input samples at the digitizer rate (120–240 Hz
+on modern phones). :class:`InputGesture` generates those streams
+deterministically: the ground-truth trajectory is an analytic function of
+time, samples are taken at the digitizer rate with optional sensor noise, and
+``samples_until(t)`` exposes exactly what an app could have observed by
+wall-clock time ``t`` — the causality constraint the IPL exists to overcome.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.errors import WorkloadError
+from repro.sim.rng import SeededRng
+from repro.units import NSEC_PER_SEC, hz_to_period
+
+
+@dataclasses.dataclass(frozen=True)
+class TouchSample:
+    """One digitizer report."""
+
+    time: int
+    value: float
+
+
+class InputGesture:
+    """Base class for synthetic gestures; subclasses define the trajectory."""
+
+    def __init__(
+        self,
+        start_time: int,
+        duration_ns: int,
+        sample_rate_hz: int = 120,
+        noise: float = 0.0,
+        rng: SeededRng | None = None,
+        name: str = "gesture",
+    ) -> None:
+        if duration_ns <= 0:
+            raise WorkloadError("gesture duration must be positive")
+        if sample_rate_hz <= 0:
+            raise WorkloadError("sample rate must be positive")
+        self.start_time = start_time
+        self.duration_ns = duration_ns
+        self.sample_rate_hz = sample_rate_hz
+        self.noise = noise
+        self.name = name
+        self._rng = rng or SeededRng.for_scenario(name, salt="touch")
+        self._samples: list[TouchSample] = []
+        self._generate_samples()
+
+    # ----------------------------------------------------------- trajectory
+    def value_at(self, t: int) -> float:
+        """Ground-truth gesture value at absolute time *t* (clamped)."""
+        u = (t - self.start_time) / self.duration_ns
+        u = min(1.0, max(0.0, u))
+        return self._trajectory(u)
+
+    def _trajectory(self, u: float) -> float:
+        """Normalized trajectory; subclasses override."""
+        raise NotImplementedError
+
+    def speed_at(self, t: int) -> float:
+        """|d value/dt| in value-units per second (finite difference)."""
+        h = self.duration_ns / 1000
+        v0 = self.value_at(round(t - h))
+        v1 = self.value_at(round(t + h))
+        return abs(v1 - v0) / (2 * h / NSEC_PER_SEC)
+
+    # -------------------------------------------------------------- sampling
+    def _generate_samples(self) -> None:
+        period = hz_to_period(self.sample_rate_hz)
+        t = self.start_time
+        end = self.start_time + self.duration_ns
+        while t <= end:
+            value = self.value_at(t)
+            if self.noise > 0:
+                value += self._rng.normal(0.0, self.noise)
+            self._samples.append(TouchSample(time=t, value=value))
+            t += period
+
+    @property
+    def samples(self) -> list[TouchSample]:
+        """All digitizer samples of the gesture."""
+        return list(self._samples)
+
+    @property
+    def end_time(self) -> int:
+        """Absolute time the fingertip lifts."""
+        return self.start_time + self.duration_ns
+
+    def samples_until(self, t: int) -> list[tuple[int, float]]:
+        """(time, value) pairs observable by wall-clock time *t* (inclusive)."""
+        return [(s.time, s.value) for s in self._samples if s.time <= t]
+
+
+class SwipeGesture(InputGesture):
+    """A vertical swipe: near-constant velocity with slight ease-out.
+
+    Value is the fingertip's normalized y-displacement in panel heights.
+    """
+
+    def __init__(self, *args, distance: float = 1.0, **kwargs) -> None:
+        self.distance = distance
+        kwargs.setdefault("name", "swipe")
+        super().__init__(*args, **kwargs)
+
+    def _trajectory(self, u: float) -> float:
+        # Constant speed for 80 % of the gesture, easing out at the end.
+        if u < 0.8:
+            return self.distance * u / 0.8 * 0.9
+        tail = (u - 0.8) / 0.2
+        return self.distance * (0.9 + 0.1 * (1 - (1 - tail) ** 2))
+
+
+class PinchGesture(InputGesture):
+    """A two-finger pinch: value is the fingertip distance (zoom driver).
+
+    The distance grows from ``start_distance`` to ``end_distance`` with a
+    smooth-step profile, matching how users accelerate into and out of a
+    zoom (§6.5's zooming scenario).
+    """
+
+    def __init__(
+        self,
+        *args,
+        start_distance: float = 0.2,
+        end_distance: float = 0.8,
+        **kwargs,
+    ) -> None:
+        if end_distance == start_distance:
+            raise WorkloadError("pinch must change the fingertip distance")
+        self.start_distance = start_distance
+        self.end_distance = end_distance
+        kwargs.setdefault("name", "pinch")
+        super().__init__(*args, **kwargs)
+
+    def _trajectory(self, u: float) -> float:
+        smooth = u * u * (3 - 2 * u)
+        return self.start_distance + (self.end_distance - self.start_distance) * smooth
+
+
+class FlingGesture(InputGesture):
+    """A fast flick that decelerates while the finger is still down."""
+
+    def __init__(self, *args, distance: float = 1.5, rate: float = 3.0, **kwargs) -> None:
+        if rate <= 0:
+            raise WorkloadError("fling rate must be positive")
+        self.distance = distance
+        self.rate = rate
+        kwargs.setdefault("name", "fling")
+        super().__init__(*args, **kwargs)
+
+    def _trajectory(self, u: float) -> float:
+        norm = 1 - math.exp(-self.rate)
+        return self.distance * (1 - math.exp(-self.rate * u)) / norm

@@ -1,0 +1,78 @@
+"""Tests for the Chromium compositor case study (§6.6)."""
+
+import pytest
+
+from repro.apps.chromium import PAGES, ChromiumFlingDriver, WebPage
+from repro.core.config import DVSyncConfig
+from repro.core.dvsync import DVSyncScheduler
+from repro.display.device import MATE_60_PRO
+from repro.metrics.fdps import fdps
+from repro.units import ms
+from repro.vsync.scheduler import VSyncScheduler
+
+
+def test_three_pages_defined():
+    assert [p.name for p in PAGES] == ["Sina", "Weather", "AI Life"]
+
+
+def test_raster_demand_tracks_scroll():
+    driver = ChromiumFlingDriver(PAGES[0], 120, 0)
+    driver.begin(0)
+    early = driver.make_workload(0, ms(50))
+    assert driver._rasterized_rows >= driver.INITIAL_ROWS
+    # Sweeping deep into the page triggers raster work.
+    late = driver.make_workload(1, ms(600))
+    assert late.render_ns > early.render_ns or driver.raster_events >= 1
+
+
+def test_rows_rasterized_once():
+    driver = ChromiumFlingDriver(PAGES[0], 120, 0)
+    driver.begin(0)
+    driver.make_workload(0, ms(600))
+    first_events = driver.raster_events
+    driver.make_workload(1, ms(600))
+    assert driver.raster_events == first_events
+
+
+def test_fling_window_and_finish():
+    driver = ChromiumFlingDriver(PAGES[1], 120, 0)
+    driver.begin(0)
+    assert driver.wants_frame(ms(100), now=ms(100))
+    assert not driver.wants_frame(ms(1300), now=ms(1300))
+    assert driver.finished(ms(1200))
+
+
+def test_vsync_flings_drop():
+    results = [
+        fdps(VSyncScheduler(ChromiumFlingDriver(page, 120, 0), MATE_60_PRO, buffer_count=4).run())
+        for page in PAGES
+    ]
+    assert sum(results) / len(results) > 0.5  # paper baseline: 1.47
+
+
+def test_dvsync_nearly_eliminates_drops():
+    results = [
+        fdps(
+            DVSyncScheduler(
+                ChromiumFlingDriver(page, 120, 0), MATE_60_PRO, DVSyncConfig(buffer_count=5)
+            ).run()
+        )
+        for page in PAGES
+    ]
+    assert sum(results) / len(results) < 0.3  # paper: 0.08
+
+
+def test_scroll_value_decelerates():
+    driver = ChromiumFlingDriver(PAGES[2], 120, 0)
+    driver.begin(0)
+    early_speed = driver.animation_speed(ms(100))
+    late_speed = driver.animation_speed(ms(1000))
+    assert early_speed > late_speed
+
+
+def test_custom_page_model():
+    page = WebPage("Custom", scroll_rows=5, raster_ms_per_row=9.0, compose_ms=2.0)
+    driver = ChromiumFlingDriver(page, 120, 0)
+    driver.begin(0)
+    driver.make_workload(0, ms(1199))
+    assert driver._rasterized_rows <= page.scroll_rows

@@ -1,0 +1,65 @@
+"""Tests for the decoupling-aware map app (§6.5)."""
+
+import pytest
+
+from repro.apps.map_app import MAP_BUFFER_COUNT, MapApp
+from repro.core.ipl import ZoomingDistancePredictor
+from repro.metrics.fdps import fdps
+
+
+@pytest.fixture(scope="module")
+def arms():
+    app = MapApp()
+    vsync_result, vsync_driver = app.run_vsync(0)
+    dvsync_result, dvsync_driver = app.run_dvsync(0)
+    return app, (vsync_result, vsync_driver), (dvsync_result, dvsync_driver)
+
+
+def test_vsync_zoom_drops(arms):
+    _, (vsync_result, _), _ = arms
+    assert fdps(vsync_result) > 0.5
+
+
+def test_dvsync_eliminates_zoom_drops(arms):
+    _, (vsync_result, _), (dvsync_result, _) = arms
+    assert fdps(dvsync_result) <= 0.1 * max(fdps(vsync_result), 0.1)
+
+
+def test_latency_reduced_about_30_percent(arms):
+    app, (vsync_result, vsync_driver), (dvsync_result, dvsync_driver) = arms
+    vsync_report = app.report(vsync_result, vsync_driver)
+    dvsync_report = app.report(dvsync_result, dvsync_driver)
+    reduction = 1 - dvsync_report.mean_latency_ms / vsync_report.mean_latency_ms
+    assert 0.2 < reduction < 0.45  # paper: 30.2 %
+
+
+def test_zdp_overhead_matches_paper(arms):
+    app, _, (dvsync_result, dvsync_driver) = arms
+    report = app.report(dvsync_result, dvsync_driver)
+    assert report.zdp_overhead_us_per_frame == pytest.approx(151.6, abs=1.0)
+
+
+def test_zoom_frames_use_ipl(arms):
+    _, _, (dvsync_result, _) = arms
+    assert dvsync_result.extra["ipl_predictions"] > 0
+    predicted = [f for f in dvsync_result.frames if f.input_predicted]
+    assert len(predicted) > 0.9 * len(dvsync_result.frames)
+
+
+def test_prediction_error_small(arms):
+    app, _, (dvsync_result, dvsync_driver) = arms
+    report = app.report(dvsync_result, dvsync_driver)
+    # Pinch distance is normalized ~0.15-0.85; error should be tiny.
+    assert report.prediction_error_mean < 0.02
+
+
+def test_uses_five_buffers():
+    assert MAP_BUFFER_COUNT == 5
+
+
+def test_zdp_is_registered():
+    app = MapApp()
+    result, _ = app.run_dvsync(1)
+    # ZDP overhead per prediction equals the class constant.
+    overhead = result.extra["ipl_overhead_ns"] / max(1, result.extra["ipl_predictions"])
+    assert overhead == pytest.approx(ZoomingDistancePredictor.overhead_ns, rel=0.01)

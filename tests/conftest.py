@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DVSyncConfig
+from repro.display.device import PIXEL_5
+from repro.sim.engine import Simulator
+from repro.workloads.distributions import (
+    SCATTERED,
+    FrameTimeParams,
+    params_for_target_fdps,
+)
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def light_params() -> FrameTimeParams:
+    """A 60 Hz workload with no key frames (never drops)."""
+    return FrameTimeParams(refresh_hz=60, key_prob=0.0)
+
+
+@pytest.fixture
+def droppy_params() -> FrameTimeParams:
+    """A 60 Hz workload calibrated to drop a few frames per second."""
+    return params_for_target_fdps(3.0, 60, profile=SCATTERED)
+
+
+@pytest.fixture
+def quick_dvsync_config() -> DVSyncConfig:
+    return DVSyncConfig(buffer_count=4)
+
+
+@pytest.fixture
+def pixel5():
+    return PIXEL_5

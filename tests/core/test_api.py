@@ -1,0 +1,71 @@
+"""Tests for the dual-channel decoupling APIs."""
+
+import pytest
+
+from repro.core.config import DVSyncConfig
+from repro.core.dvsync import DVSyncScheduler
+from repro.core.fpe import FPEStage
+from repro.core.ipl import ZoomingDistancePredictor
+from repro.display.device import PIXEL_5
+from repro.errors import ConfigurationError
+from repro.testing import light_params, make_animation
+
+
+def make_scheduler(buffer_count=5):
+    driver = make_animation(light_params(), "api-test", duration_ms=400)
+    return DVSyncScheduler(driver, PIXEL_5, DVSyncConfig(buffer_count=buffer_count))
+
+
+def test_set_prerender_limit():
+    scheduler = make_scheduler()
+    scheduler.api.set_prerender_limit(2)
+    assert scheduler.api.prerender_limit == 2
+    assert scheduler.fpe.prerender_limit == 2
+
+
+def test_prerender_limit_bounds():
+    scheduler = make_scheduler(buffer_count=5)
+    with pytest.raises(ConfigurationError):
+        scheduler.api.set_prerender_limit(0)
+    with pytest.raises(ConfigurationError):
+        scheduler.api.set_prerender_limit(5)  # only 4 back buffers
+
+
+def test_register_input_predictor():
+    scheduler = make_scheduler()
+    zdp = ZoomingDistancePredictor()
+    scheduler.api.register_input_predictor(zdp)
+    assert scheduler.ipl.predictor is zdp
+
+
+def test_get_frame_display_time_is_future():
+    scheduler = make_scheduler()
+    display = scheduler.api.get_frame_display_time()
+    assert display > scheduler.sim.now
+
+
+def test_d_timestamp_convention():
+    scheduler = make_scheduler()
+    display = scheduler.api.get_frame_display_time()
+    d_ts = scheduler.api.get_d_timestamp()
+    assert display - d_ts == 2 * PIXEL_5.vsync_period
+
+
+def test_runtime_switch_before_run():
+    scheduler = make_scheduler()
+    scheduler.api.set_dvsync_enabled(False)
+    assert not scheduler.api.enabled
+    scheduler.api.set_dvsync_enabled(True)
+    assert scheduler.api.enabled
+
+
+def test_runtime_switch_mid_run_effective():
+    scheduler = make_scheduler()
+    scheduler.api.set_dvsync_enabled(False)
+    result = scheduler.run()
+    assert all(not f.decoupled for f in result.frames)
+
+
+def test_stage_property():
+    scheduler = make_scheduler()
+    assert scheduler.api.stage is FPEStage.ACCUMULATION

@@ -1,0 +1,50 @@
+"""Tests for D-VSync configuration."""
+
+import pytest
+
+from repro.core.config import DVSyncConfig
+from repro.errors import ConfigurationError
+from repro.units import us
+
+
+def test_defaults_match_paper_deployment():
+    config = DVSyncConfig()
+    assert config.buffer_count == 4
+    assert config.resolved_prerender_limit == 3  # 3 back buffers (§5.1)
+    assert config.per_frame_overhead_ns == us(102.6)
+    assert config.dtv_enabled and config.ipl_enabled and config.enabled
+
+
+def test_explicit_limit_respected():
+    config = DVSyncConfig(buffer_count=5, prerender_limit=3)
+    assert config.resolved_prerender_limit == 3
+
+
+def test_limit_cannot_exceed_back_buffers():
+    with pytest.raises(ConfigurationError):
+        DVSyncConfig(buffer_count=4, prerender_limit=4)
+
+
+def test_limit_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        DVSyncConfig(buffer_count=4, prerender_limit=0)
+
+
+def test_minimum_buffer_count():
+    with pytest.raises(ConfigurationError):
+        DVSyncConfig(buffer_count=2)
+
+
+def test_negative_overhead_rejected():
+    with pytest.raises(ConfigurationError):
+        DVSyncConfig(per_frame_overhead_ns=-1)
+
+
+def test_pipeline_depth_validated():
+    with pytest.raises(ConfigurationError):
+        DVSyncConfig(pipeline_depth_periods=0)
+
+
+def test_seven_buffer_sweep_config():
+    config = DVSyncConfig(buffer_count=7)
+    assert config.resolved_prerender_limit == 6

@@ -1,0 +1,58 @@
+"""Tests for the runtime controller's per-frame routing."""
+
+from repro.core.controller import RuntimeController, TimingMode
+from repro.pipeline.frame import FrameCategory
+
+
+def test_animations_route_to_dvsync():
+    controller = RuntimeController()
+    assert controller.mode_for(FrameCategory.DETERMINISTIC_ANIMATION) is TimingMode.DVSYNC
+
+
+def test_interactions_route_to_dvsync_with_ipl():
+    controller = RuntimeController(ipl_enabled=True)
+    assert controller.mode_for(FrameCategory.PREDICTABLE_INTERACTION) is TimingMode.DVSYNC
+
+
+def test_interactions_fall_back_without_ipl():
+    controller = RuntimeController(ipl_enabled=False)
+    assert controller.mode_for(FrameCategory.PREDICTABLE_INTERACTION) is TimingMode.VSYNC
+
+
+def test_realtime_always_vsync():
+    controller = RuntimeController()
+    assert controller.mode_for(FrameCategory.REALTIME) is TimingMode.VSYNC
+
+
+def test_disabled_routes_everything_to_vsync():
+    controller = RuntimeController(enabled=False)
+    for category in FrameCategory:
+        assert controller.mode_for(category) is TimingMode.VSYNC
+
+
+def test_runtime_switch_logged():
+    controller = RuntimeController(enabled=True)
+    controller.set_enabled(False, now=100)
+    controller.set_enabled(True, now=200)
+    assert controller.switch_log == [(100, False), (200, True)]
+
+
+def test_redundant_switch_not_logged():
+    controller = RuntimeController(enabled=True)
+    controller.set_enabled(True, now=50)
+    assert controller.switch_log == []
+
+
+def test_note_routed_counters():
+    controller = RuntimeController()
+    controller.note_routed(TimingMode.DVSYNC)
+    controller.note_routed(TimingMode.DVSYNC)
+    controller.note_routed(TimingMode.VSYNC)
+    assert controller.routed_dvsync == 2
+    assert controller.routed_vsync == 1
+
+
+def test_mode_for_is_pure():
+    controller = RuntimeController()
+    controller.mode_for(FrameCategory.DETERMINISTIC_ANIMATION)
+    assert controller.routed_dvsync == 0

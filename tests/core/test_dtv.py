@@ -1,0 +1,133 @@
+"""Tests for the Display Time Virtualizer."""
+
+from repro.core.dtv import DisplayTimeVirtualizer
+from repro.display.hal import PresentRecord
+from repro.display.vsync import HWVsyncSource
+from repro.graphics.bufferqueue import BufferQueue
+from repro.pipeline.stages import RenderPipeline
+from repro.sim.engine import Simulator
+
+PERIOD = 100
+
+
+def make_dtv(depth=2):
+    sim = Simulator()
+    source = HWVsyncSource(sim, PERIOD)
+    queue = BufferQueue(capacity=4, buffer_bytes=1024)
+    pipeline = RenderPipeline(sim, queue)
+    dtv = DisplayTimeVirtualizer(source, queue, pipeline, pipeline_depth_periods=depth)
+    return sim, source, queue, pipeline, dtv
+
+
+def present(frame_id, time, period=PERIOD):
+    return PresentRecord(
+        frame_id=frame_id,
+        present_time=time,
+        vsync_index=time // period,
+        content_timestamp=0,
+        queue_depth_after=0,
+        refresh_period=period,
+    )
+
+
+def test_empty_queue_predicts_pipeline_floor():
+    sim, source, _, _, dtv = make_dtv()
+    source.start()
+    sim.run(until=0)
+    dtv._exec_estimate_ns = 40
+    prediction = dtv.preview(sim.now)
+    # Ready by t=40 -> first latch at 100, visible at 200.
+    assert prediction.predicted_present == 200
+    assert prediction.d_timestamp == 0  # present - 2 periods
+
+
+def test_occupancy_pushes_prediction_back():
+    sim, source, queue, _, dtv = make_dtv()
+    source.start()
+    sim.run(until=0)
+    dtv._exec_estimate_ns = 40
+    for frame_id in range(2):
+        buffer = queue.try_dequeue()
+        queue.queue(buffer, frame_id=frame_id, content_timestamp=0, render_rate_hz=60, now=0)
+    prediction = dtv.preview(sim.now)
+    # Two buffers ahead: latch at 300, present at 400.
+    assert prediction.predicted_present == 400
+
+
+def test_commit_enforces_monotonic_pacing():
+    sim, source, _, _, dtv = make_dtv()
+    source.start()
+    sim.run(until=0)
+    dtv._exec_estimate_ns = 10
+    first = dtv.preview(sim.now)
+    dtv.commit(first)
+    second = dtv.preview(sim.now)
+    assert second.predicted_present == first.predicted_present + PERIOD
+
+
+def test_preview_does_not_mutate():
+    sim, source, _, _, dtv = make_dtv()
+    source.start()
+    sim.run(until=0)
+    a = dtv.preview(sim.now)
+    b = dtv.preview(sim.now)
+    assert a == b
+    assert dtv.predictions_made == 0
+
+
+def test_calibration_records_error_and_skips():
+    sim, source, _, _, dtv = make_dtv()
+    source.start()
+    sim.run(until=0)
+    prediction = dtv.predict(sim.now)
+    dtv.track(7, prediction)
+    # The frame actually displayed one period late (a residual drop).
+    dtv.on_present(present(7, prediction.predicted_present + PERIOD))
+    assert dtv.calibrations == 1
+    assert dtv.skipped_periods == 1
+    assert dtv.pacing_errors_ns == [PERIOD]
+
+
+def test_untracked_present_ignored():
+    _, _, _, _, dtv = make_dtv()
+    dtv.on_present(present(99, 500))
+    assert dtv.calibrations == 0
+
+
+def test_exec_estimate_ewma_moves_toward_observations():
+    _, _, _, _, dtv = make_dtv()
+    start = dtv.exec_estimate_ns
+    for _ in range(50):
+        dtv.observe_execution(10)
+    assert dtv.exec_estimate_ns < start
+    assert abs(dtv.exec_estimate_ns - 10) < 5
+
+
+def test_exec_estimate_ignores_nonpositive():
+    _, _, _, _, dtv = make_dtv()
+    before = dtv.exec_estimate_ns
+    dtv.observe_execution(0)
+    assert dtv.exec_estimate_ns == before
+
+
+def test_mean_abs_pacing_error():
+    _, _, _, _, dtv = make_dtv()
+    dtv.pacing_errors_ns.extend([-100, 100, 200])
+    assert dtv.mean_abs_pacing_error_ns() == (100 + 100 + 200) / 3
+
+
+def test_rate_change_resets_floor():
+    sim, source, _, _, dtv = make_dtv()
+    source.start()
+    sim.run(until=0)
+    dtv.predict(sim.now)
+    dtv.on_rate_change(PERIOD, PERIOD * 2)
+    assert dtv._last_committed_present is None
+
+
+def test_d_timestamp_back_dating_depth():
+    sim, source, _, _, dtv3 = make_dtv(depth=3)
+    source.start()
+    sim.run(until=0)
+    prediction = dtv3.preview(sim.now)
+    assert prediction.predicted_present - prediction.d_timestamp == 3 * PERIOD

@@ -1,0 +1,141 @@
+"""Tests for the D-VSync scheduler end to end."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import DVSyncConfig
+from repro.core.dvsync import DVSyncScheduler
+from repro.display.device import PIXEL_5
+from repro.pipeline.frame import FrameCategory
+from repro.testing import light_params, make_animation
+from repro.units import hz_to_period, ms
+from repro.vsync.scheduler import VSyncScheduler
+from repro.workloads.distributions import FrameTimeParams
+
+PERIOD = hz_to_period(60)
+
+
+def run_dvsync(driver, config=None):
+    scheduler = DVSyncScheduler(driver, PIXEL_5, config or DVSyncConfig(buffer_count=4))
+    return scheduler.run(), scheduler
+
+
+def test_accumulation_builds_queue_depth():
+    driver = make_animation(light_params(), "dv-accum", duration_ms=500)
+    result, scheduler = run_dvsync(driver)
+    # Short frames accumulate up to the pre-render limit.
+    assert scheduler.buffer_queue.max_queued_depth >= 3
+
+
+def test_frames_run_ahead_of_display():
+    driver = make_animation(light_params(), "dv-ahead", duration_ms=500)
+    result, _ = run_dvsync(driver)
+    leads = [
+        f.present_time - f.trigger_time for f in result.presented_frames[6:-4]
+    ]
+    # Steady decoupled frames execute several periods before display.
+    assert min(leads) >= 2 * PERIOD
+    assert max(leads) >= 3 * PERIOD
+
+
+def test_d_timestamps_pace_uniformly():
+    driver = make_animation(light_params(), "dv-pace", duration_ms=500)
+    result, _ = run_dvsync(driver)
+    stamps = [f.content_timestamp for f in result.frames]
+    deltas = {stamps[i + 1] - stamps[i] for i in range(len(stamps) - 1)}
+    # One VSync period apart (integer rounding of 16.7 ms allowed).
+    assert all(abs(d - PERIOD) <= 2 for d in deltas)
+
+
+def test_content_matches_display_time():
+    driver = make_animation(light_params(), "dv-correct", duration_ms=500)
+    result, _ = run_dvsync(driver)
+    for frame in result.presented_frames:
+        # DTV convention: content represents present minus two periods.
+        assert abs((frame.present_time - frame.content_timestamp) - 2 * PERIOD) <= 2
+
+
+def test_absorbs_long_frame_that_drops_under_vsync():
+    def inject(driver):
+        workload = driver._workloads[12]
+        driver._workloads[12] = dataclasses.replace(
+            workload, render_ns=int(2.6 * PERIOD)
+        )
+        return driver
+
+    vsync_driver = inject(make_animation(light_params(), "dv-absorb", duration_ms=500))
+    baseline = VSyncScheduler(vsync_driver, PIXEL_5, buffer_count=3).run()
+    assert len(baseline.effective_drops) >= 1
+
+    dvsync_driver = inject(make_animation(light_params(), "dv-absorb", duration_ms=500))
+    improved, _ = run_dvsync(dvsync_driver)
+    assert len(improved.effective_drops) == 0
+
+
+def test_overhead_charged_per_decoupled_frame():
+    driver = make_animation(light_params(), "dv-cost", duration_ms=500)
+    result, _ = run_dvsync(driver)
+    decoupled = sum(1 for f in result.frames if f.decoupled)
+    assert result.scheduler_overhead_ns == decoupled * DVSyncConfig().per_frame_overhead_ns
+
+
+def test_realtime_frames_take_vsync_path():
+    params = dataclasses.replace(light_params(), category=FrameCategory.REALTIME)
+    driver = make_animation(params, "dv-realtime", duration_ms=400)
+    result, scheduler = run_dvsync(driver)
+    assert result.frames, "realtime frames still render"
+    assert all(not f.decoupled for f in result.frames)
+    assert scheduler.controller.routed_vsync == len(result.frames)
+    # Traditional path: content timestamps are tick times, not D-Timestamps.
+    for frame in result.frames:
+        assert frame.trigger_time == frame.content_timestamp
+
+
+def test_disabled_dvsync_behaves_like_vsync():
+    config = DVSyncConfig(buffer_count=4, enabled=False)
+    driver = make_animation(light_params(), "dv-off", duration_ms=400)
+    result, _ = run_dvsync(driver, config)
+    assert all(not f.decoupled for f in result.frames)
+
+
+def test_dtv_ablation_stamps_wall_clock():
+    config = DVSyncConfig(buffer_count=4, dtv_enabled=False)
+    driver = make_animation(light_params(), "dv-nodtv", duration_ms=400)
+    result, _ = run_dvsync(driver, config)
+    for frame in result.frames:
+        assert frame.content_timestamp == frame.trigger_time
+
+
+def test_extra_metrics_reported():
+    driver = make_animation(light_params(), "dv-extra", duration_ms=400)
+    result, _ = run_dvsync(driver)
+    assert result.extra["fpe_triggers_accumulation"] >= 1
+    assert result.extra["dtv_predictions"] == len(result.frames)
+    assert result.extra["prerender_limit"] == 3
+
+
+def test_bursty_driver_drains_between_bursts():
+    driver = make_animation(
+        light_params(), "dv-burst", duration_ms=200, bursts=3, burst_period_ms=500
+    )
+    result, _ = run_dvsync(driver)
+    assert len(result.effective_drops) == 0
+    # No content may be produced before its burst's input arrives.
+    for frame in result.frames:
+        burst = (frame.content_timestamp) // ms(500)
+        assert frame.trigger_time >= burst * ms(500)
+
+
+def test_deterministic_across_runs():
+    first, _ = run_dvsync(make_animation(light_params(), "dv-det", duration_ms=400))
+    second, _ = run_dvsync(make_animation(light_params(), "dv-det", duration_ms=400))
+    assert [f.present_time for f in first.frames] == [
+        f.present_time for f in second.frames
+    ]
+
+
+def test_pacing_error_small_without_drops():
+    driver = make_animation(light_params(), "dv-err", duration_ms=500)
+    result, _ = run_dvsync(driver)
+    assert result.extra["dtv_mean_abs_pacing_error_ns"] < PERIOD / 2

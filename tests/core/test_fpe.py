@@ -1,0 +1,107 @@
+"""Tests for the Frame Pre-Executor's two-stage policy."""
+
+from repro.core.fpe import FPEStage, FramePreExecutor
+from repro.graphics.bufferqueue import BufferQueue
+from repro.pipeline.frame import FrameRecord, FrameWorkload
+from repro.pipeline.stages import RenderPipeline
+from repro.sim.engine import Simulator
+
+
+class Harness:
+    def __init__(self, capacity=4, limit=3):
+        self.sim = Simulator()
+        self.queue = BufferQueue(capacity=capacity, buffer_bytes=1024)
+        self.pipeline = RenderPipeline(self.sim, self.queue)
+        self.triggered = 0
+        self.allow = True
+        self.fpe = FramePreExecutor(self.queue, self.pipeline, limit, self._trigger)
+
+    def _trigger(self):
+        if not self.allow:
+            return False
+        self.triggered += 1
+        frame = FrameRecord(
+            frame_id=self.triggered,
+            workload=FrameWorkload(ui_ns=10, render_ns=10),
+            trigger_time=self.sim.now,
+            content_timestamp=self.sim.now,
+        )
+        self.pipeline.start_frame(frame)
+        return True
+
+    def queue_buffer(self, frame_id):
+        buffer = self.queue.try_dequeue()
+        self.queue.queue(buffer, frame_id=frame_id, content_timestamp=0,
+                         render_rate_hz=60, now=self.sim.now)
+
+
+def test_initial_stage_is_accumulation():
+    h = Harness()
+    assert h.fpe.stage is FPEStage.ACCUMULATION
+
+
+def test_trigger_succeeds_when_gate_open():
+    h = Harness()
+    assert h.fpe.try_trigger()
+    assert h.triggered == 1
+
+
+def test_trigger_blocked_while_ui_busy():
+    h = Harness()
+    h.fpe.try_trigger()
+    # UI thread is busy with the frame we just started.
+    assert not h.fpe.try_trigger()
+    assert h.triggered == 1
+
+
+def test_occupancy_counts_queued_plus_extra_inflight():
+    h = Harness()
+    h.queue_buffer(0)
+    h.queue_buffer(1)
+    assert h.fpe.occupancy == 2
+    h.fpe.try_trigger()  # one frame in flight doesn't add to occupancy
+    assert h.fpe.occupancy == 2
+
+
+def test_gate_closes_at_limit():
+    h = Harness(capacity=5, limit=3)
+    for frame_id in range(3):
+        h.queue_buffer(frame_id)
+    assert h.fpe.stage is FPEStage.SYNC
+    assert not h.fpe.try_trigger()
+
+
+def test_sync_trigger_counted_after_block():
+    h = Harness(capacity=5, limit=3)
+    for frame_id in range(3):
+        h.queue_buffer(frame_id)
+    assert not h.fpe.try_trigger()  # blocked on occupancy
+    h.queue.acquire()  # screen consumes one
+    assert h.fpe.try_trigger()
+    assert h.fpe.triggers_in_sync == 1
+    assert h.fpe.triggers_in_accumulation == 0
+
+
+def test_accumulation_triggers_counted():
+    h = Harness()
+    h.fpe.try_trigger()
+    h.sim.run()
+    h.fpe.try_trigger()
+    h.sim.run()
+    assert h.fpe.triggers_in_accumulation == 2
+    assert h.fpe.triggers_in_sync == 0
+
+
+def test_trigger_callback_refusal_propagates():
+    h = Harness()
+    h.allow = False
+    assert not h.fpe.try_trigger()
+    assert h.triggered == 0
+
+
+def test_limit_is_mutable_at_runtime():
+    h = Harness(capacity=5, limit=1)
+    h.queue_buffer(0)
+    assert not h.fpe.can_trigger()
+    h.fpe.prerender_limit = 3  # aware-channel API raises the limit
+    assert h.fpe.can_trigger()

@@ -1,0 +1,135 @@
+"""Tests for the Input Prediction Layer and its curve fitters."""
+
+import pytest
+
+from repro.core.ipl import (
+    InputPredictionLayer,
+    LastValuePredictor,
+    LinearPredictor,
+    QuadraticPredictor,
+    ZoomingDistancePredictor,
+)
+from repro.errors import PredictionError
+from repro.units import ms, us
+
+
+def linear_samples(slope=2.0, count=8, step_ms=8.0):
+    return [(ms(step_ms * i), slope * step_ms * i / 1000) for i in range(count)]
+
+
+def test_last_value_returns_latest():
+    predictor = LastValuePredictor()
+    samples = [(0, 1.0), (100, 2.0), (200, 3.5)]
+    assert predictor.predict(samples, 10_000) == 3.5
+
+
+def test_last_value_needs_one_sample():
+    with pytest.raises(PredictionError):
+        LastValuePredictor().predict([], 0)
+
+
+def test_linear_extrapolates_constant_velocity():
+    predictor = LinearPredictor()
+    samples = linear_samples(slope=2.0)
+    target = ms(100)
+    assert predictor.predict(samples, target) == pytest.approx(0.2, abs=1e-6)
+
+
+def test_linear_needs_two_samples():
+    with pytest.raises(PredictionError):
+        LinearPredictor().predict([(0, 1.0)], 100)
+
+
+def test_linear_window_validation():
+    with pytest.raises(PredictionError):
+        LinearPredictor(window=1)
+
+
+def test_quadratic_fits_parabola():
+    predictor = QuadraticPredictor()
+    samples = [(ms(8 * i), (8 * i / 1000) ** 2) for i in range(8)]
+    target_s = 0.1
+    predicted = predictor.predict(samples, ms(100))
+    assert predicted == pytest.approx(target_s**2, rel=0.05)
+
+
+def test_quadratic_needs_three_samples():
+    with pytest.raises(PredictionError):
+        QuadraticPredictor().predict([(0, 0.0), (1, 1.0)], 100)
+
+
+def test_zdp_is_linear_with_paper_overhead():
+    assert ZoomingDistancePredictor.overhead_ns == us(151.6)
+    predictor = ZoomingDistancePredictor()
+    samples = linear_samples(slope=1.0)
+    assert predictor.predict(samples, ms(120)) == pytest.approx(0.12, abs=1e-6)
+
+
+def test_layer_defaults_to_linear():
+    layer = InputPredictionLayer()
+    assert isinstance(layer.predictor, LinearPredictor)
+
+
+def test_layer_counts_predictions_and_overhead():
+    layer = InputPredictionLayer(ZoomingDistancePredictor())
+    layer.predict(linear_samples(), ms(100))
+    layer.predict(linear_samples(), ms(110))
+    assert layer.predictions == 2
+    assert layer.total_overhead_ns == 2 * us(151.6)
+
+
+def test_layer_returns_none_without_samples():
+    layer = InputPredictionLayer()
+    assert layer.predict([], 100) is None
+
+
+def test_layer_falls_back_to_last_value_when_unfittable():
+    layer = InputPredictionLayer()
+    value = layer.predict([(0, 4.2)], ms(100))  # one sample: no line fit
+    assert value == 4.2
+    assert layer.fallbacks == 1
+    assert layer.predictions == 0
+
+
+def test_register_replaces_predictor():
+    layer = InputPredictionLayer()
+    zdp = ZoomingDistancePredictor()
+    layer.register(zdp)
+    assert layer.predictor is zdp
+
+
+def test_alpha_beta_tracks_constant_velocity():
+    from repro.core.ipl import AlphaBetaPredictor
+
+    predictor = AlphaBetaPredictor()
+    samples = linear_samples(slope=3.0, count=12)
+    predicted = predictor.predict(samples, ms(120))
+    assert predicted == pytest.approx(0.36, abs=0.03)
+
+
+def test_alpha_beta_robust_to_noise():
+    from repro.core.ipl import AlphaBetaPredictor
+    from repro.sim.rng import SeededRng
+
+    rng = SeededRng(11)
+    noisy = [
+        (t, v + rng.normal(0.0, 0.005)) for t, v in linear_samples(slope=2.0, count=20)
+    ]
+    ab = AlphaBetaPredictor().predict(noisy, ms(200))
+    assert ab == pytest.approx(0.4, abs=0.06)
+
+
+def test_alpha_beta_needs_two_samples():
+    from repro.core.ipl import AlphaBetaPredictor
+
+    with pytest.raises(PredictionError):
+        AlphaBetaPredictor().predict([(0, 1.0)], 100)
+
+
+def test_alpha_beta_parameter_validation():
+    from repro.core.ipl import AlphaBetaPredictor
+
+    with pytest.raises(PredictionError):
+        AlphaBetaPredictor(alpha=0.0)
+    with pytest.raises(PredictionError):
+        AlphaBetaPredictor(beta=3.0)

@@ -1,0 +1,58 @@
+"""Tests for the D-VSync x LTPO co-design."""
+
+from repro.core.config import DVSyncConfig
+from repro.core.dvsync import DVSyncScheduler
+from repro.core.ltpo_codesign import LTPOCoDesign
+from repro.display.device import MATE_60_PRO
+from repro.display.ltpo import LTPOController
+from repro.testing import light_params, make_animation
+from repro.units import ms
+from repro.workloads.animations import DecelerateCurve
+from repro.workloads.drivers import AnimationDriver
+
+
+def make_run(enforce_drain=True, duration_ms=1200.0):
+    params = light_params(refresh_hz=120)
+    driver = AnimationDriver(
+        "ltpo-fling",
+        params,
+        duration_ns=ms(duration_ms),
+        curve=DecelerateCurve(rate=4.0),  # fast start, slow tail
+    )
+    scheduler = DVSyncScheduler(driver, MATE_60_PRO, DVSyncConfig(buffer_count=4))
+    ltpo = LTPOController(scheduler.hw_vsync, max_hz=120)
+    bridge = LTPOCoDesign(scheduler, ltpo, enforce_drain=enforce_drain)
+    result = scheduler.run()
+    return result, scheduler, ltpo, bridge
+
+
+def test_rate_drops_as_fling_decelerates():
+    _, _, ltpo, _ = make_run()
+    assert ltpo.current_hz < 120
+    switched_to = [entry[2] for entry in ltpo.switch_log]
+    assert switched_to == sorted(switched_to, reverse=True)
+
+
+def test_co_design_prevents_rate_mismatch():
+    _, _, _, bridge = make_run(enforce_drain=True)
+    assert bridge.rate_mismatched_presents == 0
+
+
+def test_without_co_design_mismatches_appear():
+    _, _, _, bridge = make_run(enforce_drain=False)
+    assert bridge.rate_mismatched_presents > 0
+
+
+def test_deferred_switches_counted_with_drain_rule():
+    _, _, _, bridge = make_run(enforce_drain=True)
+    assert bridge.deferred_switches > 0
+
+
+def test_render_rate_follows_panel():
+    _, scheduler, ltpo, _ = make_run()
+    assert scheduler.pipeline.render_rate_hz == ltpo.current_hz
+
+
+def test_no_drops_introduced_by_rate_switches():
+    result, _, _, _ = make_run()
+    assert len(result.effective_drops) == 0

@@ -1,0 +1,106 @@
+"""Tests for device profiles (Table 1)."""
+
+import pytest
+
+from repro.display.device import (
+    ALL_DEVICES,
+    MATE_40_PRO,
+    MATE_60_PRO,
+    MATE_60_PRO_VULKAN,
+    PIXEL_5,
+    DeviceProfile,
+    GraphicsBackend,
+    OperatingSystem,
+    device_by_name,
+)
+from repro.errors import ConfigurationError
+
+
+def test_table1_refresh_rates():
+    assert PIXEL_5.refresh_hz == 60
+    assert MATE_40_PRO.refresh_hz == 90
+    assert MATE_60_PRO.refresh_hz == 120
+
+
+def test_table1_resolutions():
+    assert (PIXEL_5.width, PIXEL_5.height) == (1080, 2340)
+    assert (MATE_40_PRO.width, MATE_40_PRO.height) == (1344, 2772)
+    assert (MATE_60_PRO.width, MATE_60_PRO.height) == (1260, 2720)
+
+
+def test_os_and_backend():
+    assert PIXEL_5.os is OperatingSystem.AOSP
+    assert MATE_60_PRO.os is OperatingSystem.OPENHARMONY
+    assert MATE_60_PRO_VULKAN.backend is GraphicsBackend.VULKAN
+
+
+def test_default_buffer_counts():
+    # Android triple buffering; OpenHarmony uses four buffers (§2).
+    assert PIXEL_5.default_buffer_count == 3
+    assert MATE_40_PRO.default_buffer_count == 4
+    assert MATE_60_PRO.default_buffer_count == 4
+
+
+def test_framebuffer_bytes_pixel5_about_10mb():
+    # §6.4: a full-screen RGBA8888 buffer is ~10 MB on Pixel 5.
+    assert PIXEL_5.framebuffer_bytes / (1024 * 1024) == pytest.approx(9.6, abs=0.5)
+
+
+def test_framebuffer_bytes_mate_about_15mb():
+    assert MATE_40_PRO.framebuffer_bytes / (1024 * 1024) == pytest.approx(14.2, abs=1.0)
+
+
+def test_pixels_per_second():
+    assert PIXEL_5.pixels_per_second == 1080 * 2340 * 60
+
+
+def test_with_backend_copies():
+    vulkan = MATE_60_PRO.with_backend(GraphicsBackend.VULKAN)
+    assert vulkan.backend is GraphicsBackend.VULKAN
+    assert vulkan.refresh_hz == MATE_60_PRO.refresh_hz
+
+
+def test_at_refresh_rebases_period():
+    game_device = MATE_60_PRO.at_refresh(30)
+    assert game_device.refresh_hz == 30
+    assert game_device.vsync_period == 33_333_333
+
+
+def test_device_by_name_case_insensitive():
+    assert device_by_name("google pixel 5") is PIXEL_5
+
+
+def test_device_by_name_unknown_raises():
+    with pytest.raises(ConfigurationError):
+        device_by_name("Nokia 3310")
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ConfigurationError):
+        DeviceProfile(
+            name="bad",
+            release="never",
+            os=OperatingSystem.AOSP,
+            backend=GraphicsBackend.GLES,
+            width=0,
+            height=100,
+            refresh_hz=60,
+        )
+
+
+def test_buffer_minimum_enforced():
+    with pytest.raises(ConfigurationError):
+        DeviceProfile(
+            name="bad",
+            release="never",
+            os=OperatingSystem.AOSP,
+            backend=GraphicsBackend.GLES,
+            width=100,
+            height=100,
+            refresh_hz=60,
+            default_buffer_count=1,
+        )
+
+
+def test_all_devices_covers_four_configs():
+    assert len(ALL_DEVICES) == 4

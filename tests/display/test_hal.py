@@ -1,0 +1,42 @@
+"""Tests for the screen HAL / present fences."""
+
+from repro.display.hal import PresentRecord, ScreenHAL
+
+
+def make_record(frame_id=0, present_time=1000):
+    return PresentRecord(
+        frame_id=frame_id,
+        present_time=present_time,
+        vsync_index=1,
+        content_timestamp=500,
+        queue_depth_after=2,
+        refresh_period=100,
+    )
+
+
+def test_signal_present_records():
+    hal = ScreenHAL()
+    hal.signal_present(make_record())
+    assert hal.presented_count == 1
+    assert hal.last_present().frame_id == 0
+
+
+def test_listeners_notified_in_order():
+    hal = ScreenHAL()
+    seen = []
+    hal.add_listener(lambda r: seen.append(("a", r.frame_id)))
+    hal.add_listener(lambda r: seen.append(("b", r.frame_id)))
+    hal.signal_present(make_record(frame_id=7))
+    assert seen == [("a", 7), ("b", 7)]
+
+
+def test_last_present_none_when_empty():
+    assert ScreenHAL().last_present() is None
+
+
+def test_multiple_presents_accumulate():
+    hal = ScreenHAL()
+    for i in range(5):
+        hal.signal_present(make_record(frame_id=i, present_time=i * 100))
+    assert hal.presented_count == 5
+    assert [p.frame_id for p in hal.presents] == [0, 1, 2, 3, 4]

@@ -1,0 +1,100 @@
+"""Tests for the LTPO variable-refresh-rate controller."""
+
+import pytest
+
+from repro.display.ltpo import DEFAULT_TIERS, LTPOController, RateTier
+from repro.display.vsync import HWVsyncSource
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.units import hz_to_period
+
+
+def make_controller(max_hz=None):
+    sim = Simulator()
+    source = HWVsyncSource(sim, hz_to_period(120))
+    return sim, source, LTPOController(source, max_hz=max_hz)
+
+
+def test_starts_at_highest_tier():
+    _, _, ltpo = make_controller()
+    assert ltpo.current_hz == 120
+
+
+def test_select_tier_by_speed():
+    _, _, ltpo = make_controller()
+    assert ltpo.select_tier(2.0) == 120
+    assert ltpo.select_tier(0.5) == 90
+    assert ltpo.select_tier(0.1) == 60
+    assert ltpo.select_tier(0.0) == 30
+
+
+def test_observe_speed_switches_rate():
+    sim, source, ltpo = make_controller()
+    source.start()
+    sim.run(until=1)
+    ltpo.observe_speed(0.1)
+    assert ltpo.current_hz == 60
+    assert source.period == hz_to_period(120)  # pending until next tick
+    sim.run(until=hz_to_period(120) + 1)
+    assert source.period == hz_to_period(60)
+
+
+def test_switch_gate_defers_until_open():
+    sim, source, ltpo = make_controller()
+    source.start()
+    gate_open = {"value": False}
+    ltpo.switch_gate = lambda hz: gate_open["value"]
+    sim.run(until=1)
+    ltpo.observe_speed(0.1)
+    assert ltpo.current_hz == 120  # deferred
+    gate_open["value"] = True
+    ltpo.notify_buffers_drained()
+    assert ltpo.current_hz == 60
+
+
+def test_rate_listener_invoked():
+    sim, source, ltpo = make_controller()
+    source.start()
+    sim.run(until=1)
+    changes = []
+    ltpo.add_rate_listener(lambda old, new: changes.append((old, new)))
+    ltpo.observe_speed(0.5)
+    assert changes == [(hz_to_period(120), hz_to_period(90))]
+
+
+def test_switch_log_records():
+    sim, source, ltpo = make_controller()
+    source.start()
+    sim.run(until=1)
+    ltpo.observe_speed(0.1)
+    assert ltpo.switch_log[-1][1:] == (120, 60)
+
+
+def test_max_hz_filters_tiers():
+    _, _, ltpo = make_controller(max_hz=60)
+    assert ltpo.current_hz == 60
+    assert ltpo.select_tier(5.0) == 60
+
+
+def test_empty_tiers_rejected():
+    sim = Simulator()
+    source = HWVsyncSource(sim, hz_to_period(120))
+    with pytest.raises(ConfigurationError):
+        LTPOController(source, tiers=())
+    with pytest.raises(ConfigurationError):
+        LTPOController(source, max_hz=10)
+
+
+def test_default_tiers_ordering():
+    rates = [t.refresh_hz for t in DEFAULT_TIERS]
+    assert rates == sorted(rates, reverse=True)
+
+
+def test_custom_tiers():
+    sim = Simulator()
+    source = HWVsyncSource(sim, hz_to_period(144))
+    ltpo = LTPOController(
+        source, tiers=(RateTier(144, 0.5), RateTier(48, 0.0))
+    )
+    assert ltpo.select_tier(1.0) == 144
+    assert ltpo.select_tier(0.2) == 48

@@ -1,0 +1,34 @@
+"""Tests for the Figure 3 flagship dataset."""
+
+from repro.display.trend import FLAGSHIP_DATASET, growth_factor, pixels_per_second_series
+
+
+def test_series_sorted_by_year():
+    years = [year for year, _, _ in pixels_per_second_series()]
+    assert years == sorted(years)
+
+
+def test_growth_factor_about_25x():
+    # The paper quotes ~25x growth since 2010.
+    assert 15 <= growth_factor() <= 40
+
+
+def test_iphone4_baseline_present():
+    models = {r.model for r in FLAGSHIP_DATASET}
+    assert "iPhone 4" in models
+    assert "Galaxy S" in models
+
+
+def test_pixels_per_second_formula():
+    record = FLAGSHIP_DATASET[0]
+    assert record.pixels_per_second == record.width * record.height * record.refresh_hz
+
+
+def test_dataset_spans_2010_to_2024():
+    years = {r.year for r in FLAGSHIP_DATASET}
+    assert min(years) == 2010
+    assert max(years) == 2024
+
+
+def test_modern_high_refresh_devices_present():
+    assert any(r.refresh_hz >= 120 for r in FLAGSHIP_DATASET)

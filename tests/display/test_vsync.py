@@ -1,0 +1,175 @@
+"""Tests for HW-VSync generation and software VSync channels."""
+
+import pytest
+
+from repro.display.vsync import HWVsyncSource, VsyncChannel, VsyncOffsets
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.units import ms
+
+
+def make_source(period=ms(16.7)):
+    sim = Simulator()
+    return sim, HWVsyncSource(sim, period)
+
+
+def test_ticks_at_fixed_period():
+    sim, source = make_source(period=100)
+    ticks = []
+    source.add_listener(lambda t, i: ticks.append((t, i)))
+    source.start()
+    sim.run(until=450)
+    assert ticks == [(0, 0), (100, 1), (200, 2), (300, 3), (400, 4)]
+
+
+def test_start_at_custom_time():
+    sim, source = make_source(period=100)
+    ticks = []
+    source.add_listener(lambda t, i: ticks.append(t))
+    source.start(first_tick_at=50)
+    sim.run(until=260)
+    assert ticks == [50, 150, 250]
+
+
+def test_stop_halts_ticks():
+    sim, source = make_source(period=100)
+    ticks = []
+    source.add_listener(lambda t, i: ticks.append(t))
+    source.start()
+    sim.run(until=250)
+    source.stop()
+    sim.run(until=1000)
+    assert len(ticks) == 3
+
+
+def test_period_change_takes_effect_next_tick():
+    sim, source = make_source(period=100)
+    ticks = []
+    source.add_listener(lambda t, i: ticks.append(t))
+    source.start()
+    sim.run(until=150)  # ticks at 0 and 100
+    source.request_period(50)
+    sim.run(until=320)
+    # Change applies at the 200 tick: 200, then 250, 300.
+    assert ticks == [0, 100, 200, 250, 300]
+
+
+def test_invalid_period_rejected():
+    sim = Simulator()
+    with pytest.raises(ConfigurationError):
+        HWVsyncSource(sim, 0)
+    source = HWVsyncSource(sim, 100)
+    with pytest.raises(ConfigurationError):
+        source.request_period(-5)
+
+
+def test_next_tick_time_reports_pending_tick():
+    sim, source = make_source(period=100)
+    source.start()
+    sim.run(until=10)
+    assert source.next_tick_time() == 100
+
+
+def test_remove_listener():
+    sim, source = make_source(period=100)
+    ticks = []
+    listener = lambda t, i: ticks.append(t)  # noqa: E731
+    source.add_listener(listener)
+    source.start()
+    sim.run(until=50)
+    source.remove_listener(listener)
+    sim.run(until=500)
+    assert ticks == [0]
+
+
+def test_channel_delivers_one_shot_callbacks():
+    sim, source = make_source(period=100)
+    channel = VsyncChannel(source, offset=0)
+    seen = []
+    channel.request_callback(lambda t, i: seen.append((t, i)))
+    source.start()
+    sim.run(until=250)
+    # One request -> exactly one delivery, even across multiple ticks.
+    assert seen == [(0, 0)]
+
+
+def test_channel_offset_delays_delivery():
+    sim, source = make_source(period=100)
+    channel = VsyncChannel(source, offset=30)
+    seen = []
+    channel.request_callback(lambda t, i: seen.append((t, sim.now)))
+    source.start()
+    sim.run(until=200)
+    # Timestamp is the tick; delivery happens offset later.
+    assert seen == [(0, 30)]
+
+
+def test_channel_rerequest_from_callback():
+    sim, source = make_source(period=100)
+    channel = VsyncChannel(source, offset=0)
+    seen = []
+
+    def on_tick(t, i):
+        seen.append(t)
+        if len(seen) < 3:
+            channel.request_callback(on_tick)
+
+    channel.request_callback(on_tick)
+    source.start()
+    sim.run(until=1000)
+    assert seen == [0, 100, 200]
+
+
+def test_channel_negative_offset_rejected():
+    sim, source = make_source()
+    with pytest.raises(ConfigurationError):
+        VsyncChannel(source, offset=-1)
+
+
+def test_offsets_validation():
+    with pytest.raises(ConfigurationError):
+        VsyncOffsets(app_offset=-1)
+    offsets = VsyncOffsets(app_offset=100, rs_offset=200, sf_offset=300)
+    assert offsets.app_offset == 100
+
+
+def test_tick_times_recorded():
+    sim, source = make_source(period=100)
+    source.start()
+    sim.run(until=350)
+    assert source.tick_times == [0, 100, 200, 300]
+    assert source.index == 3
+
+
+def test_channel_same_tick_offset_delivery():
+    sim, source = make_source(period=100)
+    channel = VsyncChannel(source, offset=40)
+    seen = []
+    source.start()
+    sim.run(until=10)  # tick at t=0 fired; its offset edge (t=40) is ahead
+    channel.request_callback(lambda t, i: seen.append((t, i, sim.now)))
+    sim.run(until=60)
+    # Served within this period at the t=40 edge, stamped with tick 0.
+    assert seen == [(0, 0, 40)]
+
+
+def test_channel_request_after_offset_waits_for_next_tick():
+    sim, source = make_source(period=100)
+    channel = VsyncChannel(source, offset=40)
+    seen = []
+    source.start()
+    sim.run(until=50)  # past this tick's offset edge
+    channel.request_callback(lambda t, i: seen.append((t, sim.now)))
+    sim.run(until=200)
+    assert seen == [(100, 140)]
+
+
+def test_channel_zero_offset_never_serves_same_tick():
+    sim, source = make_source(period=100)
+    channel = VsyncChannel(source, offset=0)
+    seen = []
+    source.start()
+    sim.run(until=10)
+    channel.request_callback(lambda t, i: seen.append(t))
+    sim.run(until=150)
+    assert seen == [100]

@@ -1,0 +1,77 @@
+"""Structural checks: each experiment prints the rows its paper artifact has."""
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+
+@pytest.fixture(scope="module")
+def quick():
+    cache = {}
+
+    def get(experiment_id):
+        if experiment_id not in cache:
+            cache[experiment_id] = run_experiment(experiment_id, quick=True)
+        return cache[experiment_id]
+
+    return get
+
+
+def test_fig03_rows_cover_every_flagship(quick):
+    from repro.display.trend import FLAGSHIP_DATASET
+
+    assert len(quick("fig03").rows) == len(FLAGSHIP_DATASET)
+
+
+def test_fig05_has_four_configurations(quick):
+    assert len(quick("fig05").rows) == 4
+
+
+def test_fig11_row_per_app_with_buffer_sweep(quick):
+    result = quick("fig11")
+    assert result.headers == [
+        "app", "vsync 3buf", "dvsync 4buf", "dvsync 5buf", "dvsync 7buf",
+    ]
+    for row in result.rows:
+        assert len(row) == 5
+
+
+def test_fig12_rows_follow_figure_order(quick):
+    result = quick("fig12")
+    names = [row[0] for row in result.rows]
+    from repro.workloads.os_cases import os_case_scenarios
+
+    expected = [s.name for s in os_case_scenarios("mate60-vulkan")][::4]
+    assert names == expected
+
+
+def test_fig14_rows_carry_rate_labels(quick):
+    for row in quick("fig14").rows:
+        assert "Hz" in row[0]
+
+
+def test_fig15_rows_per_device(quick):
+    devices = [row[0] for row in quick("fig15").rows]
+    assert devices == ["Google Pixel 5", "Mate 40 Pro", "Mate 60 Pro"]
+
+
+def test_tab01_is_table_one(quick):
+    result = quick("tab01")
+    assert len(result.rows) == 4
+    assert result.headers[0] == "device"
+
+
+def test_tab02_quick_mode_runs_first_tasks(quick):
+    result = quick("tab02")
+    assert len(result.rows) == 4  # quick mode trims the task list
+
+
+def test_every_comparison_has_three_fields(quick):
+    for experiment_id in ("fig01", "fig07", "fig16", "cost", "power"):
+        for comparison in quick(experiment_id).comparisons:
+            assert len(comparison) == 3
+
+
+def test_experiment_ids_match_registry_keys(quick):
+    for experiment_id in ("fig01", "fig03", "tab01"):
+        assert quick(experiment_id).experiment_id == experiment_id

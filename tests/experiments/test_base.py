@@ -1,0 +1,47 @@
+"""Tests for the experiment base types."""
+
+import pytest
+
+from repro.experiments.base import ExperimentResult, mean, pct_reduction
+
+
+def make_result():
+    return ExperimentResult(
+        experiment_id="figX",
+        title="Example",
+        headers=["a", "b"],
+        rows=[[1, 2.5]],
+        comparisons=[("metric", 10, 9.5)],
+        notes="note text",
+    )
+
+
+def test_render_includes_all_sections():
+    rendered = make_result().render()
+    assert "=== figX: Example ===" in rendered
+    assert "paper vs measured" in rendered
+    assert "note text" in rendered
+    assert "2.50" in rendered
+
+
+def test_render_without_rows_or_notes():
+    result = ExperimentResult(
+        experiment_id="y", title="t", headers=[], rows=[], comparisons=[]
+    )
+    assert result.render() == "=== y: t ==="
+
+
+def test_measured_lookup():
+    assert make_result().measured("metric") == 9.5
+    with pytest.raises(KeyError):
+        make_result().measured("other")
+
+
+def test_mean_handles_empty():
+    assert mean([]) == 0.0
+    assert mean([1, 2, 3]) == 2.0
+
+
+def test_pct_reduction():
+    assert pct_reduction(4.0, 1.0) == 75.0
+    assert pct_reduction(0.0, 1.0) == 0.0

@@ -1,0 +1,41 @@
+"""Tests for the experiment registry."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def test_every_paper_artifact_registered():
+    expected = {
+        "fig01", "fig03", "fig04", "fig05", "fig06", "fig07", "fig09",
+        "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+        "tab01", "tab02", "cost", "power", "chromium", "appendix", "dvfs",
+        "ablations", "headline",
+    }
+    assert set(EXPERIMENTS) == expected
+
+
+def test_unknown_experiment_raises():
+    with pytest.raises(ReproError):
+        run_experiment("fig99")
+
+
+def test_run_experiment_returns_result():
+    result = run_experiment("tab01")
+    assert isinstance(result, ExperimentResult)
+    assert result.experiment_id == "tab01"
+
+
+def test_render_contains_comparisons():
+    rendered = run_experiment("fig03").render()
+    assert "paper vs measured" in rendered
+    assert "growth factor" in rendered
+
+
+def test_measured_lookup():
+    result = run_experiment("fig01", quick=True)
+    assert isinstance(result.measured("frames within 1 VSync period (%)"), float)
+    with pytest.raises(KeyError):
+        result.measured("nonexistent metric")

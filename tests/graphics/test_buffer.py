@@ -1,0 +1,73 @@
+"""Tests for the frame-buffer state machine."""
+
+import pytest
+
+from repro.errors import BufferQueueError
+from repro.graphics.buffer import BufferState, FrameBuffer
+
+
+def make_buffer():
+    return FrameBuffer(slot=0, size_bytes=10 * 1024 * 1024)
+
+
+def test_initial_state_free():
+    assert make_buffer().state is BufferState.FREE
+
+
+def test_full_lifecycle():
+    buffer = make_buffer()
+    buffer.mark_dequeued()
+    assert buffer.state is BufferState.DEQUEUED
+    buffer.mark_queued(frame_id=1, content_timestamp=100, render_rate_hz=60, now=50)
+    assert buffer.state is BufferState.QUEUED
+    assert buffer.frame_id == 1
+    assert buffer.queued_at == 50
+    buffer.mark_acquired()
+    assert buffer.state is BufferState.ACQUIRED
+    buffer.mark_free()
+    assert buffer.state is BufferState.FREE
+    assert buffer.frame_id is None
+
+
+def test_queue_without_dequeue_raises():
+    buffer = make_buffer()
+    with pytest.raises(BufferQueueError):
+        buffer.mark_queued(frame_id=1, content_timestamp=0, render_rate_hz=60, now=0)
+
+
+def test_double_dequeue_raises():
+    buffer = make_buffer()
+    buffer.mark_dequeued()
+    with pytest.raises(BufferQueueError):
+        buffer.mark_dequeued()
+
+
+def test_acquire_from_free_raises():
+    with pytest.raises(BufferQueueError):
+        make_buffer().mark_acquired()
+
+
+def test_free_from_queued_raises():
+    buffer = make_buffer()
+    buffer.mark_dequeued()
+    buffer.mark_queued(frame_id=1, content_timestamp=0, render_rate_hz=60, now=0)
+    with pytest.raises(BufferQueueError):
+        buffer.mark_free()
+
+
+def test_cancel_path_dequeued_to_free():
+    buffer = make_buffer()
+    buffer.mark_dequeued()
+    buffer.mark_free()
+    assert buffer.state is BufferState.FREE
+
+
+def test_metadata_cleared_on_dequeue():
+    buffer = make_buffer()
+    buffer.mark_dequeued()
+    buffer.mark_queued(frame_id=9, content_timestamp=5, render_rate_hz=120, now=5)
+    buffer.mark_acquired()
+    buffer.mark_free()
+    buffer.mark_dequeued()
+    assert buffer.frame_id is None
+    assert buffer.render_rate_hz is None

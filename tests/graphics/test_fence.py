@@ -1,0 +1,47 @@
+"""Tests for synchronization fences."""
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.graphics.fence import Fence
+
+
+def test_starts_unsignalled():
+    fence = Fence()
+    assert not fence.signalled
+
+
+def test_signal_records_time():
+    fence = Fence()
+    fence.signal(123)
+    assert fence.signalled
+    assert fence.signal_time == 123
+
+
+def test_signal_twice_raises():
+    fence = Fence()
+    fence.signal(1)
+    with pytest.raises(PipelineError):
+        fence.signal(2)
+
+
+def test_signal_time_before_signal_raises():
+    with pytest.raises(PipelineError):
+        Fence().signal_time
+
+
+def test_waiters_run_on_signal():
+    fence = Fence()
+    seen = []
+    fence.on_signal(lambda t: seen.append(t))
+    fence.on_signal(lambda t: seen.append(t * 2))
+    fence.signal(10)
+    assert seen == [10, 20]
+
+
+def test_waiter_after_signal_runs_immediately():
+    fence = Fence()
+    fence.signal(5)
+    seen = []
+    fence.on_signal(lambda t: seen.append(t))
+    assert seen == [5]

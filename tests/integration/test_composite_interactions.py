@@ -1,0 +1,78 @@
+"""Integration: composite sessions mixing animations and interactions."""
+
+import pytest
+
+from repro.core.config import DVSyncConfig
+from repro.core.dvsync import DVSyncScheduler
+from repro.display.device import PIXEL_5
+from repro.testing import light_params, make_animation
+from repro.units import ms
+from repro.workloads.composite import CompositeDriver
+from repro.workloads.drivers import InteractionDriver
+from repro.workloads.touch import SwipeGesture
+
+
+def make_mixed_session(name="mix"):
+    animation = make_animation(light_params(), f"{name}-anim", duration_ms=250)
+
+    def factory(start, _n=f"{name}-swipe"):
+        return SwipeGesture(start, ms(300), name=_n)
+
+    interaction = InteractionDriver(f"{name}-touch", light_params(), factory)
+    return CompositeDriver(name, [animation, interaction], gap_ns=ms(200))
+
+
+def test_interaction_segment_uses_ipl_under_dvsync():
+    driver = make_mixed_session("mix-ipl")
+    scheduler = DVSyncScheduler(driver, PIXEL_5, DVSyncConfig(buffer_count=4))
+    result = scheduler.run()
+    predicted = [f for f in result.frames if f.input_predicted]
+    assert predicted, "interaction segment should route through the IPL"
+    # Predictions only happen inside the interaction's window.
+    interaction_start = ms(250) + ms(200)
+    assert all(f.content_timestamp >= interaction_start - 1 for f in predicted)
+
+
+def test_animation_segment_stays_oblivious():
+    driver = make_mixed_session("mix-anim")
+    scheduler = DVSyncScheduler(driver, PIXEL_5, DVSyncConfig(buffer_count=4))
+    result = scheduler.run()
+    animation_frames = [
+        f for f in result.frames if f.content_timestamp < ms(250)
+    ]
+    assert animation_frames
+    assert all(not f.input_predicted for f in animation_frames)
+    assert all(f.decoupled for f in animation_frames)
+
+
+def test_composite_observe_input_routes_to_active_child():
+    driver = make_mixed_session("mix-route")
+    driver.begin(0)
+    # During the animation segment there is no input stream.
+    assert driver.observe_input(ms(100)) == []
+    # During the interaction segment, samples exist and are causal.
+    samples = driver.observe_input(ms(600))
+    assert samples
+    assert all(t <= ms(600) for t, _ in samples)
+
+
+def test_no_drops_across_mixed_session():
+    driver = make_mixed_session("mix-clean")
+    scheduler = DVSyncScheduler(driver, PIXEL_5, DVSyncConfig(buffer_count=4))
+    result = scheduler.run()
+    assert len(result.effective_drops) == 0
+    assert all(f.presented for f in result.frames)
+
+
+def test_prediction_error_bounded_in_composite():
+    driver = make_mixed_session("mix-err")
+    scheduler = DVSyncScheduler(driver, PIXEL_5, DVSyncConfig(buffer_count=4))
+    result = scheduler.run()
+    errors = [
+        abs(driver.true_value(f.present_time) - f.content_value)
+        for f in result.presented_frames
+        if f.input_predicted and f.content_value is not None
+    ]
+    assert errors
+    # Steady-swipe extrapolation error stays tiny in panel-height units.
+    assert sorted(errors)[len(errors) // 2] < 0.05

@@ -1,0 +1,109 @@
+"""Edge-case and failure-injection tests across the full stack."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import DVSyncConfig
+from repro.core.dvsync import DVSyncScheduler
+from repro.display.device import MATE_60_PRO, PIXEL_5
+from repro.pipeline.frame import FrameWorkload
+from repro.testing import light_params, make_animation, run_dvsync, run_vsync
+from repro.units import hz_to_period, ms
+from repro.vsync.scheduler import VSyncScheduler
+from repro.workloads.drivers import TraceDriver
+from repro.workloads.frametrace import FrameTrace
+
+PERIOD = hz_to_period(60)
+
+
+def test_single_frame_animation():
+    driver = make_animation(light_params(), "edge-one", duration_ms=10)
+    for result in (run_vsync(driver), run_dvsync(make_animation(light_params(), "edge-one", duration_ms=10))):
+        assert len(result.frames) == 1
+        assert result.frames[0].presented
+
+
+def test_zero_cost_frames():
+    trace = FrameTrace(
+        name="edge-zero", refresh_hz=60,
+        workloads=[FrameWorkload(ui_ns=0, render_ns=0) for _ in range(10)],
+    )
+    result = run_vsync(TraceDriver(trace))
+    assert len(result.effective_drops) == 0
+    assert all(f.presented for f in result.frames)
+
+
+def test_monster_frame_ten_periods():
+    driver = make_animation(light_params(), "edge-monster", duration_ms=500)
+    workload = driver._workloads[5]
+    driver._workloads[5] = dataclasses.replace(workload, render_ns=10 * PERIOD)
+    baseline = run_vsync(driver)
+    assert len(baseline.effective_drops) >= 8
+    driver = make_animation(light_params(), "edge-monster", duration_ms=500)
+    driver._workloads[5] = dataclasses.replace(workload, render_ns=10 * PERIOD)
+    improved = run_dvsync(driver)
+    # The 3-buffer window absorbs part, not all, of a 10-period stall.
+    assert 1 <= len(improved.effective_drops) < len(baseline.effective_drops)
+
+
+def test_every_frame_heavy_throughput_bound():
+    # Sustained overload: no scheduler can hit full rate; neither may wedge.
+    trace = FrameTrace(
+        name="edge-overload", refresh_hz=60,
+        workloads=[FrameWorkload(ui_ns=ms(2), render_ns=ms(25)) for _ in range(60)],
+    )
+    baseline = run_vsync(TraceDriver(trace))
+    improved = run_dvsync(TraceDriver(trace))
+    assert baseline.presents and improved.presents
+    assert len(baseline.effective_drops) > 10
+    # D-VSync cannot create capacity from nothing (§4.2's limits).
+    assert len(improved.effective_drops) > 5
+
+
+def test_minimum_buffer_capacity_vsync():
+    driver = make_animation(light_params(), "edge-two-bufs", duration_ms=300)
+    result = VSyncScheduler(driver, PIXEL_5, buffer_count=2).run()
+    assert all(f.presented for f in result.frames)
+
+
+def test_dvsync_minimum_three_buffers():
+    driver = make_animation(light_params(), "edge-three", duration_ms=300)
+    result = DVSyncScheduler(driver, PIXEL_5, DVSyncConfig(buffer_count=3)).run()
+    assert len(result.effective_drops) == 0
+
+
+def test_high_refresh_165hz():
+    params = light_params(refresh_hz=165)
+    driver = make_animation(params, "edge-165", duration_ms=300)
+    result = run_dvsync(driver, device=MATE_60_PRO.at_refresh(165))
+    assert len(result.effective_drops) == 0
+    assert len(result.frames) >= 48
+
+
+def test_prerender_limit_one_behaves_like_vsync_pacing():
+    driver = make_animation(light_params(), "edge-limit1", duration_ms=400)
+    config = DVSyncConfig(buffer_count=4, prerender_limit=1)
+    result = DVSyncScheduler(driver, PIXEL_5, config).run()
+    # With limit 1 the queue can never accumulate beyond one buffer.
+    assert max(p.queue_depth_after for p in result.presents) <= 1
+
+
+def test_back_to_back_bursts_with_zero_gap():
+    driver = make_animation(
+        light_params(), "edge-nogap", duration_ms=200, bursts=3, burst_period_ms=200
+    )
+    result = run_dvsync(driver)
+    assert len(result.effective_drops) == 0
+    # Frame count ~ 3 bursts x 12 frames.
+    assert len(result.frames) >= 34
+
+
+def test_long_idle_gap_between_bursts():
+    driver = make_animation(
+        light_params(), "edge-idle", duration_ms=100, bursts=2, burst_period_ms=2000
+    )
+    result = run_dvsync(driver)
+    # Idle repeats are not janks.
+    assert len(result.effective_drops) == 0
+    assert result.end_time >= ms(2100) - PERIOD

@@ -1,0 +1,97 @@
+"""Integration tests: full scheduler runs checked across module boundaries."""
+
+import pytest
+
+from repro.core.config import DVSyncConfig
+from repro.core.dvsync import DVSyncScheduler
+from repro.display.device import MATE_60_PRO, PIXEL_5
+from repro.metrics.fdps import fdps
+from repro.metrics.latency import latency_summary
+from repro.testing import light_params, make_animation
+from repro.trace.analyze import analyze
+from repro.trace.record import record_run
+from repro.units import hz_to_period
+from repro.vsync.scheduler import VSyncScheduler
+from repro.workloads.scenarios import Scenario
+
+
+def paired_runs(scenario_name="int-pair", target=3.0, profile="moderate", runs=2):
+    scenario = Scenario(
+        name=scenario_name, description="", refresh_hz=60,
+        target_vsync_fdps=target, profile=profile, bursts=16,
+    )
+    vsync, dvsync = [], []
+    for repetition in range(runs):
+        vsync.append(VSyncScheduler(scenario.build_driver(repetition), PIXEL_5, buffer_count=3).run())
+        dvsync.append(
+            DVSyncScheduler(
+                scenario.build_driver(repetition), PIXEL_5, DVSyncConfig(buffer_count=4)
+            ).run()
+        )
+    return vsync, dvsync
+
+
+def test_identical_workloads_across_architectures():
+    vsync, dvsync = paired_runs(runs=1)
+    vsync_loads = [f.workload for f in vsync[0].frames]
+    dvsync_loads = [f.workload for f in dvsync[0].frames]
+    # Same seeded trace: frame i costs the same under both architectures.
+    common = min(len(vsync_loads), len(dvsync_loads))
+    assert vsync_loads[:common] == dvsync_loads[:common]
+
+
+def test_dvsync_reduces_drops_on_paired_workloads():
+    vsync, dvsync = paired_runs()
+    vsync_drops = sum(len(r.effective_drops) for r in vsync)
+    dvsync_drops = sum(len(r.effective_drops) for r in dvsync)
+    assert dvsync_drops < vsync_drops
+
+
+def test_dvsync_never_displays_out_of_order():
+    _, dvsync = paired_runs(runs=1)
+    presents = dvsync[0].presents
+    times = [p.present_time for p in presents]
+    frame_ids = [p.frame_id for p in presents]
+    assert times == sorted(times)
+    assert frame_ids == sorted(frame_ids)  # FIFO: no frame overtakes another
+
+
+def test_every_triggered_frame_eventually_displays():
+    vsync, dvsync = paired_runs(runs=1)
+    for result in (vsync[0], dvsync[0]):
+        assert all(f.presented for f in result.frames)
+
+
+def test_trace_analysis_agrees_with_metrics_both_archs():
+    vsync, dvsync = paired_runs(runs=1)
+    for result in (vsync[0], dvsync[0]):
+        analysis = analyze(record_run(result))
+        assert analysis.fdps == pytest.approx(fdps(result), rel=0.05, abs=0.05)
+
+
+def test_mate60_at_120hz_runs_clean():
+    driver = make_animation(light_params(refresh_hz=120), "int-120", duration_ms=500)
+    result = DVSyncScheduler(driver, MATE_60_PRO, DVSyncConfig(buffer_count=4)).run()
+    assert len(result.effective_drops) == 0
+    period = hz_to_period(120)
+    assert latency_summary(result).mean_ms == pytest.approx(2 * period / 1e6, abs=0.5)
+
+
+def test_buffer_counts_respected_end_to_end():
+    scenario = Scenario(
+        name="int-bufs", description="", refresh_hz=60, target_vsync_fdps=0.0
+    )
+    scheduler = DVSyncScheduler(
+        scenario.build_driver(), PIXEL_5, DVSyncConfig(buffer_count=5)
+    )
+    result = scheduler.run()
+    assert scheduler.buffer_queue.capacity == 5
+    assert scheduler.buffer_queue.max_queued_depth <= 4
+    assert result.buffer_count == 5
+
+
+def test_no_tearing_invariant_latch_on_edges_only():
+    _, dvsync = paired_runs(runs=1)
+    period = hz_to_period(60)
+    for frame in dvsync[0].presented_frames:
+        assert frame.latch_time % period in (0, 1, period - 1)

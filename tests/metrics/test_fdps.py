@@ -1,0 +1,55 @@
+"""Tests for FDPS and drop-fraction metrics."""
+
+import pytest
+
+from repro.metrics.fdps import drop_fraction, effective_fps, fdps, reduction_percent
+from repro.testing import light_params, make_animation, run_vsync
+from repro.units import seconds
+
+
+def test_fdps_zero_without_drops():
+    result = run_vsync(make_animation(light_params(), "fdps-clean"))
+    assert fdps(result) == 0.0
+
+
+def test_effective_fps_near_refresh_rate():
+    result = run_vsync(make_animation(light_params(), "fdps-fps", duration_ms=1000))
+    assert effective_fps(result) == pytest.approx(60, abs=2)
+
+
+def test_drop_fraction_zero_without_drops():
+    result = run_vsync(make_animation(light_params(), "fdps-frac"))
+    assert drop_fraction(result) == 0.0
+
+
+def test_fdps_counts_injected_drops():
+    import dataclasses
+
+    driver = make_animation(light_params(), "fdps-drops", duration_ms=1000)
+    workload = driver._workloads[20]
+    driver._workloads[20] = dataclasses.replace(
+        workload, render_ns=int(2.6 * 16_666_667)
+    )
+    result = run_vsync(driver)
+    drops = len(result.effective_drops)
+    assert drops >= 1
+    assert fdps(result) == pytest.approx(drops / (result.display_span_ns / seconds(1)))
+
+
+def test_reduction_percent():
+    assert reduction_percent(2.0, 0.5) == 75.0
+    assert reduction_percent(0.0, 0.5) == 0.0
+
+
+def test_empty_run_yields_zero_metrics():
+    from repro.pipeline.scheduler_base import RunResult
+    from repro.display.device import PIXEL_5
+
+    empty = RunResult(
+        scheduler="vsync", scenario="empty", device=PIXEL_5, buffer_count=3,
+        frames=[], drops=[], presents=[], start_time=0, end_time=0,
+        ui_busy_ns=0, render_busy_ns=0, gpu_busy_ns=0,
+    )
+    assert fdps(empty) == 0.0
+    assert drop_fraction(empty) == 0.0
+    assert effective_fps(empty) == 0.0

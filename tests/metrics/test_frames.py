@@ -1,0 +1,72 @@
+"""Tests for frame-outcome classification (Fig 6)."""
+
+import dataclasses
+
+import pytest
+
+from repro.metrics.frames import FrameDistribution, FrameOutcome, classify_frame, frame_distribution
+from repro.pipeline.frame import FrameRecord, FrameWorkload
+from repro.testing import light_params, make_animation, run_vsync
+
+PERIOD = 16_666_667
+
+
+def make_frame(queued, latch):
+    frame = FrameRecord(
+        frame_id=0,
+        workload=FrameWorkload(1, 1),
+        trigger_time=0,
+        content_timestamp=0,
+    )
+    frame.queued_time = queued
+    frame.latch_time = latch
+    frame.present_time = latch + PERIOD
+    return frame
+
+
+def test_direct_composition_classification():
+    frame = make_frame(queued=100, latch=100 + PERIOD // 2)
+    assert classify_frame(frame, PERIOD) is FrameOutcome.DIRECT
+
+
+def test_stuffed_classification():
+    frame = make_frame(queued=100, latch=100 + 2 * PERIOD)
+    assert classify_frame(frame, PERIOD) is FrameOutcome.STUFFED
+
+
+def test_unpresented_frame_unclassified():
+    frame = FrameRecord(
+        frame_id=0, workload=FrameWorkload(1, 1), trigger_time=0, content_timestamp=0
+    )
+    assert classify_frame(frame, PERIOD) is None
+
+
+def test_distribution_fractions_sum_to_one():
+    dist = FrameDistribution(direct=6, stuffed=3, drops=1)
+    total = sum(dist.fraction(outcome) for outcome in FrameOutcome)
+    assert total == pytest.approx(1.0)
+
+
+def test_empty_distribution_fractions_zero():
+    dist = FrameDistribution(direct=0, stuffed=0, drops=0)
+    assert dist.fraction(FrameOutcome.DIRECT) == 0.0
+
+
+def test_clean_run_is_mostly_direct():
+    result = run_vsync(make_animation(light_params(), "fig6-clean"))
+    dist = frame_distribution(result)
+    assert dist.fraction(FrameOutcome.DIRECT) > 0.9
+    assert dist.drops == 0
+
+
+def test_drop_creates_stuffed_tail():
+    driver = make_animation(light_params(), "fig6-stuffed", duration_ms=1000)
+    workload = driver._workloads[10]
+    driver._workloads[10] = dataclasses.replace(
+        workload, render_ns=int(2.4 * PERIOD)
+    )
+    result = run_vsync(driver)
+    dist = frame_distribution(result)
+    assert dist.drops >= 1
+    # After the drop, subsequent frames wait in the queue (Fig 2's dark arrow).
+    assert dist.stuffed > dist.drops

@@ -1,0 +1,77 @@
+"""Tests for latency metrics."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import DVSyncConfig
+from repro.metrics.latency import (
+    LatencySummary,
+    content_staleness_ms,
+    frame_latencies_ms,
+    latency_summary,
+    queue_wait_ms,
+    touch_lag_pixels,
+)
+from repro.testing import light_params, make_animation, run_dvsync, run_vsync
+
+PERIOD_MS = 1000 / 60
+
+
+def test_vsync_latency_floor_two_periods():
+    result = run_vsync(make_animation(light_params(), "lat-clean"))
+    summary = latency_summary(result)
+    assert summary.mean_ms == pytest.approx(2 * PERIOD_MS, abs=0.5)
+
+
+def test_dvsync_latency_anchored_at_dtimestamp():
+    result = run_dvsync(make_animation(light_params(), "lat-dv"))
+    summary = latency_summary(result)
+    assert summary.mean_ms == pytest.approx(2 * PERIOD_MS, abs=1.0)
+
+
+def test_drop_inflates_vsync_latency():
+    driver = make_animation(light_params(), "lat-drop", duration_ms=1000)
+    workload = driver._workloads[10]
+    driver._workloads[10] = dataclasses.replace(
+        workload, render_ns=int(2.4e6 * PERIOD_MS)
+    )
+    clean = latency_summary(run_vsync(make_animation(light_params(), "lat-drop2", duration_ms=1000)))
+    dropped = latency_summary(run_vsync(driver))
+    assert dropped.mean_ms > clean.mean_ms
+
+
+def test_summary_from_empty():
+    summary = LatencySummary.from_values([])
+    assert summary.samples == 0
+    assert summary.mean_ms == 0.0
+
+
+def test_summary_percentiles_ordered():
+    summary = LatencySummary.from_values([float(v) for v in range(1, 101)])
+    assert summary.median_ms <= summary.p95_ms <= summary.max_ms
+
+
+def test_frame_latencies_length_matches_presents():
+    result = run_vsync(make_animation(light_params(), "lat-len"))
+    assert len(frame_latencies_ms(result)) == len(result.presented_frames)
+
+
+def test_content_staleness_constant_under_dvsync():
+    result = run_dvsync(make_animation(light_params(), "lat-stale"))
+    staleness = content_staleness_ms(result)
+    assert max(staleness) - min(staleness) < PERIOD_MS / 2
+
+
+def test_queue_wait_positive_under_accumulation():
+    result = run_dvsync(make_animation(light_params(), "lat-wait"))
+    waits = queue_wait_ms(result)
+    # Accumulated frames sit in the queue by design.
+    assert max(waits) > PERIOD_MS
+
+
+def test_touch_lag_uses_truth_function():
+    result = run_vsync(make_animation(light_params(), "lat-lag"))
+    # Content value is the animation curve: compare against itself shifted.
+    lags = touch_lag_pixels(result, lambda t: 0.0, panel_height_px=1000)
+    assert len(lags) == len([f for f in result.presented_frames if f.content_value is not None])

@@ -1,0 +1,35 @@
+"""Tests for the memory-footprint model (§6.4)."""
+
+import pytest
+
+from repro.display.device import MATE_40_PRO, MATE_60_PRO, PIXEL_5
+from repro.metrics.memory import extra_memory_mb, queue_footprint
+
+
+def test_queue_footprint_scales_with_buffers():
+    three = queue_footprint(PIXEL_5, 3)
+    four = queue_footprint(PIXEL_5, 4)
+    assert four.queue_bytes - three.queue_bytes == PIXEL_5.framebuffer_bytes
+
+
+def test_pixel5_extra_about_10mb():
+    # Android stock is triple buffering; D-VSync's 4th buffer costs ~10 MB.
+    assert extra_memory_mb(PIXEL_5, 4) == pytest.approx(9.7, abs=0.5)
+
+
+def test_mate_phones_no_extra_buffer_cost():
+    # OpenHarmony's render service already uses 4 buffers (§6.4).
+    for device in (MATE_40_PRO, MATE_60_PRO):
+        extra = extra_memory_mb(device, 4)
+        assert extra < 0.05  # only the <10 KB module state
+
+
+def test_seven_buffers_cost_more():
+    assert extra_memory_mb(PIXEL_5, 7) > extra_memory_mb(PIXEL_5, 5)
+
+
+def test_footprint_mb_conversion():
+    footprint = queue_footprint(PIXEL_5, 1)
+    assert footprint.queue_mb == pytest.approx(
+        PIXEL_5.framebuffer_bytes / (1024 * 1024)
+    )

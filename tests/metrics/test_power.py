@@ -1,0 +1,65 @@
+"""Tests for the power and instruction models."""
+
+import pytest
+
+from repro.metrics.power import (
+    PowerBreakdown,
+    instructions_per_frame,
+    power_breakdown,
+    power_increase_percent,
+    scheduler_overhead_per_frame_us,
+)
+from repro.testing import light_params, make_animation, run_dvsync, run_vsync
+
+
+def test_breakdown_total():
+    breakdown = PowerBreakdown(cpu_mj=10, scheduler_mj=1, gpu_mj=5, baseline_mj=100)
+    assert breakdown.total_mj == 116
+
+
+def test_baseline_dominates():
+    result = run_vsync(make_animation(light_params(), "pow-base"))
+    breakdown = power_breakdown(result)
+    assert breakdown.baseline_mj > breakdown.cpu_mj
+
+
+def test_dvsync_power_increase_small_and_positive():
+    baseline = run_vsync(make_animation(light_params(), "pow-a", duration_ms=2000))
+    improved = run_dvsync(make_animation(light_params(), "pow-a", duration_ms=2000))
+    increase = power_increase_percent(baseline, improved)
+    # Same frames rendered; only the little-core overhead differs (§6.7).
+    assert 0 < increase < 1.0
+
+
+def test_extra_overhead_increases_power():
+    baseline = run_vsync(make_animation(light_params(), "pow-b"))
+    improved = run_dvsync(make_animation(light_params(), "pow-b"))
+    plain = power_increase_percent(baseline, improved)
+    with_zdp = power_increase_percent(baseline, improved, improved_extra_ns=10_000_000)
+    assert with_zdp > plain
+
+
+def test_instructions_per_frame_magnitude():
+    result = run_vsync(make_animation(light_params(), "pow-instr"))
+    instructions = instructions_per_frame(result)
+    # Millions of instructions per frame, same order as the paper's 10.8 M.
+    assert 1e6 < instructions < 1e8
+
+
+def test_dvsync_instruction_overhead_under_two_percent():
+    baseline = run_vsync(make_animation(light_params(), "pow-i2", duration_ms=2000))
+    improved = run_dvsync(make_animation(light_params(), "pow-i2", duration_ms=2000))
+    overhead = (
+        instructions_per_frame(improved) / instructions_per_frame(baseline) - 1
+    ) * 100
+    assert 0 < overhead < 2.0  # paper: 0.52 %
+
+
+def test_scheduler_overhead_per_frame():
+    result = run_dvsync(make_animation(light_params(), "pow-over"))
+    assert scheduler_overhead_per_frame_us(result) == pytest.approx(102.6, abs=1.0)
+
+
+def test_vsync_has_no_scheduler_overhead():
+    result = run_vsync(make_animation(light_params(), "pow-none"))
+    assert scheduler_overhead_per_frame_us(result) == 0.0

@@ -1,0 +1,23 @@
+"""Tests for report formatting."""
+
+from repro.metrics.report import format_table, paper_vs_measured
+
+
+def test_format_table_aligns_columns():
+    table = format_table(["name", "value"], [["a", 1], ["longer", 2.5]])
+    lines = table.splitlines()
+    assert lines[0].startswith("name")
+    assert "----" in lines[1]
+    assert "longer" in lines[3]
+    assert "2.50" in table  # floats formatted to 2 decimals
+
+
+def test_format_table_handles_mixed_types():
+    table = format_table(["m"], [[None], [True], [3.14159]])
+    assert "None" in table and "True" in table and "3.14" in table
+
+
+def test_paper_vs_measured_block():
+    block = paper_vs_measured("Fig X", [("fdps", 2.04, 1.9)])
+    assert "== Fig X ==" in block
+    assert "2.04" in block and "1.90" in block

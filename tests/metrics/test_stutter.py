@@ -1,0 +1,88 @@
+"""Tests for the perceptual stutter model."""
+
+import dataclasses
+
+from repro.display.device import PIXEL_5
+from repro.metrics.stutter import (
+    count_perceived_stutters,
+    drop_episodes,
+    longest_freeze_ms,
+)
+from repro.pipeline.compositor import DropEvent
+from repro.pipeline.scheduler_base import RunResult
+from repro.testing import light_params, make_animation, run_vsync
+
+
+def make_result(drop_indices, period=16_666_667):
+    drops = [
+        DropEvent(time=i * period, vsync_index=i, queued_depth=0, frames_in_flight=1)
+        for i in drop_indices
+    ]
+    from repro.display.hal import PresentRecord
+
+    presents = [
+        PresentRecord(
+            frame_id=0, present_time=0, vsync_index=0, content_timestamp=0,
+            queue_depth_after=0, refresh_period=period,
+        ),
+        PresentRecord(
+            frame_id=1, present_time=100 * period, vsync_index=100,
+            content_timestamp=0, queue_depth_after=0, refresh_period=period,
+        ),
+    ]
+    return RunResult(
+        scheduler="vsync", scenario="synthetic", device=PIXEL_5, buffer_count=3,
+        frames=[], drops=drops, presents=presents, start_time=0,
+        end_time=101 * period, ui_busy_ns=0, render_busy_ns=0, gpu_busy_ns=0,
+    )
+
+
+def test_consecutive_drops_merge_into_episode():
+    episodes = drop_episodes(make_result([5, 6, 7]).drops)
+    assert len(episodes) == 1
+    assert episodes[0].length == 3
+
+
+def test_separate_drops_make_separate_episodes():
+    episodes = drop_episodes(make_result([5, 8, 20]).drops)
+    assert len(episodes) == 3
+
+
+def test_no_drops_no_episodes():
+    assert drop_episodes([]) == []
+
+
+def test_multi_frame_episode_always_perceived():
+    result = make_result([5, 6])
+    assert count_perceived_stutters(result, speed_at=lambda t: 0.0) == 1
+
+
+def test_single_drop_perceived_only_when_fast():
+    result = make_result([5])
+    assert count_perceived_stutters(result, speed_at=lambda t: 2.0) == 1
+    assert count_perceived_stutters(result, speed_at=lambda t: 0.1) == 0
+
+
+def test_default_assumes_visible():
+    result = make_result([5])
+    assert count_perceived_stutters(result) == 1
+
+
+def test_longest_freeze():
+    result = make_result([5, 6, 7, 20])
+    assert longest_freeze_ms(result) == 3 * 16.666667
+
+
+def test_clean_run_has_no_stutters():
+    run = run_vsync(make_animation(light_params(), "stut-clean"))
+    assert count_perceived_stutters(run) == 0
+
+
+def test_deep_key_frame_perceived():
+    driver = make_animation(light_params(), "stut-deep", duration_ms=1000)
+    workload = driver._workloads[15]
+    driver._workloads[15] = dataclasses.replace(
+        workload, render_ns=int(3.5 * 16_666_667)
+    )
+    run = run_vsync(driver)
+    assert count_perceived_stutters(run, speed_at=driver.animation_speed) >= 1

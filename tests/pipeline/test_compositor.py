@@ -1,0 +1,117 @@
+"""Tests for the compositor's latch/jank behaviour."""
+
+from repro.display.hal import ScreenHAL
+from repro.display.vsync import HWVsyncSource
+from repro.graphics.bufferqueue import BufferQueue
+from repro.pipeline.compositor import Compositor
+from repro.pipeline.frame import FrameRecord, FrameWorkload
+from repro.sim.engine import Simulator
+
+PERIOD = 100
+
+
+class Harness:
+    def __init__(self, capacity=3, expects=lambda: False):
+        self.sim = Simulator()
+        self.source = HWVsyncSource(self.sim, PERIOD)
+        self.queue = BufferQueue(capacity=capacity, buffer_bytes=1024)
+        self.hal = ScreenHAL()
+        self.frames = {}
+        self.compositor = Compositor(
+            self.source, self.queue, self.hal, self.frames.get, expects
+        )
+
+    def queue_frame(self, frame_id, queued_at):
+        frame = FrameRecord(
+            frame_id=frame_id,
+            workload=FrameWorkload(ui_ns=1, render_ns=1),
+            trigger_time=queued_at,
+            content_timestamp=queued_at,
+        )
+        frame.queued_time = queued_at
+        self.frames[frame_id] = frame
+        buffer = self.queue.try_dequeue()
+        self.queue.queue(buffer, frame_id=frame_id, content_timestamp=queued_at,
+                         render_rate_hz=60, now=queued_at)
+        return frame
+
+
+def test_latches_queued_buffer_on_tick():
+    h = Harness()
+    frame = h.queue_frame(0, queued_at=0)
+    h.source.start(first_tick_at=PERIOD)
+    h.sim.run(until=PERIOD)
+    assert frame.latch_time == PERIOD
+    assert frame.present_time == 2 * PERIOD
+    assert h.hal.presented_count == 1
+
+
+def test_buffer_queued_on_edge_misses_that_latch():
+    h = Harness()
+    frame = h.queue_frame(0, queued_at=PERIOD)  # exactly on the edge
+    h.source.start(first_tick_at=PERIOD)
+    h.sim.run(until=2 * PERIOD)
+    assert frame.latch_time == 2 * PERIOD
+
+
+def test_no_drop_when_idle():
+    h = Harness(expects=lambda: False)
+    h.source.start()
+    h.sim.run(until=5 * PERIOD)
+    assert h.compositor.drop_count == 0
+
+
+def test_drop_when_content_expected():
+    h = Harness(expects=lambda: True)
+    h.source.start()
+    h.sim.run(until=3 * PERIOD)
+    assert h.compositor.drop_count == 4  # ticks at 0,100,200,300
+
+
+def test_drop_records_queue_state():
+    h = Harness(expects=lambda: True)
+    h.source.start()
+    h.sim.run(until=0)
+    drop = h.compositor.drops[0]
+    assert drop.vsync_index == 0
+    assert drop.queued_depth == 0
+
+
+def test_late_buffer_counts_as_drop_even_without_expectation():
+    # A buffer queued on the edge means the producer owed content.
+    h = Harness(expects=lambda: False)
+    h.queue_frame(0, queued_at=PERIOD)
+    h.source.start(first_tick_at=PERIOD)
+    h.sim.run(until=PERIOD)
+    assert h.compositor.drop_count == 1
+
+
+def test_after_tick_hooks_run():
+    h = Harness()
+    seen = []
+    h.compositor.after_tick.append(lambda t, i: seen.append((t, i)))
+    h.source.start()
+    h.sim.run(until=2 * PERIOD)
+    assert seen == [(0, 0), (PERIOD, 1), (2 * PERIOD, 2)]
+
+
+def test_fifo_latch_order():
+    h = Harness(capacity=4)
+    first = h.queue_frame(0, queued_at=0)
+    second = h.queue_frame(1, queued_at=10)
+    h.source.start(first_tick_at=PERIOD)
+    h.sim.run(until=2 * PERIOD)
+    assert first.latch_time == PERIOD
+    assert second.latch_time == 2 * PERIOD
+
+
+def test_present_record_fields():
+    h = Harness()
+    h.queue_frame(3, queued_at=0)
+    h.source.start(first_tick_at=PERIOD)
+    h.sim.run(until=PERIOD)
+    record = h.hal.presents[0]
+    assert record.frame_id == 3
+    assert record.vsync_index == 0
+    assert record.refresh_period == PERIOD
+    assert record.present_time == 2 * PERIOD

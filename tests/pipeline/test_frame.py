@@ -1,0 +1,80 @@
+"""Tests for frame records and workloads."""
+
+import pytest
+
+from repro.pipeline.frame import FrameCategory, FrameRecord, FrameWorkload
+
+
+def test_workload_total():
+    workload = FrameWorkload(ui_ns=100, render_ns=200, gpu_ns=50)
+    assert workload.total_ns == 350
+
+
+def test_workload_rejects_negative():
+    with pytest.raises(ValueError):
+        FrameWorkload(ui_ns=-1, render_ns=0)
+
+
+def test_category_decouplable():
+    assert FrameCategory.DETERMINISTIC_ANIMATION.decouplable
+    assert FrameCategory.PREDICTABLE_INTERACTION.decouplable
+    assert not FrameCategory.REALTIME.decouplable
+
+
+def test_category_needs_prediction():
+    assert FrameCategory.PREDICTABLE_INTERACTION.needs_input_prediction
+    assert not FrameCategory.DETERMINISTIC_ANIMATION.needs_input_prediction
+
+
+def make_frame(**kwargs):
+    defaults = dict(
+        frame_id=0,
+        workload=FrameWorkload(ui_ns=10, render_ns=20),
+        trigger_time=100,
+        content_timestamp=100,
+    )
+    defaults.update(kwargs)
+    return FrameRecord(**defaults)
+
+
+def test_presented_flag():
+    frame = make_frame()
+    assert not frame.presented
+    frame.present_time = 500
+    assert frame.presented
+
+
+def test_queue_wait():
+    frame = make_frame()
+    frame.queued_time = 200
+    frame.latch_time = 350
+    assert frame.queue_wait_ns == 150
+
+
+def test_queue_wait_zero_before_latch():
+    frame = make_frame()
+    frame.queued_time = 200
+    assert frame.queue_wait_ns == 0
+
+
+def test_execution_span():
+    frame = make_frame(trigger_time=100)
+    frame.queued_time = 180
+    assert frame.execution_ns == 80
+
+
+def test_latency_vsync_anchor_is_trigger():
+    frame = make_frame(trigger_time=100, content_timestamp=100, decoupled=False)
+    frame.present_time = 400
+    assert frame.latency_ns == 300
+
+
+def test_latency_decoupled_anchor_is_dtimestamp():
+    # A decoupled frame triggered at 100 with a (future) D-Timestamp of 250.
+    frame = make_frame(trigger_time=100, content_timestamp=250, decoupled=True)
+    frame.present_time = 500
+    assert frame.latency_ns == 250
+
+
+def test_latency_zero_when_never_presented():
+    assert make_frame().latency_ns == 0

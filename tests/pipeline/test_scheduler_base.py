@@ -1,0 +1,88 @@
+"""Tests for the shared scheduler machinery and RunResult."""
+
+import pytest
+
+from repro.display.device import PIXEL_5
+from repro.errors import ConfigurationError
+from repro.testing import light_params, make_animation, run_vsync
+from repro.units import hz_to_period
+from repro.vsync.scheduler import VSyncScheduler
+
+PERIOD = hz_to_period(60)
+
+
+def test_buffer_count_defaults_to_device():
+    driver = make_animation(light_params(), "base-default")
+    scheduler = VSyncScheduler(driver, PIXEL_5)
+    assert scheduler.buffer_count == PIXEL_5.default_buffer_count
+
+
+def test_buffer_count_minimum():
+    driver = make_animation(light_params(), "base-min")
+    with pytest.raises(ConfigurationError):
+        VSyncScheduler(driver, PIXEL_5, buffer_count=1)
+
+
+def test_run_result_fields_populated():
+    result = run_vsync(make_animation(light_params(), "base-fields"))
+    assert result.scheduler == "vsync"
+    assert result.device is PIXEL_5
+    assert result.buffer_count == 3
+    assert result.ui_busy_ns > 0
+    assert result.render_busy_ns > 0
+    assert result.gpu_busy_ns == 0
+    assert result.scheduler_overhead_ns == 0
+
+
+def test_presented_frames_subset_of_frames():
+    result = run_vsync(make_animation(light_params(), "base-presented"))
+    assert set(f.frame_id for f in result.presented_frames) <= set(
+        f.frame_id for f in result.frames
+    )
+
+
+def test_display_span_matches_presents():
+    result = run_vsync(make_animation(light_params(), "base-span"))
+    first = result.presents[0].present_time
+    last = result.presents[-1].present_time
+    assert result.display_span_ns == last - first + PERIOD
+
+
+def test_display_span_zero_without_presents():
+    from repro.pipeline.scheduler_base import RunResult
+
+    empty = RunResult(
+        scheduler="vsync", scenario="none", device=PIXEL_5, buffer_count=3,
+        frames=[], drops=[], presents=[], start_time=0, end_time=0,
+        ui_busy_ns=0, render_busy_ns=0, gpu_busy_ns=0,
+    )
+    assert empty.display_span_ns == 0
+    assert empty.first_present_time is None
+    assert empty.effective_drops == []
+
+
+def test_effective_drops_exclude_pipeline_fill():
+    import dataclasses
+
+    driver = make_animation(light_params(), "base-fill", duration_ms=500)
+    # Make the very first frame heavy: its janks happen before any content
+    # is on screen and industrial counters ignore them.
+    workload = driver._workloads[0]
+    driver._workloads[0] = dataclasses.replace(workload, render_ns=int(2.5 * PERIOD))
+    result = run_vsync(driver)
+    assert all(
+        d.time >= result.presents[0].present_time - PERIOD for d in result.effective_drops
+    )
+
+
+def test_scenario_name_recorded():
+    result = run_vsync(make_animation(light_params(), "base-name"))
+    assert result.scenario == "base-name"
+
+
+def test_frames_map_consistent():
+    driver = make_animation(light_params(), "base-map")
+    scheduler = VSyncScheduler(driver, PIXEL_5, buffer_count=3)
+    scheduler.run()
+    for frame in scheduler.frames:
+        assert scheduler._frame_by_id(frame.frame_id) is frame

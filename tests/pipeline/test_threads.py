@@ -1,0 +1,99 @@
+"""Tests for simulated CPU threads."""
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.pipeline.threads import SimThread
+from repro.sim.engine import Simulator
+
+
+def test_task_completes_after_duration():
+    sim = Simulator()
+    thread = SimThread(sim, "ui")
+    done = []
+    thread.submit(100, on_complete=lambda t: done.append(t))
+    sim.run()
+    assert done == [100]
+
+
+def test_tasks_serialize_fifo():
+    sim = Simulator()
+    thread = SimThread(sim, "render")
+    order = []
+    thread.submit(100, on_start=lambda t: order.append(("a", t)))
+    thread.submit(50, on_start=lambda t: order.append(("b", t)))
+    sim.run()
+    assert order == [("a", 0), ("b", 100)]
+
+
+def test_submit_while_busy_queues_behind():
+    sim = Simulator()
+    thread = SimThread(sim, "t")
+    ends = []
+    thread.submit(100, on_complete=lambda t: thread.submit(10, on_complete=lambda u: ends.append(u)))
+    sim.run()
+    assert ends == [110]
+
+
+def test_idle_reflects_queue():
+    sim = Simulator()
+    thread = SimThread(sim, "t")
+    assert thread.idle
+    thread.submit(100)
+    assert not thread.idle
+    sim.run(until=100)
+    assert thread.idle
+
+
+def test_busy_until_accumulates():
+    sim = Simulator()
+    thread = SimThread(sim, "t")
+    thread.submit(100)
+    thread.submit(50)
+    assert thread.busy_until == 150
+
+
+def test_zero_duration_task():
+    sim = Simulator()
+    thread = SimThread(sim, "t")
+    done = []
+    thread.submit(0, on_complete=lambda t: done.append(t))
+    sim.run()
+    assert done == [0]
+
+
+def test_negative_duration_rejected():
+    sim = Simulator()
+    with pytest.raises(PipelineError):
+        SimThread(sim, "t").submit(-1)
+
+
+def test_total_busy_tracks_work():
+    sim = Simulator()
+    thread = SimThread(sim, "t")
+    thread.submit(100)
+    thread.submit(200)
+    sim.run()
+    assert thread.total_busy_ns == 300
+    assert thread.tasks_executed == 2
+
+
+def test_utilization():
+    sim = Simulator()
+    thread = SimThread(sim, "t")
+    thread.submit(250)
+    sim.run()
+    assert thread.utilization(1000) == 0.25
+    with pytest.raises(PipelineError):
+        thread.utilization(0)
+
+
+def test_gap_between_tasks_starts_fresh():
+    sim = Simulator()
+    thread = SimThread(sim, "t")
+    starts = []
+    thread.submit(10, on_start=lambda t: starts.append(t))
+    sim.run()
+    sim.schedule_at(500, lambda: thread.submit(10, on_start=lambda t: starts.append(t)))
+    sim.run()
+    assert starts == [0, 500]

@@ -1,0 +1,157 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphics.bufferqueue import BufferQueue
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeededRng
+from repro.units import hz_to_period, period_to_hz
+from repro.workloads.animations import CURVES
+from repro.workloads.distributions import (
+    PROFILES,
+    FrameTimeParams,
+    PowerLawFrameModel,
+)
+
+
+# --------------------------------------------------------------- simulator
+@given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=50))
+def test_simulator_fires_in_nondecreasing_time_order(times):
+    sim = Simulator()
+    fired = []
+    for t in times:
+        sim.schedule_at(t, lambda t=t: fired.append(t))
+    sim.run()
+    assert fired == sorted(times)
+    assert len(fired) == len(times)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 1000), st.booleans()), min_size=1, max_size=40
+    )
+)
+def test_simulator_cancelled_events_never_fire(entries):
+    sim = Simulator()
+    fired = []
+    handles = []
+    for index, (t, cancel) in enumerate(entries):
+        handles.append(
+            (sim.schedule_at(t, lambda i=index: fired.append(i)), cancel, index)
+        )
+    for handle, cancel, _ in handles:
+        if cancel:
+            handle.cancel()
+    sim.run()
+    expected = {index for _, cancel, index in handles if not cancel}
+    assert set(fired) == expected
+
+
+# ------------------------------------------------------------- buffer queue
+class QueueMachine:
+    """Random walk over the queue API that must never corrupt state."""
+
+    def __init__(self, capacity):
+        self.queue = BufferQueue(capacity=capacity, buffer_bytes=1024)
+        self.dequeued = []
+        self.frame_id = 0
+        self.expected_fifo = []
+
+    def step(self, action):
+        if action == "dequeue":
+            buffer = self.queue.try_dequeue()
+            if buffer is not None:
+                self.dequeued.append(buffer)
+        elif action == "queue" and self.dequeued:
+            buffer = self.dequeued.pop(0)
+            self.queue.queue(
+                buffer, frame_id=self.frame_id, content_timestamp=0,
+                render_rate_hz=60, now=self.frame_id,
+            )
+            self.expected_fifo.append(self.frame_id)
+            self.frame_id += 1
+        elif action == "acquire" and self.queue.queued_depth:
+            buffer = self.queue.acquire()
+            assert buffer.frame_id == self.expected_fifo.pop(0)
+        elif action == "cancel" and self.dequeued:
+            self.queue.cancel(self.dequeued.pop())
+
+    def check_invariants(self):
+        states = [b.state.value for b in self.queue.slots]
+        # Slot conservation: every slot is in exactly one state.
+        assert len(states) == self.queue.capacity
+        # At most one front buffer.
+        assert states.count("acquired") <= 1
+        # Queued FIFO matches the model.
+        assert self.queue.queued_depth == len(self.expected_fifo)
+
+
+@given(
+    st.integers(min_value=2, max_value=7),
+    st.lists(
+        st.sampled_from(["dequeue", "queue", "acquire", "cancel"]),
+        min_size=1,
+        max_size=200,
+    ),
+)
+def test_buffer_queue_state_machine_invariants(capacity, actions):
+    machine = QueueMachine(capacity)
+    for action in actions:
+        machine.step(action)
+        machine.check_invariants()
+
+
+# ------------------------------------------------------------ distributions
+@given(
+    st.sampled_from(sorted(PROFILES)),
+    st.floats(min_value=0.0, max_value=0.3),
+    st.sampled_from([60, 90, 120]),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=40)
+def test_workloads_always_nonnegative_and_bounded(profile, key_prob, hz, seed):
+    params = FrameTimeParams(refresh_hz=hz, key_prob=key_prob, tail=PROFILES[profile])
+    model = PowerLawFrameModel(params, SeededRng(seed))
+    period = hz_to_period(hz)
+    cap = period * (1.02 + PROFILES[profile].max_excess) + period
+    for workload in model.generate(200):
+        assert workload.ui_ns >= 0
+        assert workload.render_ns >= 0
+        assert workload.total_ns <= cap + period  # tail truncation holds
+
+
+@given(st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=25)
+def test_same_seed_same_trace(seed):
+    params = FrameTimeParams(refresh_hz=60, key_prob=0.05)
+    a = PowerLawFrameModel(params, SeededRng(seed)).generate(50)
+    b = PowerLawFrameModel(params, SeededRng(seed)).generate(50)
+    assert a == b
+
+
+# ------------------------------------------------------------------- curves
+@given(
+    st.sampled_from(sorted(CURVES)),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+def test_curves_bounded(name, u):
+    value = CURVES[name].position(u)
+    assert -0.5 <= value <= 1.5  # springs overshoot but stay bounded
+
+
+@given(
+    st.sampled_from(["linear", "ease-in-out", "decelerate"]),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_monotone_curves_order_preserving(name, u1, u2):
+    curve = CURVES[name]
+    low, high = min(u1, u2), max(u1, u2)
+    assert curve.position(low) <= curve.position(high) + 1e-9
+
+
+# -------------------------------------------------------------------- units
+@given(st.integers(min_value=1, max_value=1000))
+def test_hz_period_roundtrip(hz):
+    assert abs(period_to_hz(hz_to_period(hz)) - hz) < 0.01

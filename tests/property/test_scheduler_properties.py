@@ -1,0 +1,119 @@
+"""Property-based tests over whole scheduler runs.
+
+Hypothesis drives both architectures with small random workload traces; the
+invariants below must hold for *any* workload, not just calibrated ones.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import DVSyncConfig
+from repro.core.dvsync import DVSyncScheduler
+from repro.display.device import PIXEL_5
+from repro.pipeline.frame import FrameWorkload
+from repro.units import hz_to_period
+from repro.vsync.scheduler import VSyncScheduler
+from repro.workloads.drivers import TraceDriver
+from repro.workloads.frametrace import FrameTrace
+
+PERIOD = hz_to_period(60)
+
+# Per-frame times between 0.1 ms and ~3 periods, in microseconds.
+frame_times = st.tuples(
+    st.integers(min_value=100, max_value=8_000),  # ui µs
+    st.integers(min_value=100, max_value=50_000),  # render µs
+)
+traces = st.lists(frame_times, min_size=3, max_size=40)
+
+
+def build_driver(times):
+    workloads = [
+        FrameWorkload(ui_ns=ui * 1000, render_ns=render * 1000)
+        for ui, render in times
+    ]
+    return TraceDriver(FrameTrace(name="prop", refresh_hz=60, workloads=workloads))
+
+
+def run_both(times):
+    baseline = VSyncScheduler(build_driver(times), PIXEL_5, buffer_count=3).run()
+    improved = DVSyncScheduler(
+        build_driver(times), PIXEL_5, DVSyncConfig(buffer_count=4)
+    ).run()
+    return baseline, improved
+
+
+@given(traces)
+@settings(max_examples=30, deadline=None)
+def test_all_triggered_frames_display_in_fifo_order(times):
+    for result in run_both(times):
+        assert all(frame.presented for frame in result.frames)
+        ids = [p.frame_id for p in result.presents]
+        assert ids == sorted(ids)
+        present_times = [p.present_time for p in result.presents]
+        assert present_times == sorted(present_times)
+        assert len(set(present_times)) == len(present_times)  # one per edge
+
+
+@given(traces)
+@settings(max_examples=30, deadline=None)
+def test_lifecycle_timestamps_monotone_per_frame(times):
+    for result in run_both(times):
+        for frame in result.frames:
+            assert frame.trigger_time <= frame.ui_start <= frame.ui_end
+            assert frame.ui_end <= frame.render_start <= frame.render_end
+            assert frame.render_end <= frame.queued_time
+            assert frame.queued_time <= frame.latch_time < frame.present_time
+
+
+@given(traces)
+@settings(max_examples=30, deadline=None)
+def test_dvsync_never_more_drops_per_displayed_frame(times):
+    baseline, improved = run_both(times)
+    # Decoupling adds slack, but it also renders frames the lockstep
+    # baseline skipped outright — and each of those extra frames can itself
+    # stall several periods. The fair invariant: D-VSync may not jank more
+    # once credited for the worst-case cost of the additional distinct
+    # frames it put on screen.
+    extra_frames = max(0, len(improved.presents) - len(baseline.presents))
+    extra_budget = 0
+    if extra_frames:
+        import math
+
+        extra_workloads = sorted(
+            (w.total_ns for _, w in [(0, f.workload) for f in improved.frames]),
+            reverse=True,
+        )[:extra_frames]
+        extra_budget = sum(math.ceil(w / PERIOD) for w in extra_workloads)
+    assert (
+        len(improved.effective_drops)
+        <= len(baseline.effective_drops) + extra_budget
+    )
+
+
+@given(traces)
+@settings(max_examples=30, deadline=None)
+def test_dvsync_d_timestamps_strictly_increase(times):
+    _, improved = run_both(times)
+    stamps = [f.content_timestamp for f in improved.frames if f.decoupled]
+    assert all(b > a for a, b in zip(stamps, stamps[1:]))
+
+
+@given(traces)
+@settings(max_examples=30, deadline=None)
+def test_latch_happens_on_vsync_edges(times):
+    for result in run_both(times):
+        for frame in result.presented_frames:
+            # Integer period rounding leaves at most 1 ns of phase error
+            # per accumulated period.
+            phase = frame.latch_time % PERIOD
+            assert phase <= len(result.frames) + 60 or PERIOD - phase <= len(result.frames) + 60
+
+
+@given(traces)
+@settings(max_examples=20, deadline=None)
+def test_runs_are_deterministic(times):
+    first, _ = run_both(times)
+    second, _ = run_both(times)
+    assert [f.present_time for f in first.frames] == [
+        f.present_time for f in second.frames
+    ]

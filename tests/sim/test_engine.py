@@ -1,0 +1,169 @@
+"""Tests for the discrete-event simulator kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0
+
+
+def test_clock_starts_at_custom_time():
+    assert Simulator(start_time=500).now == 500
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(30, lambda: fired.append(30))
+    sim.schedule_at(10, lambda: fired.append(10))
+    sim.schedule_at(20, lambda: fired.append(20))
+    sim.run()
+    assert fired == [10, 20, 30]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    fired = []
+    for label in range(5):
+        sim.schedule_at(100, lambda l=label: fired.append(l))
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule_at(123, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [123]
+    assert sim.now == 123
+
+
+def test_schedule_relative_delay():
+    sim = Simulator()
+    sim.schedule_at(50, lambda: sim.schedule(25, lambda: None))
+    sim.run()
+    assert sim.now == 75
+
+
+def test_schedule_in_past_raises():
+    sim = Simulator()
+    sim.schedule_at(100, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(50, lambda: None)
+
+
+def test_negative_delay_raises():
+    with pytest.raises(SimulationError):
+        Simulator().schedule(-1, lambda: None)
+
+
+def test_call_soon_fires_after_pending_same_time_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(10, lambda: fired.append("a"))
+
+    def at_ten():
+        sim.call_soon(lambda: fired.append("soon"))
+        fired.append("b")
+
+    sim.schedule_at(10, at_ten)
+    # "a" fires, then at_ten appends "b" and queues "soon" at t=10.
+    sim.run()
+    assert fired == ["a", "b", "soon"]
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(10, lambda: fired.append(10))
+    sim.schedule_at(100, lambda: fired.append(100))
+    sim.run(until=50)
+    assert fired == [10]
+    assert sim.now == 50
+    sim.run()
+    assert fired == [10, 100]
+
+
+def test_run_until_includes_boundary_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(50, lambda: fired.append(50))
+    sim.run(until=50)
+    assert fired == [50]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule_at(10, lambda: fired.append("x"))
+    handle.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_max_events_guard_raises():
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(1, loop)
+
+    sim.schedule(1, loop)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_reentrant_run_raises():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule_at(5, reenter)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_step_executes_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(10, lambda: fired.append(1))
+    sim.schedule_at(20, lambda: fired.append(2))
+    assert sim.step() is True
+    assert fired == [1]
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for t in (1, 2, 3):
+        sim.schedule_at(t, lambda: None)
+    sim.run()
+    assert sim.events_processed == 3
+
+
+def test_drain_cancelled_removes_tombstones():
+    sim = Simulator()
+    handles = [sim.schedule_at(10 + i, lambda: None) for i in range(5)]
+    for handle in handles[:3]:
+        handle.cancel()
+    removed = sim.drain_cancelled()
+    assert removed == 3
+    assert sim.pending_events == 2
+
+
+def test_events_scheduled_during_run_fire():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(10, lambda: sim.schedule_at(15, lambda: fired.append(15)))
+    sim.run()
+    assert fired == [15]

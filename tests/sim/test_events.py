@@ -1,0 +1,45 @@
+"""Tests for event handles."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+def test_handle_reports_time():
+    sim = Simulator()
+    handle = sim.schedule_at(42, lambda: None)
+    assert handle.time == 42
+
+
+def test_handle_pending_until_fired():
+    sim = Simulator()
+    handle = sim.schedule_at(10, lambda: None)
+    assert handle.pending
+    sim.run()
+    assert handle.fired
+    assert not handle.pending
+
+
+def test_cancel_twice_raises():
+    sim = Simulator()
+    handle = sim.schedule_at(10, lambda: None)
+    handle.cancel()
+    with pytest.raises(SimulationError):
+        handle.cancel()
+
+
+def test_cancel_after_fire_raises():
+    sim = Simulator()
+    handle = sim.schedule_at(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        handle.cancel()
+
+
+def test_cancelled_state_visible():
+    sim = Simulator()
+    handle = sim.schedule_at(10, lambda: None)
+    handle.cancel()
+    assert handle.cancelled
+    assert not handle.fired

@@ -1,0 +1,74 @@
+"""Tests for seeded randomness."""
+
+from repro.sim.rng import SeededRng, seed_from_name
+
+
+def test_seed_from_name_is_stable():
+    assert seed_from_name("scrl wechat") == seed_from_name("scrl wechat")
+
+
+def test_seed_from_name_differs_by_name():
+    assert seed_from_name("a") != seed_from_name("b")
+
+
+def test_seed_salt_changes_seed():
+    assert seed_from_name("a", "x") != seed_from_name("a", "y")
+
+
+def test_same_seed_same_sequence():
+    a = SeededRng(123)
+    b = SeededRng(123)
+    assert [a.uniform(0, 1) for _ in range(10)] == [b.uniform(0, 1) for _ in range(10)]
+
+
+def test_for_scenario_reproducible():
+    a = SeededRng.for_scenario("Walmart")
+    b = SeededRng.for_scenario("Walmart")
+    assert a.integer(0, 1000) == b.integer(0, 1000)
+
+
+def test_spawn_children_independent_by_label():
+    parent = SeededRng(7)
+    child_a = parent.spawn("a")
+    child_b = parent.spawn("b")
+    assert child_a.uniform(0, 1) != child_b.uniform(0, 1)
+
+
+def test_spawn_same_label_same_stream():
+    assert SeededRng(7).spawn("x").uniform(0, 1) == SeededRng(7).spawn("x").uniform(0, 1)
+
+
+def test_chance_extremes():
+    rng = SeededRng(1)
+    assert not any(rng.chance(0.0) for _ in range(50))
+    assert all(rng.chance(1.0) for _ in range(50))
+
+
+def test_integer_bounds_inclusive():
+    rng = SeededRng(2)
+    draws = {rng.integer(1, 3) for _ in range(200)}
+    assert draws == {1, 2, 3}
+
+
+def test_choice_returns_member():
+    rng = SeededRng(3)
+    options = ["a", "b", "c"]
+    assert all(rng.choice(options) in options for _ in range(20))
+
+
+def test_exponential_positive():
+    rng = SeededRng(4)
+    assert all(rng.exponential(1.5) >= 0 for _ in range(100))
+
+
+def test_lognormal_array_shape():
+    rng = SeededRng(5)
+    arr = rng.lognormal_array(0.0, 0.3, 64)
+    assert arr.shape == (64,)
+    assert (arr > 0).all()
+
+
+def test_random_array_in_unit_interval():
+    rng = SeededRng(6)
+    arr = rng.random_array(128)
+    assert ((arr >= 0) & (arr < 1)).all()

@@ -1,0 +1,27 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+from repro.__main__ import main
+
+
+def test_list_prints_ids(capsys):
+    assert main(["--list"]) == 0
+    printed = capsys.readouterr().out.split()
+    assert "fig11" in printed
+    assert "headline" in printed
+
+
+def test_single_experiment(capsys):
+    assert main(["tab01"]) == 0
+    out = capsys.readouterr().out
+    assert "Platform configuration" in out
+    assert "Mate 60 Pro" in out
+
+
+def test_quick_flag(capsys):
+    assert main(["fig01", "--quick"]) == 0
+    assert "CDF" in capsys.readouterr().out
+
+
+def test_no_arguments_shows_help(capsys):
+    assert main([]) == 2
+    assert "usage" in capsys.readouterr().out.lower()

@@ -1,0 +1,40 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    BufferQueueError,
+    ConfigurationError,
+    PipelineError,
+    PredictionError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        SimulationError,
+        BufferQueueError,
+        PipelineError,
+        ConfigurationError,
+        WorkloadError,
+        PredictionError,
+    ],
+)
+def test_all_errors_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(ReproError):
+        raise BufferQueueError("slot stuck")
+
+
+def test_library_raises_typed_errors_not_bare_exceptions():
+    from repro.graphics.bufferqueue import BufferQueue
+
+    with pytest.raises(BufferQueueError):
+        BufferQueue(capacity=0, buffer_bytes=1)

@@ -1,0 +1,63 @@
+"""Tests that the public API surface stays importable and coherent."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.sim",
+    "repro.display",
+    "repro.graphics",
+    "repro.pipeline",
+    "repro.vsync",
+    "repro.core",
+    "repro.workloads",
+    "repro.metrics",
+    "repro.apps",
+    "repro.trace",
+    "repro.extensions",
+    "repro.experiments",
+    "repro.testing",
+    "repro.units",
+    "repro.errors",
+]
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_subpackage_imports(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} must carry a module docstring"
+
+
+def test_top_level_all_resolves():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+@pytest.mark.parametrize(
+    "module_name",
+    ["repro.core", "repro.display", "repro.workloads", "repro.metrics", "repro.trace"],
+)
+def test_subpackage_all_resolves(module_name):
+    module = importlib.import_module(module_name)
+    for name in module.__all__:
+        assert getattr(module, name, None) is not None, f"{module_name}.{name}"
+
+
+def test_version_present():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_public_functions_have_docstrings():
+    from repro.core.dvsync import DVSyncScheduler
+    from repro.vsync.scheduler import VSyncScheduler
+
+    for cls in (DVSyncScheduler, VSyncScheduler):
+        for attr_name in dir(cls):
+            if attr_name.startswith("_"):
+                continue
+            attr = getattr(cls, attr_name)
+            if callable(attr):
+                assert attr.__doc__, f"{cls.__name__}.{attr_name} lacks a docstring"

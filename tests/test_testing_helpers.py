@@ -1,0 +1,33 @@
+"""Tests for the public repro.testing helpers."""
+
+from repro.display.device import MATE_60_PRO
+from repro.testing import light_params, make_animation, run_dvsync, run_vsync
+
+
+def test_light_params_never_drop():
+    params = light_params()
+    assert params.key_prob == 0.0
+    assert params.refresh_hz == 60
+
+
+def test_make_animation_defaults():
+    driver = make_animation(light_params())
+    assert driver.bursts == 1
+    assert driver.duration_ns == 500_000_000
+
+
+def test_run_vsync_returns_result():
+    result = run_vsync(make_animation(light_params(), "helper-vs"))
+    assert result.scheduler == "vsync"
+
+
+def test_run_dvsync_default_config():
+    result = run_dvsync(make_animation(light_params(), "helper-dv"))
+    assert result.scheduler == "dvsync"
+    assert result.buffer_count == 4
+
+
+def test_run_on_other_device():
+    driver = make_animation(light_params(refresh_hz=120), "helper-120")
+    result = run_vsync(driver, device=MATE_60_PRO, buffer_count=4)
+    assert result.device is MATE_60_PRO

@@ -1,0 +1,75 @@
+"""Tests for time-unit conversions."""
+
+import pytest
+
+from repro.units import (
+    NSEC_PER_MSEC,
+    NSEC_PER_SEC,
+    hz_to_period,
+    ms,
+    ns,
+    period_to_hz,
+    seconds,
+    to_ms,
+    to_seconds,
+    to_us,
+    us,
+)
+
+
+def test_ms_converts_to_nanoseconds():
+    assert ms(1) == NSEC_PER_MSEC
+    assert ms(16.7) == 16_700_000
+
+
+def test_us_converts_to_nanoseconds():
+    assert us(102.6) == 102_600
+
+
+def test_ns_rounds_to_integer():
+    assert ns(1.4) == 1
+    assert ns(1.6) == 2
+
+
+def test_seconds_converts():
+    assert seconds(2) == 2 * NSEC_PER_SEC
+
+
+def test_roundtrip_ms():
+    assert to_ms(ms(8.3)) == pytest.approx(8.3, abs=1e-6)
+
+
+def test_roundtrip_us():
+    assert to_us(us(151.6)) == pytest.approx(151.6, abs=1e-3)
+
+
+def test_roundtrip_seconds():
+    assert to_seconds(seconds(1.5)) == pytest.approx(1.5)
+
+
+def test_hz_to_period_60():
+    assert hz_to_period(60) == 16_666_667
+
+
+def test_hz_to_period_120():
+    assert hz_to_period(120) == 8_333_333
+
+
+def test_hz_to_period_90():
+    assert hz_to_period(90) == 11_111_111
+
+
+def test_period_to_hz_inverts():
+    assert period_to_hz(hz_to_period(120)) == pytest.approx(120, rel=1e-6)
+
+
+def test_hz_to_period_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        hz_to_period(0)
+    with pytest.raises(ValueError):
+        hz_to_period(-60)
+
+
+def test_period_to_hz_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        period_to_hz(0)

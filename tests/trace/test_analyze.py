@@ -1,0 +1,51 @@
+"""Tests for trace analysis cross-checks."""
+
+import dataclasses
+
+import pytest
+
+from repro.metrics.fdps import fdps
+from repro.metrics.latency import queue_wait_ms
+from repro.testing import light_params, make_animation, run_dvsync, run_vsync
+from repro.trace.analyze import analyze, decoupling_lead_ms
+from repro.trace.record import record_run
+
+
+def test_analysis_matches_scheduler_bookkeeping():
+    result = run_vsync(make_animation(light_params(), "ana-clean", duration_ms=800))
+    analysis = analyze(record_run(result))
+    assert analysis.frames_displayed == len(result.presents)
+    assert analysis.frame_drops == len(result.effective_drops)
+    assert analysis.fdps == pytest.approx(fdps(result), rel=0.05)
+
+
+def test_analysis_counts_injected_drops():
+    driver = make_animation(light_params(), "ana-drop", duration_ms=800)
+    workload = driver._workloads[10]
+    driver._workloads[10] = dataclasses.replace(workload, render_ns=int(2.5 * 16_666_667))
+    result = run_vsync(driver)
+    analysis = analyze(record_run(result))
+    assert analysis.frame_drops == len(result.effective_drops) >= 1
+
+
+def test_queue_wait_means_agree():
+    result = run_dvsync(make_animation(light_params(), "ana-wait"))
+    analysis = analyze(record_run(result))
+    expected = sum(queue_wait_ms(result)) / len(queue_wait_ms(result))
+    assert analysis.mean_queue_wait_ms == pytest.approx(expected, rel=0.05)
+
+
+def test_decoupling_lead_visible_under_dvsync():
+    vsync_result = run_vsync(make_animation(light_params(), "ana-lead"))
+    dvsync_result = run_dvsync(make_animation(light_params(), "ana-lead"))
+    vsync_leads = decoupling_lead_ms(record_run(vsync_result))
+    dvsync_leads = decoupling_lead_ms(record_run(dvsync_result))
+    assert max(dvsync_leads) > max(vsync_leads)
+
+
+def test_empty_trace_analysis():
+    from repro.trace.record import Trace
+
+    analysis = analyze(Trace("empty"))
+    assert analysis.frames_displayed == 0
+    assert analysis.fdps == 0.0

@@ -1,0 +1,63 @@
+"""Tests for trace serialization."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.pipeline.frame import FrameWorkload
+from repro.testing import light_params, make_animation, run_vsync
+from repro.trace.format import (
+    load_frame_trace,
+    load_trace,
+    save_frame_trace,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.trace.record import record_run
+from repro.workloads.frametrace import FrameTrace
+
+
+def test_event_trace_roundtrip(tmp_path):
+    result = run_vsync(make_animation(light_params(), "fmt-run"))
+    trace = record_run(result)
+    path = tmp_path / "trace.json"
+    save_trace(trace, path)
+    clone = load_trace(path)
+    assert clone.name == trace.name
+    assert clone.spans == trace.spans
+    assert clone.instants == trace.instants
+    assert clone.counters == trace.counters
+
+
+def test_dict_roundtrip_without_files():
+    result = run_vsync(make_animation(light_params(), "fmt-dict"))
+    trace = record_run(result)
+    clone = trace_from_dict(trace_to_dict(trace))
+    assert clone.spans == trace.spans
+
+
+def test_frame_trace_roundtrip(tmp_path):
+    trace = FrameTrace(
+        name="game", refresh_hz=30,
+        workloads=[FrameWorkload(ui_ns=1000, render_ns=2000, gpu_ns=500)],
+    )
+    path = tmp_path / "frames.json"
+    save_frame_trace(trace, path)
+    clone = load_frame_trace(path)
+    assert clone.workloads == trace.workloads
+    assert clone.refresh_hz == 30
+
+
+def test_kind_mismatch_rejected(tmp_path):
+    trace = FrameTrace(
+        name="game", refresh_hz=30, workloads=[FrameWorkload(1, 2)]
+    )
+    path = tmp_path / "frames.json"
+    save_frame_trace(trace, path)
+    with pytest.raises(WorkloadError):
+        load_trace(path)
+
+
+def test_malformed_event_payload_rejected():
+    with pytest.raises(WorkloadError):
+        trace_from_dict({"kind": "event-trace", "name": "x"})

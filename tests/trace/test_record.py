@@ -1,0 +1,61 @@
+"""Tests for trace recording."""
+
+import pytest
+
+from repro.testing import light_params, make_animation, run_dvsync, run_vsync
+from repro.trace.record import Span, Trace, record_run
+
+
+def test_span_validation():
+    with pytest.raises(ValueError):
+        Span("t", "bad", start=10, end=5)
+
+
+def test_span_duration():
+    assert Span("t", "ok", 10, 25).duration == 15
+
+
+def test_record_run_has_stage_tracks():
+    result = run_vsync(make_animation(light_params(), "trace-run"))
+    trace = record_run(result)
+    assert {"ui", "render", "queue", "display", "trigger", "present"} <= set(trace.tracks())
+
+
+def test_one_ui_span_per_frame():
+    result = run_vsync(make_animation(light_params(), "trace-count"))
+    trace = record_run(result)
+    assert len(trace.spans_on("ui")) == len(result.frames)
+
+
+def test_trigger_instants_labelled_by_architecture():
+    vsync_trace = record_run(run_vsync(make_animation(light_params(), "trace-vs")))
+    dvsync_trace = record_run(run_dvsync(make_animation(light_params(), "trace-dv")))
+    assert all(i.name == "vsync-app" for i in vsync_trace.instants_on("trigger"))
+    assert any(i.name == "d-vsync" for i in dvsync_trace.instants_on("trigger"))
+
+
+def test_queue_depth_counter_sampled():
+    result = run_dvsync(make_animation(light_params(), "trace-depth"))
+    trace = record_run(result)
+    depths = [c.value for c in trace.counters if c.track == "queue-depth"]
+    assert depths
+    assert max(depths) >= 2  # accumulation visible in the counter
+
+
+def test_spans_on_sorted():
+    result = run_vsync(make_animation(light_params(), "trace-sort"))
+    trace = record_run(result)
+    starts = [s.start for s in trace.spans_on("render")]
+    assert starts == sorted(starts)
+
+
+def test_time_bounds_cover_run():
+    result = run_vsync(make_animation(light_params(), "trace-bounds"))
+    trace = record_run(result)
+    low, high = trace.time_bounds()
+    assert low == 0
+    assert high >= result.presents[-1].present_time
+
+
+def test_empty_trace_bounds():
+    assert Trace("empty").time_bounds() == (0, 0)

@@ -1,0 +1,58 @@
+"""Tests for the ASCII timeline renderer."""
+
+from repro.testing import light_params, make_animation, run_dvsync, run_vsync
+from repro.trace.record import Trace, record_run
+from repro.trace.render_ascii import render_queue_depth, render_timeline
+
+
+def test_timeline_has_stage_rows():
+    trace = record_run(run_vsync(make_animation(light_params(), "ascii-run")))
+    art = render_timeline(trace, width=60)
+    for track in ("ui", "render", "queue", "display", "janks", "present"):
+        assert track in art
+
+
+def test_timeline_width_respected():
+    trace = record_run(run_vsync(make_animation(light_params(), "ascii-width")))
+    art = render_timeline(trace, width=40)
+    body_lines = [line for line in art.splitlines()[1:]]
+    for line in body_lines:
+        assert len(line) <= 9 + 40  # label + row
+
+
+def test_presents_render_as_bars():
+    trace = record_run(run_vsync(make_animation(light_params(), "ascii-present")))
+    art = render_timeline(trace, width=80)
+    present_line = next(l for l in art.splitlines() if l.strip().startswith("present"))
+    assert present_line.count("|") >= 10
+
+
+def test_janks_render_as_bangs():
+    import dataclasses
+
+    driver = make_animation(light_params(), "ascii-jank", duration_ms=600)
+    workload = driver._workloads[10]
+    driver._workloads[10] = dataclasses.replace(workload, render_ns=int(3 * 16_666_667))
+    trace = record_run(run_vsync(driver))
+    art = render_timeline(trace, width=80)
+    jank_line = next(l for l in art.splitlines() if l.strip().startswith("janks"))
+    assert "!" in jank_line
+
+
+def test_empty_trace_handled():
+    assert render_timeline(Trace("empty")) == "(empty trace)"
+    assert render_queue_depth(Trace("empty")) == "(no queue-depth samples)"
+
+
+def test_queue_depth_strip_shows_accumulation():
+    trace = record_run(run_dvsync(make_animation(light_params(), "ascii-depth")))
+    strip = render_queue_depth(trace, width=60)
+    assert len(strip) == 60
+    assert max(int(c) for c in strip) >= 2
+
+
+def test_window_clipping():
+    trace = record_run(run_vsync(make_animation(light_params(), "ascii-window")))
+    full = render_timeline(trace, width=50)
+    clipped = render_timeline(trace, width=50, start=0, end=100_000_000)
+    assert full != clipped

@@ -1,0 +1,80 @@
+"""Tests for the OpenHarmony render-service VSync flavor."""
+
+import dataclasses
+
+import pytest
+
+from repro.display.device import MATE_60_PRO, PIXEL_5
+from repro.display.vsync import VsyncOffsets
+from repro.testing import light_params, make_animation
+from repro.units import hz_to_period
+from repro.vsync import OpenHarmonyVSyncScheduler, VSyncScheduler, default_rs_offset
+
+PERIOD_120 = hz_to_period(120)
+
+
+def run_oh(driver, device=MATE_60_PRO, **kwargs):
+    scheduler = OpenHarmonyVSyncScheduler(driver, device, **kwargs)
+    return scheduler.run(), scheduler
+
+
+def test_default_rs_offset_within_period():
+    assert 0 < default_rs_offset(MATE_60_PRO) < MATE_60_PRO.vsync_period
+
+
+def test_default_buffer_count_is_four():
+    _, scheduler = run_oh(make_animation(light_params(refresh_hz=120), "oh-bufs", duration_ms=200))
+    assert scheduler.buffer_count == 4  # OpenHarmony render-service default
+
+
+def test_two_period_floor_when_ui_beats_rs_edge():
+    driver = make_animation(light_params(refresh_hz=120), "oh-floor", duration_ms=400)
+    result, _ = run_oh(driver)
+    assert len(result.effective_drops) == 0
+    latencies = [f.latency_ns for f in result.presented_frames]
+    assert all(abs(lat - 2 * PERIOD_120) <= 2 for lat in latencies)
+
+
+def test_render_starts_at_rs_edge_not_ui_completion():
+    driver = make_animation(light_params(refresh_hz=120), "oh-edge", duration_ms=300)
+    result, scheduler = run_oh(driver)
+    rs_offset = scheduler.offsets.rs_offset
+    for frame in result.frames:
+        # Render waits for the VSync-rs edge of its period (or later if the
+        # render thread was busy); it never starts before the edge.
+        phase = frame.render_start % PERIOD_120
+        assert phase >= rs_offset - 2 or frame.render_start > frame.ui_end
+
+
+def test_ui_missing_rs_edge_slips_a_period():
+    driver = make_animation(light_params(refresh_hz=120), "oh-slip", duration_ms=400)
+    # One UI stage longer than the rs offset: its record misses the edge.
+    workload = driver._workloads[10]
+    driver._workloads[10] = dataclasses.replace(
+        workload, ui_ns=int(PERIOD_120 * 0.8)
+    )
+    result, scheduler = run_oh(driver)
+    assert scheduler.rs_slips >= 1
+
+
+def test_behaves_like_android_flavor_on_light_loads():
+    oh_driver = make_animation(light_params(refresh_hz=120), "oh-cmp", duration_ms=400)
+    android_driver = make_animation(light_params(refresh_hz=120), "oh-cmp", duration_ms=400)
+    oh_result, _ = run_oh(oh_driver)
+    android_result = VSyncScheduler(android_driver, MATE_60_PRO, buffer_count=4).run()
+    assert len(oh_result.presents) == len(android_result.presents)
+    assert len(oh_result.effective_drops) == len(android_result.effective_drops) == 0
+
+
+def test_custom_offsets_respected():
+    offsets = VsyncOffsets(rs_offset=1_000_000)
+    driver = make_animation(light_params(refresh_hz=120), "oh-custom", duration_ms=200)
+    _, scheduler = run_oh(driver, offsets=offsets)
+    assert scheduler.rs_channel.offset == 1_000_000
+
+
+def test_works_on_60hz_device_too():
+    driver = make_animation(light_params(), "oh-60", duration_ms=400)
+    result, _ = run_oh(driver, device=PIXEL_5, buffer_count=3)
+    assert len(result.effective_drops) == 0
+    assert all(f.presented for f in result.frames)

@@ -1,0 +1,103 @@
+"""Tests for the baseline VSync scheduler."""
+
+from repro.testing import make_animation
+
+from repro.display.device import PIXEL_5
+from repro.units import hz_to_period, ms
+from repro.vsync.scheduler import VSyncScheduler
+from repro.workloads.distributions import FrameTimeParams
+
+PERIOD = hz_to_period(60)
+
+
+def run_light(duration_ms=500.0, bursts=1, burst_period_ms=None):
+    params = FrameTimeParams(refresh_hz=60, key_prob=0.0)
+    driver = make_animation(
+        params, "vsync-light", duration_ms=duration_ms, bursts=bursts,
+        burst_period_ms=burst_period_ms,
+    )
+    scheduler = VSyncScheduler(driver, PIXEL_5, buffer_count=3)
+    return scheduler.run(), scheduler
+
+
+def test_light_workload_no_drops():
+    result, _ = run_light()
+    assert len(result.effective_drops) == 0
+
+
+def test_frame_per_tick_at_full_rate():
+    result, _ = run_light(duration_ms=500)
+    # 500 ms at 60 Hz is 30 frames (first tick at t=0).
+    assert len(result.frames) == 30
+
+
+def test_content_timestamps_are_tick_aligned():
+    result, _ = run_light()
+    for frame in result.frames:
+        assert frame.content_timestamp % PERIOD in (0, 1)  # rounding of period
+        assert frame.trigger_time == frame.content_timestamp
+        assert not frame.decoupled
+
+
+def test_latency_floor_is_two_periods():
+    result, _ = run_light()
+    # Steady frames: trigger at tick t, latch t+1, present t+2.
+    latencies = [f.latency_ns for f in result.presented_frames]
+    assert all(abs(lat - 2 * PERIOD) <= 2 for lat in latencies)
+
+
+def test_all_frames_presented():
+    result, _ = run_light()
+    assert all(f.presented for f in result.frames)
+
+
+def test_long_render_frame_causes_drops():
+    params = FrameTimeParams(refresh_hz=60, key_prob=0.0)
+    driver = make_animation(params, "vsync-longframe", duration_ms=500)
+    # Inject one frame with a render time of ~2.5 periods.
+    import dataclasses
+
+    workload = driver._workloads[10]
+    driver._workloads[10] = dataclasses.replace(
+        workload, render_ns=int(2.5 * PERIOD)
+    )
+    result = VSyncScheduler(driver, PIXEL_5, buffer_count=3).run()
+    assert len(result.effective_drops) >= 1
+
+
+def test_ui_heavy_frame_skips_ticks():
+    params = FrameTimeParams(refresh_hz=60, key_prob=0.0)
+    driver = make_animation(params, "vsync-uiheavy", duration_ms=500)
+    import dataclasses
+
+    workload = driver._workloads[5]
+    driver._workloads[5] = dataclasses.replace(workload, ui_ns=int(2.2 * PERIOD))
+    scheduler = VSyncScheduler(driver, PIXEL_5, buffer_count=3)
+    scheduler.run()
+    assert scheduler.skipped_ticks >= 1
+
+
+def test_bursts_produce_idle_gaps_without_drops():
+    result, scheduler = run_light(duration_ms=200, bursts=3, burst_period_ms=400)
+    assert len(result.effective_drops) == 0
+    # Gaps: frames only during the 200 ms animation of each 400 ms window.
+    for frame in result.frames:
+        offset = frame.content_timestamp % ms(400)
+        assert offset < ms(200)
+
+
+def test_run_terminates_and_stops_vsync():
+    result, scheduler = run_light()
+    assert not scheduler.hw_vsync.running
+    assert result.end_time >= ms(500)
+
+
+def test_display_span_close_to_animation_length():
+    result, _ = run_light(duration_ms=600)
+    assert abs(result.display_span_ns - ms(600)) < 3 * PERIOD
+
+
+def test_deterministic_across_runs():
+    first, _ = run_light()
+    second, _ = run_light()
+    assert [f.queued_time for f in first.frames] == [f.queued_time for f in second.frames]

@@ -1,0 +1,85 @@
+"""Tests for motion curves."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.animations import (
+    CURVES,
+    DecelerateCurve,
+    EaseInOutCurve,
+    LinearCurve,
+    SpringCurve,
+    curve_by_name,
+)
+
+
+@pytest.mark.parametrize("name", sorted(CURVES))
+def test_curves_start_at_zero(name):
+    assert curve_by_name(name).position(0.0) == pytest.approx(0.0, abs=0.05)
+
+
+@pytest.mark.parametrize("name", ["linear", "ease-in-out", "decelerate"])
+def test_monotone_curves_end_at_one(name):
+    assert curve_by_name(name).position(1.0) == pytest.approx(1.0, abs=0.01)
+
+
+@pytest.mark.parametrize("name", ["linear", "ease-in-out", "decelerate"])
+def test_monotone_curves_nondecreasing(name):
+    curve = curve_by_name(name)
+    values = [curve.position(i / 50) for i in range(51)]
+    assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+
+def test_positions_clamped_outside_unit_interval():
+    curve = EaseInOutCurve()
+    assert curve.position(-1.0) == curve.position(0.0)
+    assert curve.position(2.0) == curve.position(1.0)
+
+
+def test_linear_velocity_constant():
+    curve = LinearCurve()
+    assert curve.velocity(0.3) == 1.0
+    assert curve.velocity(0.9) == 1.0
+
+
+def test_ease_in_out_velocity_peaks_mid():
+    curve = EaseInOutCurve()
+    assert curve.velocity(0.5) > curve.velocity(0.05)
+    assert curve.velocity(0.5) > curve.velocity(0.95)
+
+
+def test_decelerate_velocity_decreases():
+    curve = DecelerateCurve(rate=4.0)
+    assert curve.velocity(0.0) > curve.velocity(0.5) > curve.velocity(1.0)
+
+
+def test_decelerate_rate_validation():
+    with pytest.raises(WorkloadError):
+        DecelerateCurve(rate=0)
+
+
+def test_spring_overshoots_and_settles():
+    curve = SpringCurve(damping=0.3, oscillations=2.0)
+    values = [curve.position(i / 100) for i in range(101)]
+    assert max(values) > 1.0  # overshoot
+    assert values[-1] == pytest.approx(1.0, abs=0.1)
+
+
+def test_spring_validation():
+    with pytest.raises(WorkloadError):
+        SpringCurve(damping=1.5)
+    with pytest.raises(WorkloadError):
+        SpringCurve(oscillations=0)
+
+
+def test_velocity_matches_finite_difference():
+    curve = EaseInOutCurve()
+    h = 1e-5
+    for u in (0.2, 0.5, 0.8):
+        numeric = (curve.position(u + h) - curve.position(u - h)) / (2 * h)
+        assert curve.velocity(u) == pytest.approx(numeric, rel=1e-3)
+
+
+def test_unknown_curve_raises():
+    with pytest.raises(WorkloadError):
+        curve_by_name("warp-speed")

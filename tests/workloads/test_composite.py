@@ -1,0 +1,92 @@
+"""Tests for the composite (multi-scene) driver."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.pipeline.frame import FrameCategory
+from repro.testing import light_params, make_animation, run_dvsync, run_vsync
+from repro.units import ms
+from repro.workloads.composite import CompositeDriver
+
+
+def make_composite(segments=3, duration_ms=200.0, gap_ms=250.0, name="comp"):
+    children = [
+        make_animation(light_params(), f"{name}-{i}", duration_ms=duration_ms)
+        for i in range(segments)
+    ]
+    return CompositeDriver(name, children, gap_ns=ms(gap_ms))
+
+
+def test_requires_children():
+    with pytest.raises(WorkloadError):
+        CompositeDriver("empty", [])
+
+
+def test_negative_gap_rejected():
+    child = make_animation(light_params(), "c0", duration_ms=100)
+    with pytest.raises(WorkloadError):
+        CompositeDriver("neg", [child], gap_ns=-1)
+
+
+def test_segments_play_sequentially():
+    driver = make_composite()
+    driver.begin(0)
+    # Segment windows: [0,200), [450,650), [900,1100) ms.
+    assert driver.wants_frame(ms(100), now=ms(100))
+    assert not driver.wants_frame(ms(300), now=ms(300))  # gap
+    assert driver.wants_frame(ms(500), now=ms(500))
+    assert driver.finished(ms(1100))
+    assert not driver.finished(ms(1000))
+
+
+def test_all_segments_render_under_both_architectures():
+    expected = 3 * 12  # 3 segments x 200 ms at 60 Hz
+    vsync_result = run_vsync(make_composite(name="comp-vs"))
+    dvsync_result = run_dvsync(make_composite(name="comp-dv"))
+    for result in (vsync_result, dvsync_result):
+        assert len(result.frames) == pytest.approx(expected, abs=3)
+        assert len(result.effective_drops) == 0
+
+
+def test_content_values_follow_each_segment_curve():
+    driver = make_composite(name="comp-curve")
+    driver.begin(0)
+    # Each segment restarts its own ease curve.
+    assert driver.true_value(ms(0)) == pytest.approx(0.0, abs=0.01)
+    assert driver.true_value(ms(199)) == pytest.approx(1.0, abs=0.05)
+    assert driver.true_value(ms(450)) == pytest.approx(0.0, abs=0.01)
+
+
+def test_speed_zero_in_gaps():
+    driver = make_composite(name="comp-speed")
+    driver.begin(0)
+    assert driver.animation_speed(ms(300)) == 0.0
+    assert driver.animation_speed(ms(100)) > 0.0
+
+
+def test_mixed_category_children():
+    animation = make_animation(light_params(), "comp-anim", duration_ms=200)
+    import dataclasses
+
+    realtime_params = dataclasses.replace(
+        light_params(), category=FrameCategory.REALTIME
+    )
+    realtime = make_animation(realtime_params, "comp-rt", duration_ms=200)
+    driver = CompositeDriver("comp-mixed", [animation, realtime], gap_ns=ms(100))
+    result = run_dvsync(driver)
+    decoupled = [f for f in result.frames if f.decoupled]
+    traditional = [f for f in result.frames if not f.decoupled]
+    assert decoupled and traditional
+
+
+def test_queue_drains_between_segments():
+    result = run_dvsync(make_composite(name="comp-drain", gap_ms=500))
+    # By each segment boundary the queue is empty; accumulation restarts.
+    boundaries = [ms(200 + 700 * k) for k in range(2)]
+    for boundary in boundaries:
+        around = [
+            p.queue_depth_after
+            for p in result.presents
+            if boundary <= p.present_time <= boundary + ms(120)
+        ]
+        assert around and min(around) == 0

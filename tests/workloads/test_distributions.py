@@ -1,0 +1,189 @@
+"""Tests for the power-law frame-time model."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.pipeline.frame import FrameCategory
+from repro.sim.rng import SeededRng
+from repro.units import hz_to_period, to_ms
+from repro.workloads.distributions import (
+    FLUCTUATION,
+    MODERATE,
+    PROFILES,
+    SCATTERED,
+    SKEWED,
+    FrameTimeParams,
+    PowerLawFrameModel,
+    TailProfile,
+    fig1_model,
+    params_for_target_fdps,
+)
+
+
+def make_model(**overrides):
+    params = FrameTimeParams(refresh_hz=60, **overrides)
+    return PowerLawFrameModel(params, SeededRng(42))
+
+
+def test_no_key_frames_when_prob_zero():
+    model = make_model(key_prob=0.0)
+    workloads = model.generate(500)
+    period = hz_to_period(60)
+    assert all(w.render_ns < period for w in workloads)
+    assert model.key_frames_emitted == 0
+
+
+def test_key_fraction_near_stationary_probability():
+    model = make_model(key_prob=0.05, tail=MODERATE)
+    model.generate(8000)
+    fraction = model.key_frames_emitted / model.frames_emitted
+    assert fraction == pytest.approx(0.05, abs=0.012)
+
+
+def test_key_frames_exceed_deadline_in_render_stage():
+    model = make_model(key_prob=0.2, tail=SCATTERED)
+    period = hz_to_period(60)
+    keys = [w for w in model.generate(2000) if w.render_ns > period]
+    assert keys, "expected some key frames"
+    # Excess bounded by the profile's truncation.
+    for workload in keys:
+        assert workload.render_ns <= period * (1.02 + SCATTERED.max_excess) + 1e6
+
+
+def test_body_truncation_below_period():
+    model = make_model(key_prob=0.0, body_max_fraction=0.95)
+    period = hz_to_period(60)
+    assert all(w.total_ns <= period for w in model.generate(2000))
+
+
+def test_ui_render_split():
+    model = make_model(key_prob=0.0, ui_fraction=0.4)
+    workload = model.next_workload()
+    assert workload.ui_ns == pytest.approx(0.4 * (workload.ui_ns + workload.render_ns), rel=0.02)
+
+
+def test_gpu_fraction_split():
+    model = make_model(key_prob=0.0, gpu_fraction=0.4)
+    workload = model.next_workload()
+    assert workload.gpu_ns > 0
+    assert workload.gpu_ns == pytest.approx(0.4 * workload.total_ns, rel=0.05)
+
+
+def test_category_stamped():
+    params = FrameTimeParams(
+        refresh_hz=60, category=FrameCategory.PREDICTABLE_INTERACTION
+    )
+    model = PowerLawFrameModel(params, SeededRng(1))
+    assert model.next_workload().category is FrameCategory.PREDICTABLE_INTERACTION
+
+
+def test_key_weight_zero_suppresses_keys():
+    model = make_model(key_prob=0.3)
+    for _ in range(500):
+        model.next_workload(key_weight=0.0)
+    assert model.key_frames_emitted == 0
+
+
+def test_key_weight_scales_rate():
+    low = make_model(key_prob=0.02)
+    high = make_model(key_prob=0.02)
+    for _ in range(6000):
+        low.next_workload(key_weight=0.5)
+        high.next_workload(key_weight=2.0)
+    assert high.key_frames_emitted > 2 * low.key_frames_emitted
+
+
+def test_burstiness_clusters_key_frames():
+    clustered_profile = TailProfile("c", offset=0.1, scale=1.0, max_excess=4.0, burstiness=0.7)
+    spread_profile = TailProfile("s", offset=0.1, scale=1.0, max_excess=4.0, burstiness=0.0)
+
+    def mean_run_length(profile):
+        model = PowerLawFrameModel(
+            FrameTimeParams(refresh_hz=60, key_prob=0.05, tail=profile), SeededRng(7)
+        )
+        period = hz_to_period(60)
+        flags = [w.render_ns > period for w in model.generate(8000)]
+        runs, current = [], 0
+        for flag in flags:
+            if flag:
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        return sum(runs) / len(runs)
+
+    assert mean_run_length(clustered_profile) > 1.8
+    assert mean_run_length(spread_profile) < 1.3
+
+
+def test_expected_drops_per_key_frame_monotone_in_scale():
+    small = TailProfile("a", offset=0.1, scale=0.5, max_excess=5.0, burstiness=0.0)
+    large = TailProfile("b", offset=0.1, scale=2.0, max_excess=5.0, burstiness=0.0)
+    assert large.expected_drops_per_key_frame() > small.expected_drops_per_key_frame()
+
+
+def test_profile_validation():
+    with pytest.raises(WorkloadError):
+        TailProfile("bad", offset=0.1, scale=0.0, max_excess=2.0, burstiness=0.1)
+    with pytest.raises(WorkloadError):
+        TailProfile("bad", offset=0.1, scale=1.0, max_excess=2.0, burstiness=1.0)
+    with pytest.raises(WorkloadError):
+        TailProfile("bad", offset=3.0, scale=1.0, max_excess=2.0, burstiness=0.1)
+
+
+def test_params_validation():
+    with pytest.raises(WorkloadError):
+        FrameTimeParams(refresh_hz=60, base_fraction=0.0)
+    with pytest.raises(WorkloadError):
+        FrameTimeParams(refresh_hz=60, key_prob=0.9)
+    with pytest.raises(WorkloadError):
+        FrameTimeParams(refresh_hz=60, ui_fraction=1.0)
+    with pytest.raises(WorkloadError):
+        FrameTimeParams(refresh_hz=60, base_fraction=0.5, body_max_fraction=0.4)
+
+
+def test_inversion_key_prob_scales_with_target():
+    low = params_for_target_fdps(1.0, 60, profile=MODERATE)
+    high = params_for_target_fdps(4.0, 60, profile=MODERATE)
+    assert high.key_prob > low.key_prob
+
+
+def test_inversion_zero_target_zero_keys():
+    params = params_for_target_fdps(0.0, 120)
+    assert params.key_prob == 0.0
+
+
+def test_inversion_caps_key_prob():
+    params = params_for_target_fdps(1000.0, 60, profile=FLUCTUATION)
+    assert params.key_prob <= 0.35
+
+
+def test_all_named_profiles_registered():
+    assert set(PROFILES) == {
+        "scattered",
+        "moderate",
+        "skewed",
+        "fluctuation",
+        "fluctuation-deep",
+    }
+
+
+def test_fig1_shape_matches_annotations():
+    model = fig1_model()
+    period_ms = 1000 / 60
+    times = [to_ms(w.total_ns) for w in model.generate(20000)]
+    within_one = sum(1 for t in times if t <= period_ms) / len(times)
+    beyond_two = sum(1 for t in times if t > 2 * period_ms) / len(times)
+    assert 0.72 <= within_one <= 0.84  # paper: 78.3 %
+    assert 0.025 <= beyond_two <= 0.08  # paper: ~5 %
+
+
+def test_generate_rejects_negative_count():
+    with pytest.raises(WorkloadError):
+        make_model().generate(-1)
+
+
+def test_skewed_profile_reaches_beyond_seven_periods():
+    # QQMusic-like: long frames even 7 buffers fail to hide.
+    assert SKEWED.offset + SKEWED.scale >= 5.0
+    assert SKEWED.max_excess > 7.0

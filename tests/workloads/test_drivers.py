@@ -1,0 +1,180 @@
+"""Tests for scenario drivers."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.pipeline.frame import FrameCategory, FrameWorkload
+from repro.units import ms
+from repro.workloads.distributions import FrameTimeParams
+from repro.workloads.drivers import AnimationDriver, InteractionDriver, TraceDriver
+from repro.workloads.frametrace import FrameTrace
+from repro.workloads.touch import SwipeGesture
+
+
+def light_params(category=FrameCategory.DETERMINISTIC_ANIMATION):
+    return FrameTimeParams(refresh_hz=60, key_prob=0.0, category=category)
+
+
+# ------------------------------------------------------------ AnimationDriver
+def test_animation_wants_frames_during_window():
+    driver = AnimationDriver("a1", light_params(), duration_ns=ms(300))
+    driver.begin(0)
+    assert driver.wants_frame(ms(100), now=ms(100))
+    assert not driver.wants_frame(ms(300), now=ms(300))
+
+
+def test_animation_finished_after_span():
+    driver = AnimationDriver("a2", light_params(), duration_ns=ms(300))
+    driver.begin(0)
+    assert not driver.finished(ms(299))
+    assert driver.finished(ms(300))
+
+
+def test_burst_gap_produces_no_frames():
+    driver = AnimationDriver(
+        "a3", light_params(), duration_ns=ms(200), bursts=2, burst_period_ns=ms(500)
+    )
+    driver.begin(0)
+    assert driver.wants_frame(ms(100), now=ms(100))
+    assert not driver.wants_frame(ms(300), now=ms(300))  # gap
+    assert driver.wants_frame(ms(600), now=ms(600))  # second burst
+    assert driver.finished(ms(700))
+
+
+def test_burst_input_gating_blocks_prerender():
+    driver = AnimationDriver(
+        "a4", light_params(), duration_ns=ms(200), bursts=2, burst_period_ns=ms(500)
+    )
+    driver.begin(0)
+    # Content time inside burst 2, but its input (t=500) hasn't happened yet.
+    assert not driver.wants_frame(ms(520), now=ms(480))
+    assert driver.wants_frame(ms(520), now=ms(500))
+
+
+def test_animation_true_value_follows_curve_per_burst():
+    driver = AnimationDriver(
+        "a5", light_params(), duration_ns=ms(200), bursts=2, burst_period_ns=ms(500)
+    )
+    driver.begin(0)
+    assert driver.true_value(0) == pytest.approx(0.0, abs=0.01)
+    assert driver.true_value(ms(200)) == pytest.approx(1.0, abs=0.01)
+    # Second burst restarts its own curve.
+    assert driver.true_value(ms(500)) == pytest.approx(0.0, abs=0.01)
+
+
+def test_animation_speed_zero_in_gap():
+    driver = AnimationDriver(
+        "a6", light_params(), duration_ns=ms(200), bursts=2, burst_period_ns=ms(500)
+    )
+    driver.begin(0)
+    assert driver.animation_speed(ms(350)) == 0.0
+    assert driver.animation_speed(ms(100)) > 0.0
+
+
+def test_workloads_deterministic_per_index():
+    a = AnimationDriver("same", light_params(), duration_ns=ms(300))
+    b = AnimationDriver("same", light_params(), duration_ns=ms(300))
+    assert a.make_workload(5, 0) == b.make_workload(5, 0)
+
+
+def test_workload_index_clamps_beyond_trace():
+    driver = AnimationDriver("a7", light_params(), duration_ns=ms(100))
+    big = driver.make_workload(10_000, 0)
+    assert isinstance(big, FrameWorkload)
+
+
+def test_category_weights_mixture():
+    driver = AnimationDriver(
+        "a8",
+        light_params(),
+        duration_ns=ms(2000),
+        category_weights={
+            FrameCategory.DETERMINISTIC_ANIMATION: 0.8,
+            FrameCategory.REALTIME: 0.2,
+        },
+    )
+    categories = [driver.frame_category(i) for i in range(120)]
+    realtime = sum(1 for c in categories if c is FrameCategory.REALTIME)
+    assert 5 <= realtime <= 50
+
+
+def test_animation_validation():
+    with pytest.raises(WorkloadError):
+        AnimationDriver("bad", light_params(), duration_ns=0)
+    with pytest.raises(WorkloadError):
+        AnimationDriver("bad", light_params(), duration_ns=ms(100), bursts=0)
+    with pytest.raises(WorkloadError):
+        AnimationDriver(
+            "bad", light_params(), duration_ns=ms(200), burst_period_ns=ms(100)
+        )
+
+
+# ---------------------------------------------------------- InteractionDriver
+def make_interaction(name="i1"):
+    def factory(start):
+        return SwipeGesture(start, ms(300), name=name)
+
+    return InteractionDriver(name, light_params(), factory)
+
+
+def test_interaction_requires_begin():
+    driver = make_interaction()
+    with pytest.raises(WorkloadError):
+        driver.wants_frame(0, 0)
+
+
+def test_interaction_forces_category():
+    driver = make_interaction()
+    assert driver.params.category is FrameCategory.PREDICTABLE_INTERACTION
+    assert driver.frame_category(0) is FrameCategory.PREDICTABLE_INTERACTION
+
+
+def test_interaction_window_follows_gesture():
+    driver = make_interaction("i2")
+    driver.begin(ms(50))
+    assert driver.wants_frame(ms(100), now=ms(100))
+    assert not driver.wants_frame(ms(360), now=ms(360))
+    assert driver.finished(ms(350))
+
+
+def test_interaction_observe_input_causal():
+    driver = make_interaction("i3")
+    driver.begin(0)
+    samples = driver.observe_input(ms(120))
+    assert samples
+    assert all(t <= ms(120) for t, _ in samples)
+
+
+# ---------------------------------------------------------------- TraceDriver
+def make_trace(count=30, refresh_hz=60):
+    workloads = [FrameWorkload(ui_ns=1_000_000, render_ns=2_000_000) for _ in range(count)]
+    return FrameTrace(name="game", refresh_hz=refresh_hz, workloads=workloads)
+
+
+def test_trace_driver_duration():
+    driver = TraceDriver(make_trace(count=30, refresh_hz=60))
+    driver.begin(0)
+    assert abs(driver.duration_ns - ms(500)) < 100  # 30 x 16.666667 ms
+    assert driver.wants_frame(ms(499), now=ms(499))
+    assert driver.finished(driver.duration_ns)
+
+
+def test_trace_driver_replays_in_order():
+    trace = make_trace(count=3)
+    driver = TraceDriver(trace)
+    driver.begin(0)
+    assert driver.make_workload(0, 0) == trace[0]
+    assert driver.make_workload(2, 0) == trace[2]
+    assert driver.make_workload(9, 0) == trace[2]  # clamps
+
+
+def test_trace_driver_loop_mode():
+    trace = make_trace(count=3)
+    driver = TraceDriver(trace, loop=True)
+    driver.begin(0)
+    assert driver.make_workload(4, 0) == trace[1]
+
+
+def test_trace_driver_category_override():
+    driver = TraceDriver(make_trace(), category=FrameCategory.REALTIME)
+    assert driver.make_workload(0, 0).category is FrameCategory.REALTIME

@@ -1,0 +1,92 @@
+"""Tests for the Fig 4 graphics-feature catalog."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.rng import SeededRng
+from repro.units import ms
+from repro.workloads.features import (
+    FEATURES,
+    OS_GENERATIONS,
+    CostClass,
+    EffectComposer,
+    cumulative_feature_count,
+    feature,
+    features_in,
+)
+
+
+def test_catalog_names_unique():
+    names = [f.name for f in FEATURES]
+    assert len(set(names)) == len(names)
+
+
+def test_feature_lookup():
+    blur = feature("Gaussian Blur")
+    assert blur.cost is CostClass.HEAVY
+    assert blur.os_release == "OH 4.0"
+
+
+def test_unknown_feature_raises():
+    with pytest.raises(WorkloadError):
+        feature("Ray Tracing")
+
+
+def test_every_generation_has_features():
+    for generation in OS_GENERATIONS:
+        assert features_in(generation)
+
+
+def test_unknown_generation_raises():
+    with pytest.raises(WorkloadError):
+        features_in("Android 99")
+
+
+def test_heavy_share_grows_within_lineages():
+    rows = cumulative_feature_count()
+    oh = [heavy for gen, _, heavy in rows if gen.startswith("OH")]
+    android = [heavy for gen, _, heavy in rows if gen.startswith("Android")]
+    assert oh == sorted(oh)
+    assert android == sorted(android)
+    assert oh[-1] > oh[0]
+
+
+def test_composer_key_frame_cost_scales_with_stack():
+    light = EffectComposer(["Transparency"], rng=SeededRng(1))
+    heavy = EffectComposer(
+        ["Gaussian Blur", "Particle Effect", "Dynamic Lighting"], rng=SeededRng(1)
+    )
+    light_cost = sum(light.key_frame_cost_ns() for _ in range(100)) / 100
+    heavy_cost = sum(heavy.key_frame_cost_ns() for _ in range(100)) / 100
+    assert heavy_cost > 5 * light_cost
+
+
+def test_heavy_key_frames_over_a_millisecond():
+    # Fig 4: darker effects mean key frames "usually over 1 ms".
+    composer = EffectComposer(["Gaussian Blur"], rng=SeededRng(2))
+    costs = [composer.key_frame_cost_ns() for _ in range(200)]
+    over_1ms = sum(1 for c in costs if c > ms(1))
+    assert over_1ms > 180
+
+
+def test_cache_reuse_discounts_steady_frames():
+    composer = EffectComposer(
+        ["Gaussian Blur", "Glass Material"], rng=SeededRng(3),
+        cache_reuse_probability=0.8,
+    )
+    key = sum(composer.key_frame_cost_ns() for _ in range(200)) / 200
+    steady = sum(composer.steady_frame_cost_ns() for _ in range(200)) / 200
+    assert steady < 0.5 * key
+
+
+def test_composer_validation():
+    with pytest.raises(WorkloadError):
+        EffectComposer([])
+    with pytest.raises(WorkloadError):
+        EffectComposer(["Transparency"], cache_reuse_probability=1.5)
+
+
+def test_composer_deterministic_by_stack():
+    a = EffectComposer(["Bokeh", "Parallax"])
+    b = EffectComposer(["Parallax", "Bokeh"])  # order-insensitive seeding
+    assert a.key_frame_cost_ns() == b.key_frame_cost_ns()

@@ -1,0 +1,69 @@
+"""Tests for frame traces."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.pipeline.frame import FrameCategory, FrameWorkload
+from repro.units import hz_to_period
+from repro.workloads.frametrace import FrameTrace
+
+
+def make_trace(times_ms=(5.0, 8.0, 20.0), refresh_hz=60):
+    workloads = [
+        FrameWorkload(ui_ns=int(t * 1e6 * 0.3), render_ns=int(t * 1e6 * 0.7))
+        for t in times_ms
+    ]
+    return FrameTrace(name="t", refresh_hz=refresh_hz, workloads=workloads)
+
+
+def test_len_and_indexing():
+    trace = make_trace()
+    assert len(trace) == 3
+    assert trace[0].total_ns == pytest.approx(5e6, abs=2)
+
+
+def test_empty_trace_rejected():
+    with pytest.raises(WorkloadError):
+        FrameTrace(name="empty", refresh_hz=60, workloads=[])
+
+
+def test_invalid_rate_rejected():
+    with pytest.raises(WorkloadError):
+        FrameTrace(name="bad", refresh_hz=0, workloads=[FrameWorkload(1, 1)])
+
+
+def test_duration_is_count_times_period():
+    trace = make_trace()
+    assert trace.duration_ns == 3 * hz_to_period(60)
+
+
+def test_long_frame_fraction():
+    trace = make_trace(times_ms=(5.0, 8.0, 20.0))  # one frame > 16.7 ms
+    assert trace.long_frame_fraction() == pytest.approx(1 / 3)
+
+
+def test_stats_fields():
+    stats = make_trace().stats()
+    assert stats["max_ms"] == pytest.approx(20.0, abs=0.01)
+    assert 0 < stats["mean_ms"] < 20
+    assert stats["long_fraction"] == pytest.approx(1 / 3)
+
+
+def test_dict_roundtrip():
+    trace = make_trace()
+    clone = FrameTrace.from_dict(trace.to_dict())
+    assert clone.name == trace.name
+    assert clone.refresh_hz == trace.refresh_hz
+    assert clone.workloads == trace.workloads
+
+
+def test_roundtrip_preserves_category():
+    workloads = [FrameWorkload(1, 2, category=FrameCategory.REALTIME)]
+    trace = FrameTrace(name="rt", refresh_hz=30, workloads=workloads)
+    clone = FrameTrace.from_dict(trace.to_dict())
+    assert clone[0].category is FrameCategory.REALTIME
+
+
+def test_malformed_payload_raises():
+    with pytest.raises(WorkloadError):
+        FrameTrace.from_dict({"name": "x"})

@@ -1,0 +1,189 @@
+"""Tests for scenario specs and the registries."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.android_apps import APP_NAMES, FIG11_AVERAGE, app_scenario, app_scenarios
+from repro.workloads.drivers import AnimationDriver, InteractionDriver
+from repro.workloads.games import FIG14_AVERAGE, GAME_SPECS, game_target_fdps, record_game_trace
+from repro.workloads.os_cases import (
+    FIG12_VULKAN_AVG,
+    FIG13_MATE40_AVG,
+    FIG13_MATE60_AVG,
+    MATE40_GLES_TARGETS,
+    MATE60_GLES_TARGETS,
+    MATE60_VULKAN_TARGETS,
+    USE_CASES,
+    os_case_scenarios,
+    use_case,
+)
+from repro.workloads.scenarios import Scenario, targets_from_weights
+
+
+def test_scenario_builds_animation_driver():
+    scenario = Scenario(name="s1", description="", refresh_hz=60, target_vsync_fdps=1.0)
+    assert isinstance(scenario.build_driver(), AnimationDriver)
+
+
+def test_scenario_builds_interaction_driver():
+    scenario = Scenario(
+        name="s2", description="", refresh_hz=60, target_vsync_fdps=1.0,
+        interactive=True, gesture="pinch",
+    )
+    driver = scenario.build_driver()
+    assert isinstance(driver, InteractionDriver)
+
+
+def test_scenario_run_index_changes_seed():
+    scenario = Scenario(name="s3", description="", refresh_hz=60, target_vsync_fdps=1.0)
+    a = scenario.build_driver(0)
+    b = scenario.build_driver(1)
+    assert a.name != b.name
+    assert a._workloads != b._workloads
+
+
+def test_unknown_profile_rejected():
+    scenario = Scenario(
+        name="s4", description="", refresh_hz=60, target_vsync_fdps=1.0, profile="nope"
+    )
+    with pytest.raises(WorkloadError):
+        scenario.build_driver()
+
+
+def test_unknown_gesture_rejected():
+    scenario = Scenario(
+        name="s5", description="", refresh_hz=60, target_vsync_fdps=1.0,
+        interactive=True, gesture="tap-dance",
+    )
+    with pytest.raises(WorkloadError):
+        scenario.build_driver()
+
+
+def test_targets_from_weights_pins_mean():
+    targets = targets_from_weights(["a", "b", "c"], [3.0, 2.0, 1.0], 4.0)
+    assert sum(targets.values()) / 3 == pytest.approx(4.0)
+    assert targets["a"] > targets["b"] > targets["c"]
+
+
+def test_targets_from_weights_validation():
+    with pytest.raises(WorkloadError):
+        targets_from_weights(["a"], [1.0, 2.0], 1.0)
+    with pytest.raises(WorkloadError):
+        targets_from_weights([], [], 1.0)
+    with pytest.raises(WorkloadError):
+        targets_from_weights(["a"], [-1.0], 1.0)
+
+
+# ----------------------------------------------------------------- OS cases
+def test_table3_has_75_cases():
+    assert len(USE_CASES) == 75
+
+
+def test_abbreviations_unique():
+    abbreviations = [case.abbreviation for case in USE_CASES]
+    assert len(set(abbreviations)) == 75
+
+
+def test_use_case_lookup():
+    case = use_case("cls notif ctr")
+    assert case.category == "Notification Center"
+    with pytest.raises(WorkloadError):
+        use_case("missing")
+
+
+def test_figure_subsets_sizes():
+    assert len(MATE60_VULKAN_TARGETS) == 29  # Fig 12
+    assert len(MATE40_GLES_TARGETS) == 9  # Fig 13 left
+    assert len(MATE60_GLES_TARGETS) == 20  # Fig 13 right
+
+
+def test_figure_targets_average_to_paper():
+    for targets, avg in (
+        (MATE60_VULKAN_TARGETS, FIG12_VULKAN_AVG),
+        (MATE40_GLES_TARGETS, FIG13_MATE40_AVG),
+        (MATE60_GLES_TARGETS, FIG13_MATE60_AVG),
+    ):
+        assert sum(targets.values()) / len(targets) == pytest.approx(avg, rel=1e-6)
+
+
+def test_os_case_scenarios_drop_prone_only():
+    scenarios = os_case_scenarios("mate60-vulkan")
+    assert len(scenarios) == 29
+    assert scenarios[0].name == "cls notif ctr"  # figure order
+
+
+def test_os_case_scenarios_all_75():
+    scenarios = os_case_scenarios("mate60-gles", drop_prone_only=False)
+    assert len(scenarios) == 75
+    light = [s for s in scenarios if s.target_vsync_fdps == 0.0]
+    assert len(light) == 55
+
+
+def test_unknown_config_rejected():
+    with pytest.raises(WorkloadError):
+        os_case_scenarios("mate90-metal")
+
+
+def test_all_figure_cases_exist_in_table3():
+    known = {case.abbreviation for case in USE_CASES}
+    for targets in (MATE60_VULKAN_TARGETS, MATE40_GLES_TARGETS, MATE60_GLES_TARGETS):
+        assert set(targets) <= known
+
+
+# ------------------------------------------------------------------ apps
+def test_25_app_scenarios():
+    scenarios = app_scenarios()
+    assert len(scenarios) == 25
+    assert scenarios[0].name == "Walmart"
+
+
+def test_app_targets_average_to_paper():
+    scenarios = app_scenarios()
+    mean_target = sum(s.target_vsync_fdps for s in scenarios) / len(scenarios)
+    assert mean_target == pytest.approx(FIG11_AVERAGE, rel=1e-6)
+
+
+def test_qqmusic_is_skewed():
+    assert app_scenario("QQMusic").profile == "skewed"
+    assert app_scenario("Walmart").profile == "scattered"
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(WorkloadError):
+        app_scenario("MySpace")
+
+
+# ------------------------------------------------------------------ games
+def test_15_games():
+    assert len(GAME_SPECS) == 15
+
+
+def test_game_rates_match_figure_labels():
+    rates = {spec.name: spec.refresh_hz for spec in GAME_SPECS}
+    assert rates["Honor of Kings (UI)"] == 60
+    assert rates["Identity V (UI)"] == 30
+    assert rates["LTK"] == 90
+
+
+def test_game_targets_average_to_paper():
+    mean_target = sum(game_target_fdps(s.name) for s in GAME_SPECS) / len(GAME_SPECS)
+    assert mean_target == pytest.approx(FIG14_AVERAGE, rel=1e-6)
+
+
+def test_game_trace_has_gpu_time():
+    trace = record_game_trace(GAME_SPECS[0])
+    assert any(w.gpu_ns > 0 for w in trace.workloads)
+    assert trace.refresh_hz == GAME_SPECS[0].refresh_hz
+
+
+def test_game_trace_reproducible_per_run():
+    a = record_game_trace(GAME_SPECS[1], run=0)
+    b = record_game_trace(GAME_SPECS[1], run=0)
+    c = record_game_trace(GAME_SPECS[1], run=1)
+    assert a.workloads == b.workloads
+    assert a.workloads != c.workloads
+
+
+def test_unknown_game_rejected():
+    with pytest.raises(WorkloadError):
+        game_target_fdps("Pong")

@@ -1,0 +1,79 @@
+"""Tests for touch-input synthesis."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.units import ms
+from repro.workloads.touch import FlingGesture, PinchGesture, SwipeGesture
+
+
+def test_samples_at_digitizer_rate():
+    gesture = SwipeGesture(0, ms(100), sample_rate_hz=120, name="t1")
+    # 100 ms at 120 Hz: samples at 0, 8.3, ... 100 -> 13 samples.
+    assert len(gesture.samples) == 13
+
+
+def test_samples_until_respects_causality():
+    gesture = SwipeGesture(0, ms(100), name="t2")
+    visible = gesture.samples_until(ms(50))
+    assert visible
+    assert all(t <= ms(50) for t, _ in visible)
+    assert len(visible) < len(gesture.samples)
+
+
+def test_value_clamped_outside_gesture():
+    gesture = SwipeGesture(ms(100), ms(200), distance=1.0, name="t3")
+    assert gesture.value_at(0) == gesture.value_at(ms(100))
+    assert gesture.value_at(ms(500)) == gesture.value_at(ms(300))
+
+
+def test_swipe_monotone():
+    gesture = SwipeGesture(0, ms(300), distance=1.0, name="t4")
+    values = [gesture.value_at(ms(300 * i / 20)) for i in range(21)]
+    assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+    assert values[-1] == pytest.approx(1.0, abs=0.01)
+
+
+def test_pinch_moves_between_distances():
+    gesture = PinchGesture(0, ms(400), start_distance=0.2, end_distance=0.8, name="t5")
+    assert gesture.value_at(0) == pytest.approx(0.2, abs=0.01)
+    assert gesture.value_at(ms(400)) == pytest.approx(0.8, abs=0.01)
+
+
+def test_pinch_requires_distance_change():
+    with pytest.raises(WorkloadError):
+        PinchGesture(0, ms(100), start_distance=0.5, end_distance=0.5)
+
+
+def test_fling_decelerates():
+    gesture = FlingGesture(0, ms(500), distance=1.0, rate=3.0, name="t6")
+    early = gesture.speed_at(ms(50))
+    late = gesture.speed_at(ms(450))
+    assert early > late
+
+
+def test_noise_perturbs_samples_not_truth():
+    clean = PinchGesture(0, ms(200), noise=0.0, name="t7")
+    noisy = PinchGesture(0, ms(200), noise=0.01, name="t7")
+    assert clean.value_at(ms(100)) == noisy.value_at(ms(100))
+    assert any(
+        abs(a.value - b.value) > 1e-6 for a, b in zip(clean.samples, noisy.samples)
+    )
+
+
+def test_same_name_reproducible():
+    a = PinchGesture(0, ms(200), noise=0.01, name="seeded")
+    b = PinchGesture(0, ms(200), noise=0.01, name="seeded")
+    assert [s.value for s in a.samples] == [s.value for s in b.samples]
+
+
+def test_duration_validation():
+    with pytest.raises(WorkloadError):
+        SwipeGesture(0, 0)
+    with pytest.raises(WorkloadError):
+        SwipeGesture(0, ms(100), sample_rate_hz=0)
+
+
+def test_speed_positive_during_motion():
+    gesture = SwipeGesture(0, ms(300), name="t8")
+    assert gesture.speed_at(ms(150)) > 0
