@@ -1,0 +1,92 @@
+"""Chaos benchmarks: VSync vs D-VSync under each fault regime.
+
+Every test here runs the fault drill (``repro.faults.drill``) under one fault
+regime and asserts the robustness acceptance criteria from DESIGN.md's fault
+section: the pipeline completes without unhandled exceptions, injections are
+recorded, the watchdog degrades and re-promotes under the standard schedule,
+and seeded runs are bit-for-bit repeatable. Marked ``chaos`` so CI can run
+them as a separate job (``pytest benchmarks -m chaos``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.drill import run_drill_pair, run_fault_drill
+from repro.faults.schedule import FaultSchedule, spec
+from repro.metrics.fdps import fdps
+
+pytestmark = pytest.mark.chaos
+
+#: One single-fault regime per model, exercised independently.
+REGIMES = {
+    "vsync-jitter": FaultSchedule([spec("vsync-jitter", sigma_us=400, drop_prob=0.02)]),
+    "thermal": FaultSchedule([spec("thermal", factor=2.5, start_ms=300, end_ms=800)]),
+    "buffer-pressure": FaultSchedule([spec("buffer-pressure", deny_prob=0.3)]),
+    "input-loss": FaultSchedule([spec("input-loss", drop_prob=0.05, staleness_us=3000)]),
+    "callback-crash": FaultSchedule([spec("callback-crash", prob=0.05)]),
+}
+
+
+def _drill(benchmark, schedule, scenario="composite", seed=0):
+    return benchmark.pedantic(
+        lambda: run_drill_pair(schedule, scenario=scenario, seed=seed),
+        rounds=1,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("regime", sorted(REGIMES))
+def test_bench_single_fault_regime(benchmark, regime):
+    """Each fault model alone: both architectures complete, faults recorded."""
+    vsync_result, dvsync_result = _drill(benchmark, REGIMES[regime])
+    for result in (vsync_result, dvsync_result):
+        assert result.presented_frames, f"{result.scheduler} presented no frames"
+        info = result.extra["faults"]
+        assert info["schedule"] == REGIMES[regime].describe()
+        assert info["injected_total"] > 0, f"{regime} never fired"
+    # Callback crashes must be contained, never escape the run.
+    if regime == "callback-crash":
+        info = dvsync_result.extra["faults"]
+        assert info["sim_contained"] + info["hal_contained"] > 0
+
+
+def test_bench_standard_schedule_acceptance(benchmark):
+    """The acceptance drill: standard schedule on the composite scenario.
+
+    D-VSync must survive jitter + a thermal window + input loss without an
+    unhandled exception, and the watchdog must both degrade to classic VSync
+    and re-promote once the thermal window passes.
+    """
+    vsync_result, dvsync_result = _drill(benchmark, FaultSchedule.standard())
+    assert vsync_result.presented_frames and dvsync_result.presented_frames
+    watchdog = dvsync_result.extra["watchdog"]
+    assert watchdog["degradations"] >= 1
+    assert watchdog["repromotions"] >= 1
+    assert watchdog["time_in_degraded_ns"] > 0
+
+
+def test_bench_seeded_drill_repeatable(benchmark):
+    """Two drills with the same seed produce identical metrics end to end."""
+    first = benchmark.pedantic(
+        lambda: run_fault_drill(FaultSchedule.standard(), seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    second = run_fault_drill(FaultSchedule.standard(), seed=7)
+    assert first.rows == second.rows
+    assert first.comparisons == second.comparisons
+
+
+def test_bench_faultfree_drill_matches_clean(benchmark):
+    """An empty schedule changes nothing: fdps matches injector-free runs."""
+    from repro.faults.drill import drill_driver
+    from repro.testing import run_dvsync_faulted, run_vsync
+
+    vsync_result, dvsync_result = _drill(benchmark, FaultSchedule.none())
+    clean_vsync = run_vsync(drill_driver("composite"))
+    assert fdps(vsync_result) == fdps(clean_vsync)
+    # The drill's D-VSync leg carries the watchdog, so its twin must too.
+    twin = run_dvsync_faulted(drill_driver("composite"), FaultSchedule.none())
+    assert len(dvsync_result.presented_frames) == len(twin.presented_frames)
+    assert fdps(dvsync_result) == fdps(twin)

@@ -42,6 +42,14 @@ from repro.display import (
     HWVsyncSource,
     LTPOController,
 )
+from repro.faults import (
+    DegradationWatchdog,
+    FaultInjector,
+    FaultSchedule,
+    FaultSpec,
+    WatchdogThresholds,
+    run_fault_drill,
+)
 from repro.metrics import (
     count_perceived_stutters,
     fdps,
@@ -85,6 +93,12 @@ __all__ = [
     "DeviceProfile",
     "HWVsyncSource",
     "LTPOController",
+    "DegradationWatchdog",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
+    "WatchdogThresholds",
+    "run_fault_drill",
     "count_perceived_stutters",
     "fdps",
     "frame_distribution",

@@ -6,13 +6,20 @@ regenerated without writing any code:
     python -m repro --list
     python -m repro fig11 fig15
     python -m repro --all --quick
+
+and over the fault drill, for robustness questions:
+
+    python -m repro --faults standard
+    python -m repro --faults "vsync-jitter(sigma_us=500);thermal(factor=2.5,start_ms=300,end_ms=800)" --scenario interaction
 """
 
 from __future__ import annotations
 
 import argparse
 
+from repro.errors import ConfigurationError
 from repro.experiments.registry import EXPERIMENTS, run_all, run_experiment
+from repro.faults.drill import DRILL_SCENARIOS, run_fault_drill
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -25,8 +32,37 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quick", action="store_true", help="subset/fast mode")
     parser.add_argument("--runs", type=int, default=3, help="repetitions per scenario")
     parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help=(
+            "run the fault drill under SPEC: 'standard', 'none', or "
+            "'kind(key=value,...);...' clauses (see repro.faults)"
+        ),
+    )
+    parser.add_argument(
+        "--scenario",
+        default="composite",
+        choices=DRILL_SCENARIOS,
+        help="scenario for the fault drill (default: composite)",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0, help="seed for the fault drill rngs"
+    )
     args = parser.parse_args(argv)
 
+    if args.faults is not None:
+        try:
+            drill = run_fault_drill(
+                args.faults, scenario=args.scenario, seed=args.fault_seed
+            )
+        except ConfigurationError as exc:
+            parser.error(str(exc))  # exits 2 with a one-line message
+        try:
+            print(drill.render())
+        except BrokenPipeError:  # piping into `head` etc. is fine
+            pass
+        return 0
     if args.list:
         for experiment_id in EXPERIMENTS:
             print(experiment_id)

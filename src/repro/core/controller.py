@@ -33,8 +33,13 @@ class RuntimeController:
         self.routed_dvsync = 0
         self.routed_vsync = 0
 
-    def set_enabled(self, enabled: bool, now: int = 0) -> None:
-        """Flip the runtime switch (aware-channel API #4)."""
+    def set_enabled(self, enabled: bool, now: int) -> None:
+        """Flip the runtime switch (aware-channel API #4).
+
+        ``now`` is required: switch events are logged against it, and a
+        defaulted clock would silently stamp every switch at t=0, corrupting
+        :attr:`switch_log` for anything that analyses switch timing.
+        """
         if enabled != self.enabled:
             self.switch_log.append((now, enabled))
         self.enabled = enabled

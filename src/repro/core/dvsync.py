@@ -64,11 +64,23 @@ class DVSyncScheduler(SchedulerBase):
             self._trigger_decoupled,
         )
         self.api = DecouplingAPI(self)
+        self.watchdog = None
         self._vsync_armed = False
         self.pipeline.on_ui_complete.append(lambda frame: self._pump())
         self.pipeline.on_frame_queued.append(self._on_frame_queued)
         self.compositor.after_tick.append(lambda t, i: self._pump())
         self.hal.add_listener(self.dtv.on_present)
+
+    # ---------------------------------------------------------------- faults
+    def attach_watchdog(self, watchdog) -> None:
+        """Wire a :class:`repro.faults.DegradationWatchdog` into this run.
+
+        The watchdog observes pipeline health once per HW-VSync edge and
+        drives the §4.5 runtime switch: degrade to classic VSync when the
+        decoupled channel misbehaves, re-promote once it is healthy again.
+        """
+        self.watchdog = watchdog
+        watchdog.bind(self)
 
     # ------------------------------------------------------------- triggering
     def _kick(self) -> None:
@@ -154,7 +166,7 @@ class DVSyncScheduler(SchedulerBase):
             display_time = frame.content_timestamp + (
                 self.config.pipeline_depth_periods * self.hw_vsync.period
             )
-            samples = self.driver.observe_input(self.sim.now)
+            samples = self._observe_input(self.sim.now)
             value = self.ipl.predict(samples, display_time)
             frame.input_predicted = value is not None
             return value
@@ -180,4 +192,6 @@ class DVSyncScheduler(SchedulerBase):
                 "routed_vsync": self.controller.routed_vsync,
             }
         )
+        if self.watchdog is not None:
+            result.extra["watchdog"] = self.watchdog.summary(self.sim.now)
         return result

@@ -63,6 +63,14 @@ class HWVsyncSource:
         self._running = False
         self._next_handle = None
         self.tick_times: list[int] = []
+        # Fault-injection seams (repro.faults). ``tick_delay_hook`` maps the
+        # nominal period to the actual delay before the next edge (oscillator
+        # jitter); ``tick_drop_hook`` returns True to suppress delivery of an
+        # edge entirely (the panel refreshes but the OS never sees the
+        # signal). Both default to None: a clean panel.
+        self.tick_delay_hook: Callable[[int], int] | None = None
+        self.tick_drop_hook: Callable[[int, int], bool] | None = None
+        self.dropped_ticks: list[int] = []
 
     @property
     def period(self) -> int:
@@ -121,11 +129,17 @@ class HWVsyncSource:
             return
         self._index += 1
         now = self.sim.now
-        self.tick_times.append(now)
         if self._pending_period is not None:
             self._period = self._pending_period
             self._pending_period = None
-        self._next_handle = self.sim.schedule(self._period, self._tick)
+        delay = self._period
+        if self.tick_delay_hook is not None:
+            delay = max(1, self.tick_delay_hook(self._period))
+        self._next_handle = self.sim.schedule(delay, self._tick)
+        if self.tick_drop_hook is not None and self.tick_drop_hook(now, self._index):
+            self.dropped_ticks.append(now)
+            return
+        self.tick_times.append(now)
         # Iterate over a snapshot: listeners may add/remove listeners while
         # handling the tick.
         for callback in list(self._listeners):

@@ -42,3 +42,22 @@ class WorkloadError(ReproError):
 
 class PredictionError(ReproError):
     """An Input Prediction Layer curve could not be fitted or evaluated."""
+
+
+class InjectedFaultError(ReproError):
+    """An exception deliberately raised by the fault-injection layer.
+
+    Crash-injection fault models raise this from listener callbacks to prove
+    that containment (HAL listener isolation, the simulator's exception
+    handler) keeps the run alive. It never indicates a library bug.
+    """
+
+
+class FaultContainmentError(ReproError):
+    """Fault containment gave up on keeping the run alive.
+
+    Raised when the number of contained exceptions exceeds the injector's
+    containment budget — the signal that the pipeline is not degrading
+    gracefully but failing persistently, which should abort the run loudly
+    rather than limp on forever.
+    """

@@ -1,0 +1,63 @@
+"""Fault injection and graceful degradation for the D-VSync pipeline.
+
+The paper evaluates D-VSync on real phones where HW-VSync jitter, thermal
+throttling, dropped input events, and buffer-allocation pressure are facts of
+life. This package reproduces those regimes deterministically:
+
+- :class:`FaultSchedule` / :class:`FaultSpec` — declarative fault mixes
+  (``FaultSchedule.parse("vsync-jitter(sigma_us=300);thermal(factor=2.2)")``);
+- :class:`FaultInjector` — seeded instantiation of a schedule against one
+  scheduler run, plus simulator-level exception containment;
+- the fault models in :mod:`repro.faults.models`, one per pipeline seam;
+- :class:`DegradationWatchdog` — monitors DTV pacing, IPL starvation, and
+  pipeline stalls, and drives the §4.5 runtime switch back to classic VSync
+  (with hysteresis and re-promotion once healthy);
+- :func:`run_fault_drill` — the VSync-vs-D-VSync comparison harness behind
+  ``python -m repro --faults``.
+"""
+
+from repro.faults.drill import (
+    DRILL_SCENARIOS,
+    drill_driver,
+    run_drill_pair,
+    run_fault_drill,
+)
+from repro.faults.injector import FaultEvent, FaultInjector
+from repro.faults.models import (
+    MODEL_REGISTRY,
+    BufferPressureFault,
+    CallbackCrashFault,
+    FaultModel,
+    InputLossFault,
+    ThermalThrottleFault,
+    VsyncJitterFault,
+)
+from repro.faults.schedule import FAULT_KINDS, FaultSchedule, FaultSpec, spec
+from repro.faults.watchdog import (
+    DegradationEvent,
+    DegradationWatchdog,
+    WatchdogThresholds,
+)
+
+__all__ = [
+    "DRILL_SCENARIOS",
+    "drill_driver",
+    "run_drill_pair",
+    "run_fault_drill",
+    "FaultEvent",
+    "FaultInjector",
+    "MODEL_REGISTRY",
+    "BufferPressureFault",
+    "CallbackCrashFault",
+    "FaultModel",
+    "InputLossFault",
+    "ThermalThrottleFault",
+    "VsyncJitterFault",
+    "FAULT_KINDS",
+    "FaultSchedule",
+    "FaultSpec",
+    "spec",
+    "DegradationEvent",
+    "DegradationWatchdog",
+    "WatchdogThresholds",
+]

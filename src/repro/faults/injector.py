@@ -1,0 +1,133 @@
+"""The seeded fault injector.
+
+``FaultInjector`` turns a declarative :class:`~repro.faults.schedule.FaultSchedule`
+into live fault models attached to one scheduler run, and owns the two
+run-survival mechanisms the fault layer depends on:
+
+- the simulator-level exception handler, which contains
+  :class:`~repro.errors.InjectedFaultError` raised from arbitrary callbacks so
+  one misbehaving callback cannot abort the run;
+- the containment budget, which converts *persistent* failure into a loud
+  :class:`~repro.errors.FaultContainmentError` instead of limping forever.
+
+Each model receives an independent child rng spawned from the injector's
+seed, so adding or removing one fault never perturbs another fault's draw
+sequence — schedules compose without entangling their randomness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import FaultContainmentError, InjectedFaultError
+from repro.faults.models import MODEL_REGISTRY, FaultModel
+from repro.faults.schedule import FaultSchedule
+from repro.pipeline.scheduler_base import RunResult, SchedulerBase
+from repro.sim.rng import SeededRng
+
+#: Hard cap on recorded fault events, so a pathological schedule cannot grow
+#: an unbounded log inside a long run. Counters keep counting past the cap.
+_MAX_EVENTS = 10_000
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultEvent:
+    """One discrete injected fault occurrence."""
+
+    time: int
+    fault: str
+    detail: str
+
+
+class FaultInjector:
+    """Instantiates a fault schedule against one scheduler run.
+
+    Usage::
+
+        injector = FaultInjector(FaultSchedule.standard(), seed=7)
+        scheduler = DVSyncScheduler(driver, PIXEL_5)
+        injector.attach(scheduler)
+        result = scheduler.run()
+        result.extra["faults"]   # injection + containment summary
+
+    One injector serves one run: models keep per-run state (jitter offsets,
+    dropped-sample sets), so build a fresh injector per scheduler.
+    """
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        seed: int = 0,
+        containment_budget: int = 5_000,
+    ) -> None:
+        self.schedule = schedule
+        self.seed = seed
+        self.containment_budget = containment_budget
+        self.events: list[FaultEvent] = []
+        self.contained: list[tuple[int, str]] = []
+        self._attached: SchedulerBase | None = None
+        root = SeededRng.for_scenario(f"faults|{schedule.describe()}", salt=str(seed))
+        self.models: list[FaultModel] = [
+            MODEL_REGISTRY[spec.kind](
+                spec, root.spawn(f"{index}|{spec.kind}"), self._record
+            )
+            for index, spec in enumerate(schedule.specs)
+        ]
+
+    # ------------------------------------------------------------- recording
+    def _record(self, time: int, fault: str, detail: str) -> None:
+        if len(self.events) < _MAX_EVENTS:
+            self.events.append(FaultEvent(time=time, fault=fault, detail=detail))
+
+    @property
+    def injected_total(self) -> int:
+        """Total injections across all models (including unlogged ones)."""
+        return sum(model.injections for model in self.models)
+
+    # ------------------------------------------------------------ attachment
+    def attach(self, scheduler: SchedulerBase) -> None:
+        """Install every model's hooks plus run-survival containment."""
+        if self._attached is not None:
+            raise FaultContainmentError(
+                "a FaultInjector serves exactly one run; build a fresh one"
+            )
+        self._attached = scheduler
+        for model in self.models:
+            model.attach(scheduler)
+        scheduler.sim.exception_handler = self._contain
+        scheduler.result_hooks.append(self._annotate)
+
+    def _contain(self, now: int, exc: Exception) -> bool:
+        """Simulator exception handler: contain injected faults only.
+
+        Genuine library or programming errors still propagate — containment
+        must never mask a real bug behind a fault run.
+        """
+        if not isinstance(exc, InjectedFaultError):
+            return False
+        self.contained.append((now, repr(exc)))
+        if len(self.contained) > self.containment_budget:
+            raise FaultContainmentError(
+                f"containment budget exceeded: {len(self.contained)} contained "
+                "exceptions — the pipeline is failing persistently, not degrading"
+            )
+        return True
+
+    # --------------------------------------------------------------- summary
+    def summary(self) -> dict:
+        """Everything a run result needs to know about this injector."""
+        hal_contained = 0
+        if self._attached is not None:
+            hal_contained = len(self._attached.hal.contained_errors)
+        return {
+            "schedule": self.schedule.describe(),
+            "seed": self.seed,
+            "injections": {model.name: model.injections for model in self.models},
+            "injected_total": self.injected_total,
+            "events_logged": len(self.events),
+            "sim_contained": len(self.contained),
+            "hal_contained": hal_contained,
+        }
+
+    def _annotate(self, result: RunResult) -> None:
+        result.extra["faults"] = self.summary()

@@ -1,0 +1,292 @@
+"""Composable fault models.
+
+Each model perturbs exactly one seam of the pipeline through the hooks the
+core layers expose — no model reaches into scheduler internals beyond its
+documented attachment point:
+
+- :class:`VsyncJitterFault` — HW-VSync oscillator jitter and edge dropout
+  (``HWVsyncSource.tick_delay_hook`` / ``tick_drop_hook``);
+- :class:`ThermalThrottleFault` — CPU/GPU thermal throttling scaling
+  :class:`~repro.pipeline.frame.FrameWorkload` stage durations over a window
+  (``SchedulerBase.workload_filters``);
+- :class:`BufferPressureFault` — gralloc allocation failure forcing
+  ``dequeueBuffer`` retries (``BufferQueue.dequeue_gate``);
+- :class:`InputLossFault` — input-sample loss and delivery staleness starving
+  the IPL (``SchedulerBase.input_filters``);
+- :class:`CallbackCrashFault` — exceptions thrown from a present-fence
+  listener, exercising HAL containment (``ScreenHAL.add_listener``).
+
+All randomness flows through the seeded rng the injector hands each model, so
+fault sequences are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ConfigurationError, InjectedFaultError
+from repro.faults.schedule import FaultSpec
+from repro.sim.rng import SeededRng, seed_from_name
+from repro.units import ms, us
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pipeline.scheduler_base import SchedulerBase
+
+RecordFn = Callable[[int, str, str], None]
+"""(time_ns, fault_name, detail) -> None; the injector's event log."""
+
+
+class FaultModel:
+    """Base class: an activity window, a seeded rng, and an injection count."""
+
+    name = "fault"
+
+    def __init__(self, spec: FaultSpec, rng: SeededRng, record: RecordFn) -> None:
+        self.spec = spec
+        self.rng = rng
+        self.record = record
+        self.injections = 0
+        start_ms = spec.param("start_ms", -1.0)
+        end_ms = spec.param("end_ms", -1.0)
+        self.start_ns = ms(start_ms) if start_ms >= 0 else None
+        self.end_ns = ms(end_ms) if end_ms >= 0 else None
+        if self.start_ns is not None and self.end_ns is not None:
+            if self.end_ns <= self.start_ns:
+                raise ConfigurationError(
+                    f"{self.name}: end_ms must be after start_ms, got {spec.describe()}"
+                )
+        self._scheduler: "SchedulerBase | None" = None
+
+    def attach(self, scheduler: "SchedulerBase") -> None:
+        """Install this model's hooks on *scheduler*'s components."""
+        self._scheduler = scheduler
+        self._install(scheduler)
+
+    def _install(self, scheduler: "SchedulerBase") -> None:
+        raise NotImplementedError
+
+    def active(self, now: int) -> bool:
+        """True while the fault's window covers *now* (always, if unwindowed)."""
+        start = 0
+        if self._scheduler is not None:
+            start = getattr(self._scheduler.driver, "start_time", 0)
+        rel = now - start
+        if self.start_ns is not None and rel < self.start_ns:
+            return False
+        if self.end_ns is not None and rel >= self.end_ns:
+            return False
+        return True
+
+    def _inject(self, now: int, detail: str) -> None:
+        self.injections += 1
+        self.record(now, self.name, detail)
+
+
+class VsyncJitterFault(FaultModel):
+    """Perturbs HW-VSync edges: grid-anchored gaussian jitter plus dropout.
+
+    Jitter is applied against the nominal tick grid (each edge's offset is an
+    independent draw), so error does not random-walk away from the panel's
+    true cadence. ``drop_prob`` suppresses delivery of an edge entirely — the
+    OS misses the signal and the compositor never runs that period.
+
+    Parameters: ``sigma_us`` (default 300), ``drop_prob`` (default 0,
+    capped at 0.5 so a run always terminates), ``start_ms``/``end_ms``.
+    """
+
+    name = "vsync-jitter"
+
+    def __init__(self, spec: FaultSpec, rng: SeededRng, record: RecordFn) -> None:
+        super().__init__(spec, rng, record)
+        self.sigma_ns = us(spec.param("sigma_us", 300.0))
+        self.drop_prob = spec.param("drop_prob", 0.0)
+        if self.sigma_ns < 0:
+            raise ConfigurationError("vsync-jitter: sigma_us must be non-negative")
+        if not 0.0 <= self.drop_prob <= 0.5:
+            raise ConfigurationError(
+                "vsync-jitter: drop_prob must be in [0, 0.5] so edges keep arriving"
+            )
+        self._offset_ns = 0
+
+    def _install(self, scheduler: "SchedulerBase") -> None:
+        source = scheduler.hw_vsync
+        sim = scheduler.sim
+
+        def delay_hook(period: int) -> int:
+            if not self.active(sim.now) or self.sigma_ns == 0:
+                # Slew any residual offset back out so the grid re-anchors.
+                delay = period - self._offset_ns
+                self._offset_ns = 0
+                return delay
+            jitter = int(self.rng.normal(0.0, self.sigma_ns))
+            bound = period // 4
+            jitter = max(-bound, min(bound, jitter))
+            delay = period - self._offset_ns + jitter
+            self._offset_ns = jitter
+            self.injections += 1
+            return delay
+
+        source.tick_delay_hook = delay_hook
+        if self.drop_prob > 0:
+
+            def drop_hook(timestamp: int, index: int) -> bool:
+                if self.active(timestamp) and self.rng.chance(self.drop_prob):
+                    self._inject(timestamp, f"edge {index} dropped")
+                    return True
+                return False
+
+            source.tick_drop_hook = drop_hook
+
+
+class ThermalThrottleFault(FaultModel):
+    """Scales frame stage durations inside a thermal-throttling window.
+
+    Models sustained-load DVFS capping: every frame triggered while the
+    window is open costs ``factor``× on the UI thread, render thread, and
+    GPU. Parameters: ``factor`` (default 2.0), ``start_ms``/``end_ms``.
+    """
+
+    name = "thermal"
+
+    def __init__(self, spec: FaultSpec, rng: SeededRng, record: RecordFn) -> None:
+        super().__init__(spec, rng, record)
+        self.factor = spec.param("factor", 2.0)
+        if self.factor < 1.0:
+            raise ConfigurationError("thermal: factor must be >= 1.0 (a slowdown)")
+
+    def _install(self, scheduler: "SchedulerBase") -> None:
+        def throttle(workload, now: int):
+            if not self.active(now):
+                return workload
+            self.injections += 1
+            return dataclasses.replace(
+                workload,
+                ui_ns=round(workload.ui_ns * self.factor),
+                render_ns=round(workload.render_ns * self.factor),
+                gpu_ns=round(workload.gpu_ns * self.factor),
+            )
+
+        scheduler.workload_filters.append(throttle)
+
+
+class BufferPressureFault(FaultModel):
+    """Forces ``dequeueBuffer`` failures under graphics-memory pressure.
+
+    Each producer dequeue is denied with ``deny_prob`` while active; a denied
+    producer parks in the pipeline's buffer-wait state and is woken for a
+    retry ``retry_us`` later, exactly like a gralloc allocation retry loop.
+    Parameters: ``deny_prob`` (default 0.25, capped at 0.9 so retries
+    eventually succeed), ``retry_us`` (default 500), ``start_ms``/``end_ms``.
+    """
+
+    name = "buffer-pressure"
+
+    def __init__(self, spec: FaultSpec, rng: SeededRng, record: RecordFn) -> None:
+        super().__init__(spec, rng, record)
+        self.deny_prob = spec.param("deny_prob", 0.25)
+        self.retry_ns = us(spec.param("retry_us", 500.0))
+        if not 0.0 <= self.deny_prob <= 0.9:
+            raise ConfigurationError(
+                "buffer-pressure: deny_prob must be in [0, 0.9] so retries can succeed"
+            )
+        if self.retry_ns <= 0:
+            raise ConfigurationError("buffer-pressure: retry_us must be positive")
+
+    def _install(self, scheduler: "SchedulerBase") -> None:
+        queue = scheduler.buffer_queue
+        sim = scheduler.sim
+
+        def gate() -> bool:
+            if self.active(sim.now) and self.rng.chance(self.deny_prob):
+                self._inject(sim.now, "dequeue denied")
+                sim.schedule(self.retry_ns, queue.poke_producers)
+                return False
+            return True
+
+        queue.dequeue_gate = gate
+
+
+class InputLossFault(FaultModel):
+    """Drops and delays input samples before the scheduler (and IPL) see them.
+
+    Sample loss is decided per sample *timestamp* with a seeded hash, so the
+    same sample is consistently present or absent across the repeated
+    ``observe_input`` calls of one run — a dropped digitizer report never
+    flickers back. ``staleness_us`` holds back samples newer than
+    ``now - staleness_us`` (delivery latency). Parameters: ``drop_prob``
+    (default 0.01), ``staleness_us`` (default 0), ``start_ms``/``end_ms``.
+    """
+
+    name = "input-loss"
+
+    def __init__(self, spec: FaultSpec, rng: SeededRng, record: RecordFn) -> None:
+        super().__init__(spec, rng, record)
+        self.drop_prob = spec.param("drop_prob", 0.01)
+        self.staleness_ns = us(spec.param("staleness_us", 0.0))
+        if not 0.0 <= self.drop_prob <= 1.0:
+            raise ConfigurationError("input-loss: drop_prob must be in [0, 1]")
+        if self.staleness_ns < 0:
+            raise ConfigurationError("input-loss: staleness_us must be non-negative")
+        self._drop_salt = f"input-loss|{rng.seed}"
+        self._dropped: set[int] = set()
+
+    def _drops_sample(self, timestamp: int) -> bool:
+        draw = seed_from_name(str(timestamp), salt=self._drop_salt) % 1_000_000
+        return draw < self.drop_prob * 1_000_000
+
+    def _install(self, scheduler: "SchedulerBase") -> None:
+        def filter_samples(samples, up_to: int):
+            if not self.active(up_to):
+                return samples
+            kept = []
+            cutoff = up_to - self.staleness_ns
+            for timestamp, value in samples:
+                if self.staleness_ns and timestamp > cutoff:
+                    continue  # not yet delivered, may still arrive later
+                if self.drop_prob and self._drops_sample(timestamp):
+                    if timestamp not in self._dropped:
+                        self._dropped.add(timestamp)
+                        self._inject(up_to, f"sample at {timestamp} lost")
+                    continue
+                kept.append((timestamp, value))
+            return kept
+
+        scheduler.input_filters.append(filter_samples)
+
+
+class CallbackCrashFault(FaultModel):
+    """Raises from a present-fence listener to exercise containment.
+
+    The crashing listener is *prepended* so real consumers (DTV calibration,
+    metrics) sit behind it — proving one raising listener cannot starve the
+    rest. Parameters: ``prob`` (default 0.02), ``start_ms``/``end_ms``.
+    """
+
+    name = "callback-crash"
+
+    def __init__(self, spec: FaultSpec, rng: SeededRng, record: RecordFn) -> None:
+        super().__init__(spec, rng, record)
+        self.prob = spec.param("prob", 0.02)
+        if not 0.0 <= self.prob <= 1.0:
+            raise ConfigurationError("callback-crash: prob must be in [0, 1]")
+
+    def _install(self, scheduler: "SchedulerBase") -> None:
+        def crashing_listener(record) -> None:
+            if self.active(record.present_time) and self.rng.chance(self.prob):
+                self._inject(record.present_time, f"crash at frame {record.frame_id}")
+                raise InjectedFaultError(
+                    f"injected listener crash at present of frame {record.frame_id}"
+                )
+
+        scheduler.hal.add_listener(crashing_listener, prepend=True)
+
+
+#: Fault kind -> model class, the injector's construction table.
+MODEL_REGISTRY: dict[str, type[FaultModel]] = {
+    VsyncJitterFault.name: VsyncJitterFault,
+    ThermalThrottleFault.name: ThermalThrottleFault,
+    BufferPressureFault.name: BufferPressureFault,
+    InputLossFault.name: InputLossFault,
+    CallbackCrashFault.name: CallbackCrashFault,
+}

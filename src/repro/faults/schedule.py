@@ -1,0 +1,146 @@
+"""Declarative fault schedules.
+
+A :class:`FaultSchedule` describes *which* faults perturb a run, with what
+parameters, over which time windows — independent of any particular scenario
+or scheduler, so any workload in :mod:`repro.workloads` can run under any
+fault mix. Schedules are pure data: the seeded randomness lives in the
+:class:`repro.faults.injector.FaultInjector` that instantiates them.
+
+The text syntax (the CLI's ``--faults`` knob) is a semicolon-separated list of
+``kind(key=value, ...)`` clauses::
+
+    vsync-jitter(sigma_us=300);thermal(factor=2.2,start_ms=400,end_ms=700);input-loss(drop_prob=0.01)
+
+``standard`` names the canonical robustness mix used by the acceptance drill:
+HW-VSync jitter, one thermal-throttling window, and 1 % input-sample loss.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+from repro.errors import ConfigurationError
+
+#: Fault kinds understood by :mod:`repro.faults.models`.
+FAULT_KINDS = (
+    "vsync-jitter",
+    "thermal",
+    "buffer-pressure",
+    "input-loss",
+    "callback-crash",
+)
+
+_CLAUSE_RE = re.compile(r"^\s*(?P<kind>[a-z-]+)\s*(?:\((?P<params>[^)]*)\))?\s*$")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One fault clause: a kind plus its keyword parameters.
+
+    Parameters are interpreted by the matching fault model; common ones are
+    ``start_ms``/``end_ms`` (activity window — omitted means always active)
+    and per-kind magnitudes such as ``sigma_us`` or ``factor``.
+    """
+
+    kind: str
+    params: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; known: {', '.join(FAULT_KINDS)}"
+            )
+
+    def param(self, name: str, default: float) -> float:
+        """Look up one parameter with a default."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def describe(self) -> str:
+        """Canonical text form of this clause."""
+        if not self.params:
+            return self.kind
+        inner = ",".join(f"{k}={v:g}" for k, v in self.params)
+        return f"{self.kind}({inner})"
+
+
+def spec(kind: str, **params: float) -> FaultSpec:
+    """Build a :class:`FaultSpec` from keyword arguments (test convenience)."""
+    return FaultSpec(kind=kind, params=tuple(sorted(params.items())))
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered set of fault clauses applied to one run."""
+
+    specs: tuple[FaultSpec, ...] = ()
+
+    @classmethod
+    def none(cls) -> "FaultSchedule":
+        """The empty schedule: attach-able, injects nothing."""
+        return cls(specs=())
+
+    @classmethod
+    def standard(cls) -> "FaultSchedule":
+        """The canonical robustness mix (acceptance drill).
+
+        HW-VSync jitter at 300 µs sigma, one 2.2× thermal window from 400 ms
+        to 700 ms, and 1 % input-sample loss.
+        """
+        return cls(
+            specs=(
+                spec("vsync-jitter", sigma_us=300),
+                spec("thermal", factor=2.2, start_ms=400, end_ms=700),
+                spec("input-loss", drop_prob=0.01),
+            )
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSchedule":
+        """Parse the ``--faults`` clause syntax (or the name ``standard``)."""
+        text = text.strip()
+        if not text or text == "none":
+            return cls.none()
+        if text == "standard":
+            return cls.standard()
+        specs = []
+        for clause in text.split(";"):
+            if not clause.strip():
+                continue
+            match = _CLAUSE_RE.match(clause)
+            if match is None:
+                raise ConfigurationError(
+                    f"malformed fault clause {clause!r}; expected kind(key=value,...)"
+                )
+            params = []
+            raw = match.group("params") or ""
+            for pair in raw.split(","):
+                if not pair.strip():
+                    continue
+                if "=" not in pair:
+                    raise ConfigurationError(
+                        f"malformed fault parameter {pair!r} in clause {clause!r}"
+                    )
+                key, value = pair.split("=", 1)
+                try:
+                    params.append((key.strip(), float(value)))
+                except ValueError:
+                    raise ConfigurationError(
+                        f"fault parameter {key.strip()!r} must be numeric, got {value!r}"
+                    ) from None
+            specs.append(FaultSpec(kind=match.group("kind"), params=tuple(params)))
+        return cls(specs=tuple(specs))
+
+    @property
+    def empty(self) -> bool:
+        """True if the schedule injects nothing."""
+        return not self.specs
+
+    def describe(self) -> str:
+        """Canonical text form, parseable back via :meth:`parse`."""
+        if not self.specs:
+            return "none"
+        return ";".join(s.describe() for s in self.specs)

@@ -44,6 +44,13 @@ class BufferQueue:
         self.max_queued_depth = 0
         self.total_queued = 0
         self.total_acquired = 0
+        # Fault-injection seam (repro.faults): when set, ``try_dequeue``
+        # consults the gate first and reports allocation failure (returns
+        # None) whenever it answers False — gralloc/ion allocation pressure.
+        # Whoever denies the dequeue is responsible for scheduling a retry
+        # via :meth:`poke_producers`.
+        self.dequeue_gate: Callable[[], bool] | None = None
+        self.denied_dequeues = 0
 
     # ------------------------------------------------------------------ state
     @property
@@ -82,12 +89,28 @@ class BufferQueue:
 
     # --------------------------------------------------------------- producer
     def try_dequeue(self) -> FrameBuffer | None:
-        """Hand a FREE slot to the producer, or None if the pool is empty."""
+        """Hand a FREE slot to the producer, or None if the pool is empty.
+
+        A configured :attr:`dequeue_gate` may also deny the allocation even
+        while free slots exist (injected buffer pressure); denials are counted
+        in :attr:`denied_dequeues`.
+        """
+        if self.dequeue_gate is not None and not self.dequeue_gate():
+            self.denied_dequeues += 1
+            return None
         for buffer in self._slots:
             if buffer.state is BufferState.FREE:
                 buffer.mark_dequeued()
                 return buffer
         return None
+
+    def poke_producers(self) -> None:
+        """Fire the slot-freed hooks so stalled producers retry a dequeue.
+
+        Used by fault models after a denied allocation: the pipeline parks in
+        its dequeue-wait state and only wakes on this notification.
+        """
+        self._notify_freed()
 
     def queue(
         self,

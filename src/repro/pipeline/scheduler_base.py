@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import abc
 import dataclasses
+from typing import Callable
 
 from repro.display.device import DeviceProfile
 from repro.display.hal import PresentRecord, ScreenHAL
@@ -22,7 +23,7 @@ from repro.errors import ConfigurationError
 from repro.graphics.bufferqueue import BufferQueue
 from repro.pipeline.compositor import Compositor, DropEvent
 from repro.pipeline.driver import ScenarioDriver
-from repro.pipeline.frame import FrameCategory, FrameRecord
+from repro.pipeline.frame import FrameCategory, FrameRecord, FrameWorkload
 from repro.pipeline.stages import RenderPipeline
 from repro.sim.engine import Simulator
 
@@ -138,6 +139,15 @@ class SchedulerBase(abc.ABC):
         self._driver_done = False
         self._started = False
         self.scheduler_overhead_ns = 0
+        # Fault-injection seams (repro.faults): workload filters transform
+        # each spawned frame's demand (thermal throttling), input filters
+        # transform the observed input stream (sample loss/staleness), and
+        # result hooks annotate the RunResult (fault/watchdog summaries).
+        self.workload_filters: list[Callable[[FrameWorkload, int], FrameWorkload]] = []
+        self.input_filters: list[
+            Callable[[list[tuple[int, float]], int], list[tuple[int, float]]]
+        ] = []
+        self.result_hooks: list[Callable[[RunResult], None]] = []
         self.compositor.after_tick.append(self._after_tick)
 
     # ------------------------------------------------------------------ hooks
@@ -167,6 +177,8 @@ class SchedulerBase(abc.ABC):
         index = self._frame_counter
         self._frame_counter += 1
         workload = self.driver.make_workload(index, content_timestamp)
+        for workload_filter in self.workload_filters:
+            workload = workload_filter(workload, self.sim.now)
         frame = FrameRecord(
             frame_id=index,
             workload=workload,
@@ -189,9 +201,16 @@ class SchedulerBase(abc.ABC):
         interactive frames through the IPL.
         """
         if frame.workload.category is FrameCategory.PREDICTABLE_INTERACTION:
-            samples = self.driver.observe_input(self.sim.now)
+            samples = self._observe_input(self.sim.now)
             return samples[-1][1] if samples else None
         return self.driver.true_value(frame.content_timestamp)
+
+    def _observe_input(self, up_to: int) -> list[tuple[int, float]]:
+        """Driver input stream as the scheduler sees it, after fault filters."""
+        samples = self.driver.observe_input(up_to)
+        for input_filter in self.input_filters:
+            samples = input_filter(samples, up_to)
+        return samples
 
     # --------------------------------------------------------------- run loop
     @abc.abstractmethod
@@ -206,7 +225,7 @@ class SchedulerBase(abc.ABC):
         self._kick()
         self.sim.run(until=horizon, max_events=_MAX_EVENTS)
         self.hw_vsync.stop()
-        return RunResult(
+        result = RunResult(
             scheduler=self.scheduler_name,
             scenario=self.driver.name,
             device=self.device,
@@ -221,3 +240,10 @@ class SchedulerBase(abc.ABC):
             gpu_busy_ns=self.pipeline.gpu.total_busy_ns,
             scheduler_overhead_ns=self.scheduler_overhead_ns,
         )
+        if self.hal.contained_errors:
+            result.extra["contained_exceptions"] = [
+                (c.time, c.listener, c.error) for c in self.hal.contained_errors
+            ]
+        for hook in list(self.result_hooks):
+            hook(result)
+        return result

@@ -42,6 +42,11 @@ class Simulator:
         self._seq = 0
         self._running = False
         self._events_processed = 0
+        # Opt-in containment: when set, a callback exception is passed to the
+        # handler as (time, exception); returning True swallows it and the
+        # event loop continues. None (the default) preserves fail-fast
+        # semantics — any callback exception aborts the run.
+        self.exception_handler: Callable[[int, Exception], bool] | None = None
 
     @property
     def now(self) -> int:
@@ -109,8 +114,7 @@ class Simulator:
                     break
                 heapq.heappop(self._queue)
                 self._now = event.time
-                event.callback()
-                event.fired = True
+                self._execute(event)
                 self._events_processed += 1
                 executed += 1
                 if max_events is not None and executed >= max_events:
@@ -126,18 +130,42 @@ class Simulator:
     def step(self) -> bool:
         """Execute the single next pending event.
 
-        Returns True if an event ran, False if the queue was empty.
+        Returns True if an event ran, False if the queue was empty. Like
+        :meth:`run`, ``step`` is not re-entrant: calling it from inside a
+        callback (while ``run()`` or another ``step()`` is executing) would
+        advance ``now`` underneath the outer loop, so it raises
+        :class:`SimulationError` instead.
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._now = event.time
+        if self._running:
+            raise SimulationError(
+                "simulator is already running (re-entrant step() call)"
+            )
+        self._running = True
+        try:
+            while self._queue:
+                event = heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                self._execute(event)
+                self._events_processed += 1
+                return True
+            return False
+        finally:
+            self._running = False
+
+    def _execute(self, event: Event) -> None:
+        """Run one event's callback, containing the exception if a handler
+        accepts it; the event counts as fired either way."""
+        try:
             event.callback()
+        except Exception as exc:
+            if self.exception_handler is None or not self.exception_handler(
+                self._now, exc
+            ):
+                raise
+        finally:
             event.fired = True
-            self._events_processed += 1
-            return True
-        return False
 
     def drain_cancelled(self) -> int:
         """Remove cancelled tombstones from the queue; returns how many."""

@@ -9,6 +9,9 @@ from __future__ import annotations
 from repro.core.config import DVSyncConfig
 from repro.core.dvsync import DVSyncScheduler
 from repro.display.device import PIXEL_5, DeviceProfile
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule
+from repro.faults.watchdog import DegradationWatchdog, WatchdogThresholds
 from repro.pipeline.scheduler_base import RunResult
 from repro.units import ms
 from repro.vsync.scheduler import VSyncScheduler
@@ -52,3 +55,31 @@ def run_dvsync(
 def light_params(refresh_hz: int = 60) -> FrameTimeParams:
     """A workload with no key frames (never drops at full rate)."""
     return FrameTimeParams(refresh_hz=refresh_hz, key_prob=0.0)
+
+
+def run_dvsync_faulted(
+    driver,
+    schedule: FaultSchedule,
+    seed: int = 0,
+    device: DeviceProfile = PIXEL_5,
+    config: DVSyncConfig | None = None,
+    thresholds: WatchdogThresholds | None = None,
+) -> RunResult:
+    """Run a driver under D-VSync with faults injected and the watchdog armed."""
+    scheduler = DVSyncScheduler(driver, device, config or DVSyncConfig(buffer_count=4))
+    FaultInjector(schedule, seed=seed).attach(scheduler)
+    scheduler.attach_watchdog(DegradationWatchdog(thresholds))
+    return scheduler.run()
+
+
+def run_vsync_faulted(
+    driver,
+    schedule: FaultSchedule,
+    seed: int = 0,
+    device: DeviceProfile = PIXEL_5,
+    buffer_count: int = 3,
+) -> RunResult:
+    """Run a driver under baseline VSync with faults injected."""
+    scheduler = VSyncScheduler(driver, device, buffer_count=buffer_count)
+    FaultInjector(schedule, seed=seed).attach(scheduler)
+    return scheduler.run()

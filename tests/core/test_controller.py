@@ -1,5 +1,7 @@
 """Tests for the runtime controller's per-frame routing."""
 
+import pytest
+
 from repro.core.controller import RuntimeController, TimingMode
 from repro.pipeline.frame import FrameCategory
 
@@ -41,6 +43,13 @@ def test_redundant_switch_not_logged():
     controller = RuntimeController(enabled=True)
     controller.set_enabled(True, now=50)
     assert controller.switch_log == []
+
+
+def test_set_enabled_requires_a_timestamp():
+    """Regression: ``now`` defaulting to 0 used to corrupt the switch log."""
+    controller = RuntimeController(enabled=True)
+    with pytest.raises(TypeError):
+        controller.set_enabled(False)
 
 
 def test_note_routed_counters():

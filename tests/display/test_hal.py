@@ -40,3 +40,50 @@ def test_multiple_presents_accumulate():
         hal.signal_present(make_record(frame_id=i, present_time=i * 100))
     assert hal.presented_count == 5
     assert [p.frame_id for p in hal.presents] == [0, 1, 2, 3, 4]
+
+
+def test_raising_listener_does_not_starve_later_listeners():
+    hal = ScreenHAL()
+    seen = []
+
+    def bad_listener(record):
+        raise RuntimeError("listener crash")
+
+    hal.add_listener(bad_listener)
+    hal.add_listener(lambda r: seen.append(r.frame_id))
+    hal.signal_present(make_record(frame_id=3, present_time=700))
+    assert seen == [3]  # the later listener still observed the fence
+
+
+def test_contained_exception_recorded_not_swallowed():
+    hal = ScreenHAL()
+
+    def bad_listener(record):
+        raise RuntimeError("listener crash")
+
+    hal.add_listener(bad_listener)
+    hal.signal_present(make_record(frame_id=1, present_time=900))
+    (contained,) = hal.contained_errors
+    assert contained.time == 900
+    assert "bad_listener" in contained.listener
+    assert "listener crash" in contained.error
+
+
+def test_on_contained_hooks_fire():
+    hal = ScreenHAL()
+    observed = []
+    hal.on_contained.append(lambda record, exc: observed.append((record.frame_id, exc)))
+    hal.add_listener(lambda r: (_ for _ in ()).throw(ValueError("x")))
+    hal.signal_present(make_record(frame_id=2))
+    assert len(observed) == 1
+    assert observed[0][0] == 2
+    assert isinstance(observed[0][1], ValueError)
+
+
+def test_prepended_listener_runs_first():
+    hal = ScreenHAL()
+    order = []
+    hal.add_listener(lambda r: order.append("normal"))
+    hal.add_listener(lambda r: order.append("first"), prepend=True)
+    hal.signal_present(make_record())
+    assert order == ["first", "normal"]

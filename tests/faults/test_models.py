@@ -1,0 +1,172 @@
+"""Tests for the individual fault models, one per pipeline seam."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule, spec
+from repro.metrics.fdps import fdps
+from repro.testing import (
+    light_params,
+    make_animation,
+    run_vsync,
+    run_vsync_faulted,
+)
+from repro.units import ms, us
+
+
+def schedule_of(*specs):
+    return FaultSchedule(specs=tuple(specs))
+
+
+def faulted_run(fault_spec, seed=0, duration_ms=600.0):
+    driver = make_animation(light_params(), duration_ms=duration_ms)
+    return run_vsync_faulted(driver, schedule_of(fault_spec), seed=seed)
+
+
+# ------------------------------------------------------------- vsync jitter
+def test_jitter_perturbs_tick_spacing_but_stays_grid_anchored():
+    result = faulted_run(spec("vsync-jitter", sigma_us=500))
+    times = result.extra["faults"]
+    assert times["injected_total"] > 0
+    presents = [p.present_time for p in result.presents]
+    period = ms(1000) // 60
+    # Grid anchoring: each present lands within a quarter period of the
+    # nominal grid — jitter never random-walks away from the panel cadence.
+    anchor = presents[0]
+    for present in presents:
+        offset = (present - anchor) % period
+        drift = min(offset, period - offset)
+        assert drift <= period // 4
+
+
+def test_jitter_dropout_records_dropped_edges():
+    result = faulted_run(spec("vsync-jitter", sigma_us=0, drop_prob=0.2))
+    info = result.extra["faults"]
+    assert info["injections"]["vsync-jitter"] > 0
+    # Drops shrink the number of delivered edges: fewer presents than clean.
+    clean = run_vsync(make_animation(light_params(), duration_ms=600.0))
+    assert len(result.presents) < len(clean.presents)
+
+
+def test_jitter_rejects_unsafe_params():
+    with pytest.raises(ConfigurationError):
+        FaultInjector(schedule_of(spec("vsync-jitter", drop_prob=0.9)))
+    with pytest.raises(ConfigurationError):
+        FaultInjector(schedule_of(spec("vsync-jitter", sigma_us=-1)))
+
+
+# ------------------------------------------------------------------ thermal
+def test_thermal_window_slows_frames_inside_it():
+    fault = spec("thermal", factor=3.0, start_ms=200, end_ms=400)
+    result = faulted_run(fault)
+    clean = run_vsync(make_animation(light_params(), duration_ms=600.0))
+    start = result.start_time
+    in_window = [
+        f for f in result.frames if ms(200) <= f.trigger_time - start < ms(400)
+    ]
+    clean_in_window = [
+        f for f in clean.frames if ms(200) <= f.trigger_time - clean.start_time < ms(400)
+    ]
+    assert in_window and clean_in_window
+    mean = lambda frames: sum(f.workload.total_ns for f in frames) / len(frames)
+    assert mean(in_window) > 2.0 * mean(clean_in_window)
+
+
+def test_thermal_leaves_frames_outside_window_untouched():
+    fault = spec("thermal", factor=3.0, start_ms=200, end_ms=400)
+    result = faulted_run(fault)
+    clean = run_vsync(make_animation(light_params(), duration_ms=600.0))
+    before = [f for f in result.frames if f.trigger_time - result.start_time < ms(200)]
+    clean_before = [
+        f for f in clean.frames if f.trigger_time - clean.start_time < ms(200)
+    ]
+    assert [f.workload for f in before] == [f.workload for f in clean_before]
+
+
+def test_thermal_rejects_speedup_factor():
+    with pytest.raises(ConfigurationError):
+        FaultInjector(schedule_of(spec("thermal", factor=0.5)))
+
+
+def test_windowed_fault_rejects_inverted_window():
+    with pytest.raises(ConfigurationError):
+        FaultInjector(schedule_of(spec("thermal", start_ms=500, end_ms=100)))
+
+
+# ---------------------------------------------------------- buffer pressure
+def test_buffer_pressure_denies_and_recovers():
+    result = faulted_run(spec("buffer-pressure", deny_prob=0.4, retry_us=300))
+    info = result.extra["faults"]
+    assert info["injections"]["buffer-pressure"] > 0
+    # The run still completes: denied dequeues retry rather than deadlock.
+    assert result.presented_frames
+
+
+def test_buffer_pressure_rejects_certain_denial():
+    with pytest.raises(ConfigurationError):
+        FaultInjector(schedule_of(spec("buffer-pressure", deny_prob=1.0)))
+
+
+# --------------------------------------------------------------- input loss
+def test_input_loss_fires_on_interaction_runs():
+    from repro.faults.drill import drill_driver
+    from repro.testing import run_dvsync_faulted
+
+    result = run_dvsync_faulted(
+        drill_driver("interaction"), schedule_of(spec("input-loss", drop_prob=0.3))
+    )
+    info = result.extra["faults"]
+    assert info["injections"]["input-loss"] > 0
+
+
+def test_input_loss_drop_decision_is_stable_per_timestamp():
+    from repro.faults.models import InputLossFault
+    from repro.sim.rng import SeededRng
+
+    fault = InputLossFault(
+        spec("input-loss", drop_prob=0.5), SeededRng(3), lambda *a: None
+    )
+    decisions = {t: fault._drops_sample(t) for t in range(0, 10_000_000, 333_333)}
+    # Re-asking gives the same verdicts: a dropped sample never flickers back.
+    for timestamp, verdict in decisions.items():
+        assert fault._drops_sample(timestamp) == verdict
+    assert any(decisions.values()) and not all(decisions.values())
+
+
+def test_input_loss_staleness_holds_back_recent_samples():
+    from repro.faults.models import InputLossFault
+    from repro.sim.rng import SeededRng
+
+    fault = InputLossFault(
+        spec("input-loss", drop_prob=0.0, staleness_us=5000),
+        SeededRng(0),
+        lambda *a: None,
+    )
+
+    class FakeScheduler:
+        input_filters = []
+
+    scheduler = FakeScheduler()
+    fault._install(scheduler)
+    (filter_fn,) = scheduler.input_filters
+    now = ms(100)
+    samples = [(now - us(10_000), 0.1), (now - us(1_000), 0.2)]
+    kept = filter_fn(samples, now)
+    assert kept == [(now - us(10_000), 0.1)]
+
+
+# ------------------------------------------------------------ callback crash
+def test_callback_crash_is_contained_and_counted():
+    result = faulted_run(spec("callback-crash", prob=0.5))
+    info = result.extra["faults"]
+    assert info["injections"]["callback-crash"] > 0
+    assert info["hal_contained"] > 0
+    # Later listeners (metrics) still ran: presents were recorded normally.
+    assert result.presented_frames
+    assert "contained_exceptions" in result.extra
+
+
+def test_callback_crash_rejects_bad_probability():
+    with pytest.raises(ConfigurationError):
+        FaultInjector(schedule_of(spec("callback-crash", prob=1.5)))

@@ -1,0 +1,71 @@
+"""Tests for declarative fault schedules and the clause syntax."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.schedule import FAULT_KINDS, FaultSchedule, FaultSpec, spec
+
+
+def test_none_schedule_is_empty():
+    schedule = FaultSchedule.none()
+    assert schedule.empty
+    assert schedule.describe() == "none"
+
+
+def test_standard_schedule_contents():
+    kinds = [s.kind for s in FaultSchedule.standard().specs]
+    assert kinds == ["vsync-jitter", "thermal", "input-loss"]
+
+
+def test_parse_single_clause_with_params():
+    schedule = FaultSchedule.parse("vsync-jitter(sigma_us=500,drop_prob=0.1)")
+    (clause,) = schedule.specs
+    assert clause.kind == "vsync-jitter"
+    assert clause.param("sigma_us", 0.0) == 500
+    assert clause.param("drop_prob", 0.0) == pytest.approx(0.1)
+
+
+def test_parse_multiple_clauses():
+    schedule = FaultSchedule.parse("thermal(factor=2.5);input-loss")
+    assert [s.kind for s in schedule.specs] == ["thermal", "input-loss"]
+
+
+def test_parse_named_schedules():
+    assert FaultSchedule.parse("standard") == FaultSchedule.standard()
+    assert FaultSchedule.parse("none") == FaultSchedule.none()
+    assert FaultSchedule.parse("  ") == FaultSchedule.none()
+
+
+def test_describe_parse_roundtrip():
+    schedule = FaultSchedule.standard()
+    assert FaultSchedule.parse(schedule.describe()) == schedule
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ConfigurationError):
+        FaultSchedule.parse("cosmic-rays(prob=1)")
+    with pytest.raises(ConfigurationError):
+        FaultSpec(kind="cosmic-rays")
+
+
+def test_malformed_clause_rejected():
+    with pytest.raises(ConfigurationError):
+        FaultSchedule.parse("thermal(factor)")
+    with pytest.raises(ConfigurationError):
+        FaultSchedule.parse("thermal(factor=hot)")
+
+
+def test_spec_helper_sorts_params():
+    clause = spec("thermal", start_ms=10, factor=2.0)
+    assert clause.params == (("factor", 2.0), ("start_ms", 10))
+
+
+def test_param_default_lookup():
+    clause = spec("thermal", factor=3.0)
+    assert clause.param("factor", 2.0) == 3.0
+    assert clause.param("missing", 42.0) == 42.0
+
+
+def test_all_kinds_are_parseable():
+    for kind in FAULT_KINDS:
+        assert FaultSchedule.parse(kind).specs[0].kind == kind

@@ -1,0 +1,121 @@
+"""Tests for the graceful-degradation watchdog."""
+
+import pytest
+
+from repro.core.config import DVSyncConfig
+from repro.core.dvsync import DVSyncScheduler
+from repro.display.device import PIXEL_5
+from repro.errors import ConfigurationError
+from repro.faults.drill import drill_driver
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule
+from repro.faults.watchdog import DegradationWatchdog, WatchdogThresholds
+from repro.testing import run_dvsync_faulted
+
+
+def standard_run(thresholds=None, seed=0):
+    return run_dvsync_faulted(
+        drill_driver("composite"),
+        FaultSchedule.standard(),
+        seed=seed,
+        thresholds=thresholds,
+    )
+
+
+def test_standard_schedule_degrades_and_repromotes():
+    result = standard_run()
+    watchdog = result.extra["watchdog"]
+    assert watchdog["degradations"] >= 1
+    assert watchdog["repromotions"] >= 1
+    assert watchdog["time_in_degraded_ns"] > 0
+    assert watchdog["checks"] > 0
+
+
+def test_degradations_appear_in_controller_switch_log():
+    scheduler = DVSyncScheduler(
+        drill_driver("composite"), PIXEL_5, DVSyncConfig(buffer_count=4)
+    )
+    FaultInjector(FaultSchedule.standard()).attach(scheduler)
+    watchdog = DegradationWatchdog()
+    scheduler.attach_watchdog(watchdog)
+    scheduler.run()
+    log = scheduler.controller.switch_log
+    assert len(log) == watchdog.degradations + watchdog.repromotions
+    # Events and switch log agree on times and directions.
+    expected = [(e.time, e.action == "repromote") for e in watchdog.events]
+    assert log == expected
+
+
+def test_watchdog_event_times_are_monotone_and_alternating():
+    scheduler = DVSyncScheduler(
+        drill_driver("composite"), PIXEL_5, DVSyncConfig(buffer_count=4)
+    )
+    FaultInjector(FaultSchedule.standard()).attach(scheduler)
+    watchdog = DegradationWatchdog()
+    scheduler.attach_watchdog(watchdog)
+    scheduler.run()
+    times = [e.time for e in watchdog.events]
+    assert times == sorted(times)
+    actions = [e.action for e in watchdog.events]
+    for first, second in zip(actions, actions[1:]):
+        assert first != second  # degrade/repromote strictly alternate
+
+
+def test_high_trip_threshold_prevents_degradation():
+    lenient = WatchdogThresholds(trip_after=10_000)
+    result = standard_run(thresholds=lenient)
+    watchdog = result.extra["watchdog"]
+    assert watchdog["degradations"] == 0
+    assert watchdog["time_in_degraded_ns"] == 0
+
+
+def test_watchdog_respects_app_driven_switch_off():
+    scheduler = DVSyncScheduler(
+        drill_driver("composite"), PIXEL_5, DVSyncConfig(buffer_count=4)
+    )
+    FaultInjector(FaultSchedule.standard()).attach(scheduler)
+    watchdog = DegradationWatchdog()
+    scheduler.attach_watchdog(watchdog)
+    # The app turned the decoupled channel off itself; the watchdog must not
+    # touch a channel it does not own.
+    scheduler.controller.set_enabled(False, now=scheduler.sim.now)
+    scheduler.run()
+    assert watchdog.degradations == 0
+
+
+def test_watchdog_is_single_use():
+    watchdog = DegradationWatchdog()
+    first = DVSyncScheduler(
+        drill_driver("animation"), PIXEL_5, DVSyncConfig(buffer_count=4)
+    )
+    first.attach_watchdog(watchdog)
+    second = DVSyncScheduler(
+        drill_driver("animation", run=1), PIXEL_5, DVSyncConfig(buffer_count=4)
+    )
+    with pytest.raises(ConfigurationError):
+        second.attach_watchdog(watchdog)
+
+
+def test_summary_charges_open_degradation_interval():
+    watchdog = DegradationWatchdog()
+    watchdog._degraded_since = 100
+    watchdog.time_in_degraded_ns = 50
+    summary = watchdog.summary(now=300)
+    assert summary["time_in_degraded_ns"] == 250
+    assert summary["degraded_at_end"] is True
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"pacing_error_ns": 0},
+        {"stall_ns": -1},
+        {"pacing_window": 0},
+        {"max_consecutive_ipl_fallbacks": 0},
+        {"trip_after": 0},
+        {"recover_after": 0},
+    ],
+)
+def test_threshold_validation(kwargs):
+    with pytest.raises(ConfigurationError):
+        WatchdogThresholds(**kwargs)

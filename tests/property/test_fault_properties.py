@@ -1,0 +1,117 @@
+"""Property tests for the fault layer: determinism and zero-fault identity."""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.schedule import FaultSchedule, spec
+from repro.testing import (
+    light_params,
+    make_animation,
+    run_dvsync,
+    run_dvsync_faulted,
+    run_vsync,
+    run_vsync_faulted,
+)
+
+SCHEDULES = {
+    "jitter": FaultSchedule([spec("vsync-jitter", sigma_us=400, drop_prob=0.05)]),
+    "thermal": FaultSchedule([spec("thermal", factor=2.0, start_ms=50, end_ms=150)]),
+    "pressure": FaultSchedule([spec("buffer-pressure", deny_prob=0.3)]),
+    "crash": FaultSchedule([spec("callback-crash", prob=0.2)]),
+    "standard": FaultSchedule.standard(),
+}
+
+
+def fingerprint(result):
+    """Everything observable about a run, as one comparable value."""
+    return (
+        [dataclasses.astuple(f) for f in result.frames],
+        [dataclasses.astuple(p) for p in result.presents],
+        [dataclasses.astuple(d) for d in result.drops],
+        result.start_time,
+        result.end_time,
+        result.ui_busy_ns,
+        result.render_busy_ns,
+        result.gpu_busy_ns,
+        sorted(result.extra.items(), key=lambda kv: kv[0]),
+    )
+
+
+@given(
+    st.sampled_from(sorted(SCHEDULES)),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=8, deadline=None)
+def test_same_scenario_same_fault_seed_identical_run(name, seed):
+    schedule = SCHEDULES[name]
+    first = run_vsync_faulted(
+        make_animation(light_params(), duration_ms=250.0), schedule, seed=seed
+    )
+    second = run_vsync_faulted(
+        make_animation(light_params(), duration_ms=250.0), schedule, seed=seed
+    )
+    assert fingerprint(first) == fingerprint(second)
+
+
+@given(st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=5, deadline=None)
+def test_same_fault_seed_identical_dvsync_run(seed):
+    first = run_dvsync_faulted(
+        make_animation(light_params(), duration_ms=250.0),
+        FaultSchedule.standard(),
+        seed=seed,
+    )
+    second = run_dvsync_faulted(
+        make_animation(light_params(), duration_ms=250.0),
+        FaultSchedule.standard(),
+        seed=seed,
+    )
+    assert fingerprint(first) == fingerprint(second)
+
+
+def strip_fault_keys(fp):
+    frames, presents, drops, start, end, ui, render, gpu, extra = fp
+    extra = [(k, v) for k, v in extra if k not in ("faults", "watchdog")]
+    return frames, presents, drops, start, end, ui, render, gpu, extra
+
+
+@given(st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=5, deadline=None)
+def test_zero_fault_schedule_identical_to_no_injector_vsync(seed):
+    clean = run_vsync(make_animation(light_params(), duration_ms=250.0))
+    faulted = run_vsync_faulted(
+        make_animation(light_params(), duration_ms=250.0),
+        FaultSchedule.none(),
+        seed=seed,
+    )
+    info = faulted.extra["faults"]
+    assert info["injected_total"] == 0
+    assert strip_fault_keys(fingerprint(faulted)) == strip_fault_keys(
+        fingerprint(clean)
+    )
+
+
+def test_zero_fault_schedule_identical_to_no_injector_dvsync():
+    """An attached-but-empty injector must not perturb D-VSync either.
+
+    The watchdog is left off here: this isolates the injector's identity
+    property (the watchdog may legitimately flip the runtime switch).
+    """
+    from repro.faults.injector import FaultInjector
+    from repro.core.config import DVSyncConfig
+    from repro.core.dvsync import DVSyncScheduler
+    from repro.display.device import PIXEL_5
+
+    clean = run_dvsync(make_animation(light_params(), duration_ms=400.0))
+    scheduler = DVSyncScheduler(
+        make_animation(light_params(), duration_ms=400.0),
+        PIXEL_5,
+        DVSyncConfig(buffer_count=4),
+    )
+    FaultInjector(FaultSchedule.none()).attach(scheduler)
+    faulted = scheduler.run()
+    assert strip_fault_keys(fingerprint(faulted)) == strip_fault_keys(
+        fingerprint(clean)
+    )

@@ -143,6 +143,84 @@ def test_step_executes_single_event():
     assert sim.step() is False
 
 
+def test_reentrant_step_raises():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.step()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule_at(5, reenter)
+    sim.schedule_at(6, lambda: None)
+    assert sim.step() is True
+    assert len(errors) == 1
+    # The guard is released afterwards: stepping from outside still works.
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_step_inside_run_raises():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.step()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule_at(5, reenter)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_exception_handler_contains_marked_exceptions():
+    sim = Simulator()
+    contained = []
+    sim.exception_handler = lambda now, exc: (
+        contained.append((now, exc)) or isinstance(exc, KeyError)
+    )
+
+    def raise_key_error():
+        raise KeyError("contained")
+
+    sim.schedule_at(10, raise_key_error)
+    sim.schedule_at(20, lambda: None)
+    sim.run()
+    assert len(contained) == 1
+    assert sim.now == 20  # the run continued past the contained exception
+
+
+def test_exception_handler_can_decline():
+    sim = Simulator()
+    sim.exception_handler = lambda now, exc: False
+
+    def raise_value_error():
+        raise ValueError("not contained")
+
+    sim.schedule_at(10, raise_value_error)
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+def test_no_exception_handler_propagates():
+    sim = Simulator()
+
+    def boom():
+        raise RuntimeError("boom")
+
+    sim.schedule_at(10, boom)
+    with pytest.raises(RuntimeError):
+        sim.run()
+    # The guard is released even on an escaping exception.
+    sim.schedule_at(20, lambda: None)
+    sim.run()
+    assert sim.now == 20
+
+
 def test_events_processed_counter():
     sim = Simulator()
     for t in (1, 2, 3):

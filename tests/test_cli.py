@@ -25,3 +25,18 @@ def test_quick_flag(capsys):
 def test_no_arguments_shows_help(capsys):
     assert main([]) == 2
     assert "usage" in capsys.readouterr().out.lower()
+
+
+def test_faults_flag_runs_the_drill(capsys):
+    assert main(["--faults", "none", "--scenario", "animation"]) == 0
+    out = capsys.readouterr().out
+    assert "fault drill" in out
+    assert "vsync" in out and "dvsync" in out
+
+
+def test_faults_flag_accepts_clause_syntax(capsys):
+    clauses = "thermal(factor=2.0,start_ms=50,end_ms=150)"
+    assert main(["--faults", clauses, "--scenario", "animation"]) == 0
+    out = capsys.readouterr().out
+    assert "thermal" in out
+    assert "injected" in out

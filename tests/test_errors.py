@@ -5,6 +5,8 @@ import pytest
 from repro.errors import (
     BufferQueueError,
     ConfigurationError,
+    FaultContainmentError,
+    InjectedFaultError,
     PipelineError,
     PredictionError,
     ReproError,
@@ -22,6 +24,8 @@ from repro.errors import (
         ConfigurationError,
         WorkloadError,
         PredictionError,
+        InjectedFaultError,
+        FaultContainmentError,
     ],
 )
 def test_all_errors_derive_from_repro_error(exc):
