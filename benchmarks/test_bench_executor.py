@@ -1,0 +1,68 @@
+"""Benchmarks of the execution layer itself.
+
+Not a paper artifact — these quantify what the RunSpec/Executor machinery
+costs (hashing, wire round-trips) and what it buys (warm-cache reruns that
+skip the scheduler entirely), so regressions in either direction are visible.
+"""
+
+from repro.display.device import PIXEL_5
+from repro.exec.executor import Executor, execute_spec
+from repro.exec.serialize import normalize_result, result_from_wire, result_to_wire
+from repro.exec.spec import DriverSpec, RunSpec
+
+
+def _spec(name: str) -> RunSpec:
+    return RunSpec(
+        driver=DriverSpec.of(
+            "repro.exec.builders:burst_animation",
+            name=name,
+            target_fdps=2.0,
+            duration_ms=1000.0,
+            burst_period_ms=None,
+        ),
+        device=PIXEL_5,
+        architecture="vsync",
+        buffer_count=3,
+    )
+
+
+def test_bench_spec_content_hash(benchmark):
+    spec = _spec("bench-hash")
+    digest = benchmark(spec.content_hash)
+    assert len(digest) == 64
+
+
+def test_bench_result_wire_round_trip(benchmark):
+    result = execute_spec(_spec("bench-wire"))
+
+    def round_trip():
+        return result_from_wire(result_to_wire(result))
+
+    clone = benchmark(round_trip)
+    assert clone.frames == normalize_result(result).frames
+
+
+def test_bench_executor_fanout_inprocess(benchmark):
+    specs = [_spec(f"bench-fan#{index}") for index in range(4)]
+
+    def fan_out():
+        with Executor(jobs=1) as executor:
+            return executor.map(specs)
+
+    results = benchmark.pedantic(fan_out, rounds=1, iterations=1)
+    assert len(results) == 4
+
+
+def test_bench_warm_cache_rerun(benchmark, tmp_path):
+    spec = _spec("bench-cache")
+    with Executor(jobs=1, cache=True, cache_dir=tmp_path) as cold:
+        cold.run(spec)
+
+    def warm_run():
+        with Executor(jobs=1, cache=True, cache_dir=tmp_path) as warm:
+            result = warm.run(spec)
+            assert warm.stats.runs_executed == 0
+            return result
+
+    result = benchmark.pedantic(warm_run, rounds=1, iterations=1)
+    assert len(result.frames) >= 50

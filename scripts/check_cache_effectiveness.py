@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""CI gate: the result cache must actually serve repeat work.
+
+Runs a small experiment subset twice against a fresh cache directory and
+asserts that (1) the second pass is served almost entirely (>= 90 %) from
+cache with zero scheduler invocations for cached specs, and (2) both passes
+render identical tables (observability lines aside). Exits non-zero with a
+diagnostic when either claim fails.
+
+Usage: PYTHONPATH=src python scripts/check_cache_effectiveness.py [ids...]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+DEFAULT_IDS = ["fig10", "fig15", "tab02"]
+
+
+def _render_pass(ids: list[str], cache_dir: str):
+    from repro.exec.executor import Executor, set_default_executor
+    from repro.experiments.registry import run_experiment
+
+    executor = Executor(jobs=1, cache=True, cache_dir=cache_dir)
+    set_default_executor(executor)
+    tables = []
+    for experiment_id in ids:
+        result = run_experiment(experiment_id, quick=True)
+        tables.append(
+            "\n".join(
+                line
+                for line in result.render().splitlines()
+                if not line.startswith("exec:")
+            )
+        )
+    stats = executor.stats
+    set_default_executor(None)
+    executor.close()
+    return tables, stats
+
+
+def main(argv: list[str]) -> int:
+    ids = argv or DEFAULT_IDS
+    with tempfile.TemporaryDirectory(prefix="repro-cache-ci-") as cache_dir:
+        cold_tables, cold = _render_pass(ids, cache_dir)
+        warm_tables, warm = _render_pass(ids, cache_dir)
+
+    print(f"cold pass: {cold.describe()}")
+    print(f"warm pass: {warm.describe()}")
+
+    if cold.total_requests == 0:
+        print("FAIL: the subset issued no executor requests", file=sys.stderr)
+        return 1
+    hit_rate = warm.cache_hits / warm.total_requests if warm.total_requests else 0.0
+    print(f"warm-pass cache hit rate: {hit_rate:.1%}")
+    if hit_rate < 0.90:
+        print(
+            f"FAIL: warm-pass hit rate {hit_rate:.1%} below the 90% floor",
+            file=sys.stderr,
+        )
+        return 1
+    if warm.runs_executed != 0:
+        print(
+            f"FAIL: warm pass still simulated {warm.runs_executed} runs",
+            file=sys.stderr,
+        )
+        return 1
+    if cold_tables != warm_tables:
+        print("FAIL: warm-pass tables differ from cold-pass tables", file=sys.stderr)
+        return 1
+    print("OK: cache effectiveness holds")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

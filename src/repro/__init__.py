@@ -32,6 +32,16 @@ from repro.core import (
     QuadraticPredictor,
     ZoomingDistancePredictor,
 )
+from repro.exec import (
+    DriverSpec,
+    Executor,
+    ResultCache,
+    RunSpec,
+    execute_spec,
+    get_default_executor,
+    set_default_executor,
+    using_executor,
+)
 from repro.display import (
     ALL_DEVICES,
     MATE_40_PRO,
@@ -93,6 +103,14 @@ __all__ = [
     "DeviceProfile",
     "HWVsyncSource",
     "LTPOController",
+    "DriverSpec",
+    "Executor",
+    "ResultCache",
+    "RunSpec",
+    "execute_spec",
+    "get_default_executor",
+    "set_default_executor",
+    "using_executor",
     "DegradationWatchdog",
     "FaultInjector",
     "FaultSchedule",

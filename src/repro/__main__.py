@@ -16,9 +16,13 @@ and over the fault drill, for robustness questions:
 from __future__ import annotations
 
 import argparse
+import os
 
 from repro.errors import ConfigurationError
+from repro.exec.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.exec.executor import Executor, set_default_executor
 from repro.experiments.registry import EXPERIMENTS, run_all, run_experiment
+from repro.experiments.runner import DEFAULT_RUNS
 from repro.faults.drill import DRILL_SCENARIOS, run_fault_drill
 
 
@@ -29,8 +33,40 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("ids", nargs="*", help="experiment ids, e.g. fig11 tab02")
     parser.add_argument("--all", action="store_true", help="run every experiment")
-    parser.add_argument("--quick", action="store_true", help="subset/fast mode")
-    parser.add_argument("--runs", type=int, default=3, help="repetitions per scenario")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="subset/fast mode: experiments trim scenarios and cap repetitions",
+    )
+    parser.add_argument(
+        "--runs",
+        type=int,
+        default=DEFAULT_RUNS,
+        help=(
+            "repetitions per scenario (default: %(default)s; --quick may cap "
+            "this further per experiment)"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "parallel simulation workers (default: all CPUs); 1 runs "
+            "in-process"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-addressed result cache (.repro-cache/)",
+    )
+    parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print result-cache contents and exit",
+    )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     parser.add_argument(
         "--faults",
@@ -51,6 +87,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    cache_dir = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+    if args.cache_stats:
+        print(ResultCache(cache_dir).describe())
+        return 0
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    executor = Executor(
+        jobs=args.jobs, cache=not args.no_cache, cache_dir=cache_dir
+    )
+    set_default_executor(executor)
+
     if args.faults is not None:
         try:
             drill = run_fault_drill(
@@ -64,8 +111,11 @@ def main(argv: list[str] | None = None) -> int:
             pass
         return 0
     if args.list:
-        for experiment_id in EXPERIMENTS:
-            print(experiment_id)
+        try:
+            for experiment_id in EXPERIMENTS:
+                print(experiment_id)
+        except BrokenPipeError:  # piping into `head` etc. is fine
+            pass
         return 0
     if args.all:
         results = run_all(runs=args.runs, quick=args.quick)
@@ -81,8 +131,12 @@ def main(argv: list[str] | None = None) -> int:
         for result in results:
             print(result.render())
             print()
+        print(f"executor: {executor.stats.describe()}")
+        if executor.cache is not None:
+            print(executor.cache.describe())
     except BrokenPipeError:  # piping into `head` etc. is fine
         pass
+    executor.close()
     return 0
 
 

@@ -1,0 +1,49 @@
+"""Declarative execution layer: RunSpecs, the executor, and the result cache.
+
+A :class:`RunSpec` is a frozen, serializable, content-hashable description of
+one simulation run — scenario/driver construction, device, architecture,
+buffer configuration, fault schedule, seeds, and sim-length knobs. Because
+every run is a deterministic function of its spec (the event kernel and all
+workload generators are seeded), the spec's content hash is a valid cache
+key.
+
+The :class:`Executor` maps batches of RunSpecs to ``RunResult``s through an
+in-process backend (tests, debugging) or a process pool (``--jobs N``), with
+a content-addressed on-disk cache under ``.repro-cache/`` keyed by RunSpec
+hash + code-version salt. Experiments *describe* their runs as specs and
+submit them in batches, so independent runs fan out across cores and repeat
+invocations are served from the cache without touching a scheduler.
+"""
+
+from repro.exec.cache import CacheStats, ResultCache, code_salt
+from repro.exec.executor import (
+    ExecStats,
+    Executor,
+    execute_spec,
+    get_default_executor,
+    set_default_executor,
+    using_executor,
+)
+from repro.exec.serialize import (
+    RESULT_SCHEMA_VERSION,
+    result_from_wire,
+    result_to_wire,
+)
+from repro.exec.spec import DriverSpec, RunSpec
+
+__all__ = [
+    "CacheStats",
+    "DriverSpec",
+    "ExecStats",
+    "Executor",
+    "RESULT_SCHEMA_VERSION",
+    "ResultCache",
+    "RunSpec",
+    "code_salt",
+    "execute_spec",
+    "get_default_executor",
+    "result_from_wire",
+    "result_to_wire",
+    "set_default_executor",
+    "using_executor",
+]

@@ -1,0 +1,49 @@
+"""Generic driver builders referenced by :class:`~repro.exec.spec.DriverSpec`.
+
+A builder is a module-level function taking only JSON-able keyword arguments
+and returning a fresh, seeded :class:`ScenarioDriver`. Experiments with
+bespoke drivers define their own builders next to the experiment (e.g.
+``repro.experiments.fig10_patterns:build_pattern_driver``); the ones here
+cover the common shapes every module shares.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.driver import ScenarioDriver
+from repro.units import ms
+from repro.workloads.distributions import params_for_target_fdps
+from repro.workloads.drivers import AnimationDriver
+from repro.workloads.scenarios import Scenario
+
+
+def scenario_driver(run: int = 0, **fields) -> ScenarioDriver:
+    """Build ``Scenario(**fields).build_driver(run)``.
+
+    The target of :meth:`DriverSpec.from_scenario`; *fields* are exactly the
+    :class:`Scenario` dataclass fields, all JSON primitives.
+    """
+    return Scenario(**fields).build_driver(run)
+
+
+def burst_animation(
+    name: str,
+    target_fdps: float,
+    refresh_hz: int = 60,
+    duration_ms: float = 400.0,
+    bursts: int = 1,
+    burst_period_ms: float | None = 600.0,
+) -> AnimationDriver:
+    """A plain burst-train animation calibrated to a target VSync FDPS.
+
+    The workhorse shape of the case studies (§6.7's map animation, the
+    ablation sweeps): seeded by *name*, so distinct repetition names yield
+    independent workload traces.
+    """
+    params = params_for_target_fdps(target_fdps, refresh_hz)
+    return AnimationDriver(
+        name,
+        params,
+        duration_ns=ms(duration_ms),
+        bursts=bursts,
+        burst_period_ns=ms(burst_period_ms) if burst_period_ms else None,
+    )

@@ -1,0 +1,151 @@
+"""Content-addressed on-disk cache for run results.
+
+Cache keys combine the RunSpec's content hash with a *code-version salt* —
+a digest over every ``repro`` source file — so editing any module invalidates
+prior entries instead of serving results computed by different code. The
+salt can be pinned via ``REPRO_CACHE_SALT`` (e.g. in CI, to share a cache
+across identical checkouts without re-hashing).
+
+Entries are JSON files written atomically (temp file + rename), fanned out
+by key prefix to keep directories small. A corrupt or unreadable entry is
+treated as a miss and removed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+
+from repro.exec.serialize import RESULT_SCHEMA_VERSION, result_from_wire, result_to_wire
+from repro.exec.spec import RunSpec
+from repro.pipeline.scheduler_base import RunResult
+
+#: Default cache directory, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_code_salt: str | None = None
+
+
+def code_salt(refresh: bool = False) -> str:
+    """Digest of the ``repro`` package sources (12 hex chars).
+
+    Any change to any ``.py`` file under the package changes the salt and
+    therefore every cache key; determinism of a cached result only holds for
+    the exact code that produced it.
+    """
+    global _code_salt
+    if _code_salt is not None and not refresh:
+        return _code_salt
+    pinned = os.environ.get("REPRO_CACHE_SALT")
+    if pinned:
+        _code_salt = pinned
+        return _code_salt
+    package_root = pathlib.Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    digest.update(f"schema={RESULT_SCHEMA_VERSION}".encode())
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    _code_salt = digest.hexdigest()[:12]
+    return _code_salt
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+
+class ResultCache:
+    """Content-addressed store mapping RunSpecs to serialized results."""
+
+    def __init__(
+        self,
+        root: str | os.PathLike = DEFAULT_CACHE_DIR,
+        salt: str | None = None,
+    ) -> None:
+        self.root = pathlib.Path(root)
+        self.salt = salt if salt is not None else code_salt()
+        self.stats = CacheStats()
+
+    def key(self, spec: RunSpec) -> str:
+        """Cache key: spec content hash + code-version salt."""
+        return f"{spec.content_hash()}-{self.salt}"
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, spec: RunSpec) -> RunResult | None:
+        """Deserialized result for *spec*, or ``None`` on a miss."""
+        path = self._path(self.key(spec))
+        try:
+            wire = json.loads(path.read_text())
+            result = result_from_wire(wire)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            # Corrupt or stale-layout entry: drop it and treat as a miss.
+            path.unlink(missing_ok=True)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, spec: RunSpec, result: RunResult) -> None:
+        """Store *result* under *spec*'s content address (atomic write)."""
+        path = self._path(self.key(spec))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(result_to_wire(result), separators=(",", ":"))
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    # ------------------------------------------------------------ inspection
+    def entries(self) -> list[pathlib.Path]:
+        """All entry files currently in the cache."""
+        if not self.root.exists():
+            return []
+        return sorted(self.root.glob("*/*.json"))
+
+    def total_bytes(self) -> int:
+        """Total on-disk size of all entries."""
+        return sum(path.stat().st_size for path in self.entries())
+
+    def describe(self) -> str:
+        """Human-readable cache summary for the CLI."""
+        entries = self.entries()
+        size_mb = sum(p.stat().st_size for p in entries) / 1e6
+        return (
+            f"cache {self.root}: {len(entries)} entries, {size_mb:.1f} MB, "
+            f"salt {self.salt} (session: {self.stats.hits} hits, "
+            f"{self.stats.misses} misses, {self.stats.stores} stores)"
+        )
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

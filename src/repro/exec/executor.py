@@ -1,0 +1,284 @@
+"""The executor: RunSpecs in, RunResults out, in parallel and cached.
+
+:func:`execute_spec` is the single seam through which a spec becomes a
+scheduler invocation — the fault drill, every experiment module, and the
+process-pool worker all funnel through it. :class:`Executor` adds the
+operational layer on top: batch submission with de-duplication, a process
+pool (``--jobs N``) or in-process backend, the content-addressed result
+cache, and per-run timing/cache observability.
+
+A module-level *default executor* carries the CLI's ``--jobs``/``--no-cache``
+choices down to the experiment modules without threading a parameter through
+every ``run()`` signature. Library and test use defaults to a hermetic
+executor: in-process, no cache. ``REPRO_JOBS``, ``REPRO_EXEC_BACKEND`` and
+``REPRO_CACHE=1`` configure the default from the environment (the CI tier-1
+job runs the suite under ``REPRO_JOBS=2 REPRO_EXEC_BACKEND=inprocess``).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import contextlib
+import dataclasses
+import os
+import time
+
+from repro.errors import ConfigurationError
+from repro.exec.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.exec.serialize import result_from_wire, result_to_wire
+from repro.exec.spec import RunSpec
+from repro.pipeline.scheduler_base import RunResult
+
+BACKENDS = ("inprocess", "process")
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Instantiate and run the scheduler a spec describes (no cache, no pool).
+
+    This is the only place the execution layer turns a spec into a live
+    scheduler; everything above it deals in specs and serialized results.
+    Scheduler and fault imports happen at call time: this module sits below
+    ``repro.experiments`` in the import graph, while the fault drill sits
+    above it.
+    """
+    from repro.core.config import DVSyncConfig
+    from repro.core.dvsync import DVSyncScheduler
+    from repro.faults.injector import FaultInjector
+    from repro.faults.schedule import FaultSchedule
+    from repro.faults.watchdog import DegradationWatchdog
+    from repro.vsync.scheduler import VSyncScheduler
+
+    driver = spec.driver.build()
+    if spec.architecture == "vsync":
+        scheduler = VSyncScheduler(
+            driver, spec.device, buffer_count=spec.buffer_count
+        )
+    elif spec.architecture == "dvsync":
+        config = spec.dvsync or DVSyncConfig(buffer_count=spec.buffer_count or 4)
+        scheduler = DVSyncScheduler(driver, spec.device, config=config)
+    else:  # pragma: no cover - RunSpec.__post_init__ already rejects this
+        raise ConfigurationError(f"unknown architecture {spec.architecture!r}")
+    if spec.faults:
+        schedule = FaultSchedule.parse(spec.faults)
+        FaultInjector(schedule, seed=spec.fault_seed).attach(scheduler)
+    if spec.watchdog:
+        scheduler.attach_watchdog(DegradationWatchdog())
+    return scheduler.run(start_time=spec.start_time, horizon=spec.horizon)
+
+
+def _pool_worker(wire_spec: dict) -> tuple[dict, float]:
+    """Process-pool entry point: wire spec in, (wire result, seconds) out."""
+    spec = RunSpec.from_wire(wire_spec)
+    started = time.perf_counter()
+    result = execute_spec(spec)
+    return result_to_wire(result), time.perf_counter() - started
+
+
+@dataclasses.dataclass
+class ExecStats:
+    """Cumulative executor observability counters."""
+
+    runs_executed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    deduplicated: int = 0
+    batches: int = 0
+    run_seconds: float = 0.0
+
+    def snapshot(self) -> "ExecStats":
+        return dataclasses.replace(self)
+
+    def since(self, earlier: "ExecStats") -> "ExecStats":
+        """Counter deltas accumulated after *earlier* was snapshotted."""
+        return ExecStats(
+            runs_executed=self.runs_executed - earlier.runs_executed,
+            cache_hits=self.cache_hits - earlier.cache_hits,
+            cache_misses=self.cache_misses - earlier.cache_misses,
+            deduplicated=self.deduplicated - earlier.deduplicated,
+            batches=self.batches - earlier.batches,
+            run_seconds=self.run_seconds - earlier.run_seconds,
+        )
+
+    @property
+    def total_requests(self) -> int:
+        return self.runs_executed + self.cache_hits + self.deduplicated
+
+    def describe(self) -> str:
+        """One-line summary for reports and the CLI."""
+        return (
+            f"{self.total_requests} runs: {self.runs_executed} simulated "
+            f"({self.run_seconds:.2f}s), {self.cache_hits} cache hits, "
+            f"{self.deduplicated} deduplicated"
+        )
+
+
+class Executor:
+    """Maps batches of RunSpecs to RunResults, in parallel and cached.
+
+    Args:
+        jobs: Worker count for the process backend; defaults to
+            ``os.cpu_count()``.
+        backend: ``"process"`` or ``"inprocess"``; defaults to the process
+            pool when ``jobs > 1`` and in-process otherwise.
+        cache: ``True`` for the default on-disk cache, ``False``/``None`` to
+            disable, or a :class:`ResultCache` instance.
+        cache_dir: Directory for the default cache (``.repro-cache/``).
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        backend: str | None = None,
+        cache: bool | ResultCache | None = False,
+        cache_dir: str | os.PathLike = DEFAULT_CACHE_DIR,
+    ) -> None:
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        if self.jobs < 1:
+            raise ConfigurationError("jobs must be >= 1")
+        if backend is None:
+            backend = "process" if self.jobs > 1 else "inprocess"
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown executor backend {backend!r}; known: {', '.join(BACKENDS)}"
+            )
+        self.backend = backend
+        if cache is True:
+            self.cache: ResultCache | None = ResultCache(cache_dir)
+        elif cache is False or cache is None:
+            self.cache = None
+        else:
+            self.cache = cache
+        self.stats = ExecStats()
+        self._pool: concurrent.futures.ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------------- lifecycle
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.jobs
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ submission
+    def run(self, spec: RunSpec) -> RunResult:
+        """Execute (or fetch) a single spec."""
+        return self.map([spec])[0]
+
+    def map(self, specs) -> list[RunResult]:
+        """Execute a batch of specs, preserving order.
+
+        Cache hits are served without touching a scheduler; identical specs
+        within the batch simulate once and fan the result out; the remainder
+        runs on the configured backend.
+        """
+        specs = list(specs)
+        self.stats.batches += 1
+        results: list[RunResult | None] = [None] * len(specs)
+        wires: dict[str, dict] = {}
+        pending: dict[str, RunSpec] = {}
+        pending_indices: dict[str, list[int]] = {}
+
+        for index, spec in enumerate(specs):
+            key = spec.content_hash()
+            if key in wires or key in pending:
+                if key in pending:
+                    pending_indices[key].append(index)
+                    self.stats.deduplicated += 1
+                else:
+                    results[index] = result_from_wire(wires[key])
+                    self.stats.deduplicated += 1
+                continue
+            cached = self.cache.get(spec) if self.cache is not None else None
+            if cached is not None:
+                self.stats.cache_hits += 1
+                wires[key] = result_to_wire(cached)
+                results[index] = cached
+                continue
+            if self.cache is not None:
+                self.stats.cache_misses += 1
+            pending[key] = spec
+            pending_indices[key] = [index]
+
+        if pending:
+            executed = self._execute_batch(list(pending.values()))
+            for (key, spec), (wire, seconds) in zip(pending.items(), executed):
+                self.stats.runs_executed += 1
+                self.stats.run_seconds += seconds
+                if self.cache is not None:
+                    self.cache.put(spec, result_from_wire(wire))
+                wires[key] = wire
+                for index in pending_indices[key]:
+                    results[index] = result_from_wire(wire)
+
+        return results  # type: ignore[return-value]
+
+    def _execute_batch(self, specs: list[RunSpec]) -> list[tuple[dict, float]]:
+        if self.backend == "process" and len(specs) > 1 and self.jobs > 1:
+            pool = self._ensure_pool()
+            return list(pool.map(_pool_worker, [s.to_wire() for s in specs]))
+        executed = []
+        for spec in specs:
+            started = time.perf_counter()
+            result = execute_spec(spec)
+            executed.append(
+                (result_to_wire(result), time.perf_counter() - started)
+            )
+        return executed
+
+
+# ---------------------------------------------------------- default executor
+_default_executor: Executor | None = None
+
+
+def _executor_from_env() -> Executor:
+    jobs_text = os.environ.get("REPRO_JOBS", "")
+    jobs = int(jobs_text) if jobs_text else 1
+    backend = os.environ.get("REPRO_EXEC_BACKEND") or (
+        "process" if jobs > 1 else "inprocess"
+    )
+    cache = os.environ.get("REPRO_CACHE", "") == "1"
+    cache_dir = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+    return Executor(jobs=jobs, backend=backend, cache=cache, cache_dir=cache_dir)
+
+
+def get_default_executor() -> Executor:
+    """The process-wide executor experiments submit through.
+
+    First use builds one from ``REPRO_JOBS`` / ``REPRO_EXEC_BACKEND`` /
+    ``REPRO_CACHE`` / ``REPRO_CACHE_DIR``; absent those, a hermetic
+    in-process executor with the cache disabled.
+    """
+    global _default_executor
+    if _default_executor is None:
+        _default_executor = _executor_from_env()
+    return _default_executor
+
+
+def set_default_executor(executor: Executor | None) -> Executor | None:
+    """Install (or, with ``None``, reset) the default executor."""
+    global _default_executor
+    previous = _default_executor
+    _default_executor = executor
+    return previous
+
+
+@contextlib.contextmanager
+def using_executor(executor: Executor):
+    """Scope *executor* as the default for a ``with`` block."""
+    previous = set_default_executor(executor)
+    try:
+        yield executor
+    finally:
+        set_default_executor(previous)

@@ -1,0 +1,161 @@
+"""Compact, lossless wire form for :class:`RunResult`.
+
+Results must cross process boundaries (the executor's process-pool backend)
+and cache round-trips without drift, so every record type serializes to a
+fixed-order JSON array and reconstructs to an equal dataclass. The executor
+normalizes *every* result — including in-process, uncached runs — through
+this round-trip, so a cache hit, a pool result, and a fresh local run are
+indistinguishable to callers.
+
+``extra`` is canonicalized on the way in (tuples become lists) because JSON
+has no tuple type; scheduler and fault hooks only store JSON-able scalars,
+mappings, and sequences there.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.display.hal import PresentRecord
+from repro.exec.spec import device_from_wire, device_to_wire
+from repro.pipeline.compositor import DropEvent
+from repro.pipeline.frame import FrameCategory, FrameRecord, FrameWorkload
+from repro.pipeline.scheduler_base import RunResult
+
+#: Bump when the wire layout changes; folded into the cache key.
+RESULT_SCHEMA_VERSION = 1
+
+_FRAME_FIELDS = (
+    "frame_id",
+    "trigger_time",
+    "content_timestamp",
+    "decoupled",
+    "ui_start",
+    "ui_end",
+    "render_start",
+    "render_end",
+    "gpu_end",
+    "queued_time",
+    "latch_time",
+    "present_time",
+    "buffer_slot",
+    "render_rate_hz",
+    "buffer_wait_ns",
+    "content_value",
+    "input_predicted",
+)
+
+_DROP_FIELDS = ("time", "vsync_index", "queued_depth", "frames_in_flight")
+
+_PRESENT_FIELDS = (
+    "frame_id",
+    "present_time",
+    "vsync_index",
+    "content_timestamp",
+    "queue_depth_after",
+    "refresh_period",
+)
+
+
+def jsonable(value: Any) -> Any:
+    """Canonicalize a value for JSON: tuples/lists and dicts recurse."""
+    if isinstance(value, (tuple, list)):
+        return [jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    return value
+
+
+def _workload_to_wire(workload: FrameWorkload) -> list:
+    return [
+        workload.ui_ns,
+        workload.render_ns,
+        workload.gpu_ns,
+        workload.category.value,
+    ]
+
+
+def _workload_from_wire(wire: list) -> FrameWorkload:
+    ui_ns, render_ns, gpu_ns, category = wire
+    return FrameWorkload(
+        ui_ns=ui_ns,
+        render_ns=render_ns,
+        gpu_ns=gpu_ns,
+        category=FrameCategory(category),
+    )
+
+
+def _frame_to_wire(frame: FrameRecord) -> list:
+    wire = [getattr(frame, field) for field in _FRAME_FIELDS]
+    wire.append(_workload_to_wire(frame.workload))
+    return wire
+
+
+def _frame_from_wire(wire: list) -> FrameRecord:
+    fields = dict(zip(_FRAME_FIELDS, wire))
+    return FrameRecord(workload=_workload_from_wire(wire[-1]), **fields)
+
+
+def result_to_wire(result: RunResult) -> dict:
+    """Serialize a run result to its compact JSON-able wire form."""
+    return {
+        "schema": RESULT_SCHEMA_VERSION,
+        "scheduler": result.scheduler,
+        "scenario": result.scenario,
+        "device": device_to_wire(result.device),
+        "buffer_count": result.buffer_count,
+        "frames": [_frame_to_wire(f) for f in result.frames],
+        "drops": [
+            [getattr(d, field) for field in _DROP_FIELDS] for d in result.drops
+        ],
+        "presents": [
+            [getattr(p, field) for field in _PRESENT_FIELDS]
+            for p in result.presents
+        ],
+        "start_time": result.start_time,
+        "end_time": result.end_time,
+        "ui_busy_ns": result.ui_busy_ns,
+        "render_busy_ns": result.render_busy_ns,
+        "gpu_busy_ns": result.gpu_busy_ns,
+        "scheduler_overhead_ns": result.scheduler_overhead_ns,
+        "extra": jsonable(result.extra),
+    }
+
+
+def result_from_wire(wire: dict) -> RunResult:
+    """Reconstruct a run result from its wire form."""
+    schema = wire.get("schema")
+    if schema != RESULT_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported RunResult schema {schema!r} "
+            f"(expected {RESULT_SCHEMA_VERSION})"
+        )
+    return RunResult(
+        scheduler=wire["scheduler"],
+        scenario=wire["scenario"],
+        device=device_from_wire(wire["device"]),
+        buffer_count=wire["buffer_count"],
+        frames=[_frame_from_wire(f) for f in wire["frames"]],
+        drops=[DropEvent(**dict(zip(_DROP_FIELDS, d))) for d in wire["drops"]],
+        presents=[
+            PresentRecord(**dict(zip(_PRESENT_FIELDS, p)))
+            for p in wire["presents"]
+        ],
+        start_time=wire["start_time"],
+        end_time=wire["end_time"],
+        ui_busy_ns=wire["ui_busy_ns"],
+        render_busy_ns=wire["render_busy_ns"],
+        gpu_busy_ns=wire["gpu_busy_ns"],
+        scheduler_overhead_ns=wire["scheduler_overhead_ns"],
+        extra=wire["extra"],
+    )
+
+
+def normalize_result(result: RunResult) -> RunResult:
+    """Round-trip a result through the wire form.
+
+    Guarantees cross-backend uniformity: callers always observe results as
+    they look after deserialization (e.g. tuples in ``extra`` become lists),
+    whether the run was fresh, pooled, or served from the cache.
+    """
+    return result_from_wire(result_to_wire(result))

@@ -4,7 +4,18 @@ from repro.experiments.runner import (
     DEFAULT_RUNS,
     ScenarioComparison,
     compare_scenario,
+    execute_specs,
     run_driver,
+    run_spec,
+    scenario_spec,
 )
 
-__all__ = ["DEFAULT_RUNS", "ScenarioComparison", "compare_scenario", "run_driver"]
+__all__ = [
+    "DEFAULT_RUNS",
+    "ScenarioComparison",
+    "compare_scenario",
+    "execute_specs",
+    "run_driver",
+    "run_spec",
+    "scenario_spec",
+]

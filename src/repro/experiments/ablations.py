@@ -14,6 +14,11 @@ Four studies isolate why each component exists:
   OpenHarmony's VSync-rs-triggered render service (§2): same baseline
   behaviour on light loads, with the OH flavor exhibiting edge-alignment
   slips when UI logic crosses the VSync-rs offset.
+
+The DTV and limit-sweep studies describe their runs as RunSpecs through the
+executor (parallel + cached); the IPL/LTPO/flavor studies attach live objects
+to the scheduler (predictors, the co-design bridge) and stay on direct
+instantiation by design.
 """
 
 from __future__ import annotations
@@ -29,8 +34,9 @@ from repro.core.ipl import (
 from repro.core.ltpo_codesign import LTPOCoDesign
 from repro.display.device import MATE_60_PRO, PIXEL_5
 from repro.display.ltpo import LTPOController
+from repro.exec.spec import DriverSpec, RunSpec
 from repro.experiments.base import ExperimentResult, mean
-from repro.experiments.runner import run_driver
+from repro.experiments.runner import execute_specs
 from repro.metrics.fdps import fdps
 from repro.units import ms
 from repro.workloads.distributions import params_for_target_fdps
@@ -38,7 +44,8 @@ from repro.workloads.drivers import AnimationDriver, InteractionDriver
 from repro.workloads.touch import SwipeGesture
 
 
-def _animation(name: str, run_index: int, bursts: int) -> AnimationDriver:
+def build_ablation_animation(name: str, run_index: int, bursts: int) -> AnimationDriver:
+    """RunSpec builder: the droppy animation shared by the ablation sweeps."""
     params = params_for_target_fdps(3.0, PIXEL_5.refresh_hz)
     return AnimationDriver(
         f"{name}#{run_index}",
@@ -46,6 +53,19 @@ def _animation(name: str, run_index: int, bursts: int) -> AnimationDriver:
         duration_ns=ms(400),
         bursts=bursts,
         burst_period_ns=ms(600),
+    )
+
+
+def _animation_spec(name: str, run_index: int, bursts: int, **kwargs) -> RunSpec:
+    return RunSpec(
+        driver=DriverSpec.of(
+            "repro.experiments.ablations:build_ablation_animation",
+            name=name,
+            run_index=run_index,
+            bursts=bursts,
+        ),
+        device=PIXEL_5,
+        **kwargs,
     )
 
 
@@ -69,24 +89,30 @@ def run_dtv_ablation(runs: int = 3, quick: bool = False) -> ExperimentResult:
     """Pre-rendering with and without the Display Time Virtualizer."""
     effective_runs = 2 if quick else runs
     period = PIXEL_5.vsync_period
+    arms = (
+        ("vsync", {"architecture": "vsync", "buffer_count": 3}),
+        ("dvsync+dtv", {"architecture": "dvsync", "dvsync": DVSyncConfig(buffer_count=4)}),
+        (
+            "dvsync-no-dtv",
+            {
+                "architecture": "dvsync",
+                "dvsync": DVSyncConfig(buffer_count=4, dtv_enabled=False),
+            },
+        ),
+    )
+    specs = [
+        _animation_spec("abl-dtv", repetition, 8, **kwargs)
+        for repetition in range(effective_runs)
+        for _label, kwargs in arms
+    ]
+    results = iter(execute_specs(specs))
     errors = {"vsync": [], "dvsync+dtv": [], "dvsync-no-dtv": []}
     for repetition in range(effective_runs):
-        driver = _animation("abl-dtv", repetition, 8)
-        result = run_driver(driver, PIXEL_5, "vsync", buffer_count=3)
-        errors["vsync"].append(_pacing_error(result, driver, period))
-        driver = _animation("abl-dtv", repetition, 8)
-        result = run_driver(
-            driver, PIXEL_5, "dvsync", dvsync_config=DVSyncConfig(buffer_count=4)
-        )
-        errors["dvsync+dtv"].append(_pacing_error(result, driver, period))
-        driver = _animation("abl-dtv", repetition, 8)
-        result = run_driver(
-            driver,
-            PIXEL_5,
-            "dvsync",
-            dvsync_config=DVSyncConfig(buffer_count=4, dtv_enabled=False),
-        )
-        errors["dvsync-no-dtv"].append(_pacing_error(result, driver, period))
+        # The pacing check compares drawn content against the motion curve;
+        # rebuild the (deterministic) driver the specs described.
+        driver = build_ablation_animation("abl-dtv", repetition, 8)
+        for label, _kwargs in arms:
+            errors[label].append(_pacing_error(next(results), driver, period))
     rows = [[arm, round(mean(vals), 4)] for arm, vals in errors.items()]
     return ExperimentResult(
         experiment_id="ablation-dtv",
@@ -158,17 +184,20 @@ def run_limit_sweep(runs: int = 3, quick: bool = False) -> ExperimentResult:
     limits = (1, 2, 3, 4, 6) if quick else (1, 2, 3, 4, 5, 6)
     rows = []
     values_by_limit = {}
+    specs = [
+        _animation_spec(
+            "abl-limit",
+            repetition,
+            12,
+            architecture="dvsync",
+            dvsync=DVSyncConfig(buffer_count=7, prerender_limit=limit),
+        )
+        for limit in limits
+        for repetition in range(effective_runs)
+    ]
+    results = iter(execute_specs(specs))
     for limit in limits:
-        values = []
-        for repetition in range(effective_runs):
-            driver = _animation("abl-limit", repetition, 12)
-            result = run_driver(
-                driver,
-                PIXEL_5,
-                "dvsync",
-                dvsync_config=DVSyncConfig(buffer_count=7, prerender_limit=limit),
-            )
-            values.append(fdps(result))
+        values = [fdps(next(results)) for _ in range(effective_runs)]
         values_by_limit[limit] = mean(values)
         rows.append([limit, round(values_by_limit[limit], 2)])
     return ExperimentResult(

@@ -12,7 +12,7 @@ from __future__ import annotations
 from repro.core.config import DVSyncConfig
 from repro.display.device import MATE_60_PRO
 from repro.experiments.base import ExperimentResult, mean, pct_reduction
-from repro.experiments.runner import run_driver
+from repro.experiments.runner import execute_specs, scenario_spec
 from repro.metrics.fdps import fdps
 from repro.workloads.os_cases import os_case_scenarios, use_case
 
@@ -26,20 +26,35 @@ def run(runs: int = 2, quick: bool = False) -> ExperimentResult:
     rows = []
     vsync_values, dvsync_values = [], []
     clean_cases = 0
-    for scenario in scenarios:
+    # The whole 75-case × runs × 2-arm sweep goes out as one executor batch —
+    # the benchmark the appendix positions for follow-up research is exactly
+    # the embarrassingly-parallel shape the execution layer exists for.
+    pairs = [
+        (scenario, repetition)
+        for scenario in scenarios
+        for repetition in range(effective_runs)
+    ]
+    specs = [
+        scenario_spec(scenario, MATE_60_PRO, "vsync", run=repetition, buffer_count=4)
+        for scenario, repetition in pairs
+    ] + [
+        scenario_spec(
+            scenario,
+            MATE_60_PRO,
+            "dvsync",
+            run=repetition,
+            dvsync_config=DVSyncConfig(buffer_count=4),
+        )
+        for scenario, repetition in pairs
+    ]
+    results = execute_specs(specs)
+    vsync_results = results[: len(pairs)]
+    dvsync_results = results[len(pairs) :]
+    for index, scenario in enumerate(scenarios):
         case = use_case(scenario.name)
-        per_run_vsync, per_run_dvsync = [], []
-        for repetition in range(effective_runs):
-            per_run_vsync.append(
-                fdps(run_driver(scenario.build_driver(repetition), MATE_60_PRO,
-                                "vsync", buffer_count=4))
-            )
-            per_run_dvsync.append(
-                fdps(run_driver(scenario.build_driver(repetition), MATE_60_PRO,
-                                "dvsync", dvsync_config=DVSyncConfig(buffer_count=4)))
-            )
-        vsync_case = mean(per_run_vsync)
-        dvsync_case = mean(per_run_dvsync)
+        chunk = slice(index * effective_runs, (index + 1) * effective_runs)
+        vsync_case = mean([fdps(r) for r in vsync_results[chunk]])
+        dvsync_case = mean([fdps(r) for r in dvsync_results[chunk]])
         vsync_values.append(vsync_case)
         dvsync_values.append(dvsync_case)
         if vsync_case == 0:

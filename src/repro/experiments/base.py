@@ -10,6 +10,7 @@ modes.
 from __future__ import annotations
 
 import dataclasses
+import statistics
 from typing import Sequence
 
 from repro.metrics.report import format_table
@@ -56,7 +57,7 @@ class ExperimentResult:
 def mean(values: Sequence[float]) -> float:
     """Arithmetic mean with an explicit zero for empty input."""
     values = list(values)
-    return sum(values) / len(values) if values else 0.0
+    return statistics.fmean(values) if values else 0.0
 
 
 def pct_reduction(baseline: float, improved: float) -> float:

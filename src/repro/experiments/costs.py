@@ -10,8 +10,9 @@ from __future__ import annotations
 
 from repro.core.config import DVSyncConfig
 from repro.display.device import MATE_40_PRO, MATE_60_PRO, PIXEL_5
+from repro.exec.spec import DriverSpec, RunSpec
 from repro.experiments.base import ExperimentResult
-from repro.experiments.runner import run_driver
+from repro.experiments.runner import run_spec
 from repro.metrics.memory import MODULE_STATE_BYTES, extra_memory_mb, queue_footprint
 from repro.metrics.power import scheduler_overhead_per_frame_us
 from repro.pipeline.frame import FrameCategory
@@ -25,14 +26,14 @@ PAPER_OVERHEAD_SHARE = 1.2  # % of a 120 Hz period
 PAPER_PIXEL5_EXTRA_MB = 10.0
 
 
-def run(runs: int = 1, quick: bool = False) -> ExperimentResult:
-    """Regenerate the §6.4 cost accounting."""
+def build_costs_driver(bursts: int) -> AnimationDriver:
+    """RunSpec builder: the §6.4 mixed-category reference animation."""
     params = params_for_target_fdps(4.0, MATE_60_PRO.refresh_hz)
-    driver = AnimationDriver(
+    return AnimationDriver(
         "costs-mixed",
         params,
         duration_ns=ms(400),
-        bursts=4 if quick else 10,
+        bursts=bursts,
         burst_period_ns=ms(600),
         category_weights={
             FrameCategory.DETERMINISTIC_ANIMATION: 0.85,
@@ -40,8 +41,20 @@ def run(runs: int = 1, quick: bool = False) -> ExperimentResult:
             FrameCategory.REALTIME: 0.05,
         },
     )
-    result = run_driver(
-        driver, MATE_60_PRO, "dvsync", dvsync_config=DVSyncConfig(buffer_count=4)
+
+
+def run(runs: int = 1, quick: bool = False) -> ExperimentResult:
+    """Regenerate the §6.4 cost accounting."""
+    result = run_spec(
+        RunSpec(
+            driver=DriverSpec.of(
+                "repro.experiments.costs:build_costs_driver",
+                bursts=4 if quick else 10,
+            ),
+            device=MATE_60_PRO,
+            architecture="dvsync",
+            dvsync=DVSyncConfig(buffer_count=4),
+        )
     )
     decoupled_frames = max(1, result.extra.get("routed_dvsync", len(result.frames)))
     overhead_us = result.scheduler_overhead_ns / decoupled_frames / 1000

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.display.device import MATE_40_PRO, MATE_60_PRO, MATE_60_PRO_VULKAN, PIXEL_5
 from repro.experiments.base import ExperimentResult, mean
-from repro.experiments.runner import run_driver
+from repro.experiments.runner import execute_specs, scenario_spec
 from repro.metrics.fdps import drop_fraction
 from repro.workloads.android_apps import app_scenarios
 from repro.workloads.os_cases import os_case_scenarios
@@ -33,18 +33,18 @@ def run(runs: int = 2, quick: bool = False) -> ExperimentResult:
         if quick:
             scenarios = scenarios[::4]
         effective_runs = 1 if quick else runs
+        # One executor batch per configuration: every scenario × repetition
+        # fans out in parallel and caches individually.
+        specs = [
+            scenario_spec(scenario, device, "vsync", run=r, buffer_count=buffers)
+            for scenario in scenarios
+            for r in range(effective_runs)
+        ]
+        results = execute_specs(specs)
         per_case = []
-        for scenario in scenarios:
-            values = [
-                drop_fraction(
-                    run_driver(
-                        scenario.build_driver(r), device, "vsync", buffer_count=buffers
-                    )
-                )
-                * 100
-                for r in range(effective_runs)
-            ]
-            per_case.append(mean(values))
+        for index, scenario in enumerate(scenarios):
+            chunk = results[index * effective_runs : (index + 1) * effective_runs]
+            per_case.append(mean([drop_fraction(r) * 100 for r in chunk]))
         avg_pct, max_pct = mean(per_case), max(per_case, default=0.0)
         rows.append([label, round(avg_pct, 1), round(max_pct, 1)])
         comparisons.append((f"{label}: avg FD %", paper_avg, round(avg_pct, 1)))

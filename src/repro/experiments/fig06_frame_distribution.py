@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from repro.display.device import PIXEL_5
 from repro.experiments.base import ExperimentResult, mean
-from repro.experiments.runner import run_driver
+from repro.experiments.runner import execute_specs, scenario_spec
 from repro.metrics.frames import FrameOutcome, frame_distribution
 from repro.workloads.android_apps import app_scenarios
 
@@ -22,12 +22,15 @@ def run(runs: int = 2, quick: bool = False) -> ExperimentResult:
         runs = 1
     rows = []
     stuffed_fracs, direct_fracs, drop_fracs = [], [], []
-    for scenario in scenarios:
+    specs = [
+        scenario_spec(scenario, PIXEL_5, "vsync", run=repetition, buffer_count=3)
+        for scenario in scenarios
+        for repetition in range(runs)
+    ]
+    results = execute_specs(specs)
+    for index, scenario in enumerate(scenarios):
         fractions = {outcome: [] for outcome in FrameOutcome}
-        for repetition in range(runs):
-            result = run_driver(
-                scenario.build_driver(repetition), PIXEL_5, "vsync", buffer_count=3
-            )
+        for result in results[index * runs : (index + 1) * runs]:
             distribution = frame_distribution(result)
             for outcome in FrameOutcome:
                 fractions[outcome].append(distribution.fraction(outcome))

@@ -11,8 +11,9 @@ from __future__ import annotations
 
 from repro.core.config import DVSyncConfig
 from repro.display.device import PIXEL_5
+from repro.exec.spec import DriverSpec, RunSpec
 from repro.experiments.base import ExperimentResult
-from repro.experiments.runner import run_driver
+from repro.experiments.runner import execute_specs
 from repro.pipeline.frame import FrameCategory
 from repro.units import ms
 from repro.workloads.distributions import params_for_target_fdps
@@ -29,6 +30,19 @@ _WEIGHTS = {
 }
 
 
+def build_daymix_driver(repetition: int, bursts: int) -> AnimationDriver:
+    """RunSpec builder: the Fig 9 day-mix animation for one repetition."""
+    params = params_for_target_fdps(1.5, PIXEL_5.refresh_hz)
+    return AnimationDriver(
+        f"fig09-daymix#{repetition}",
+        params,
+        duration_ns=ms(400),
+        bursts=bursts,
+        burst_period_ns=ms(600),
+        category_weights=_WEIGHTS,
+    )
+
+
 def run(runs: int = 3, quick: bool = False) -> ExperimentResult:
     """Regenerate the Fig 9 coverage measurement."""
     effective_runs = 2 if quick else runs
@@ -36,19 +50,20 @@ def run(runs: int = 3, quick: bool = False) -> ExperimentResult:
     totals = {category: 0 for category in FrameCategory}
     decoupled_frames = 0
     total_frames = 0
-    for repetition in range(effective_runs):
-        params = params_for_target_fdps(1.5, PIXEL_5.refresh_hz)
-        driver = AnimationDriver(
-            f"fig09-daymix#{repetition}",
-            params,
-            duration_ns=ms(400),
-            bursts=bursts,
-            burst_period_ns=ms(600),
-            category_weights=_WEIGHTS,
+    specs = [
+        RunSpec(
+            driver=DriverSpec.of(
+                "repro.experiments.fig09_scope:build_daymix_driver",
+                repetition=repetition,
+                bursts=bursts,
+            ),
+            device=PIXEL_5,
+            architecture="dvsync",
+            dvsync=DVSyncConfig(buffer_count=4),
         )
-        result = run_driver(
-            driver, PIXEL_5, "dvsync", dvsync_config=DVSyncConfig(buffer_count=4)
-        )
+        for repetition in range(effective_runs)
+    ]
+    for result in execute_specs(specs):
         for frame in result.frames:
             totals[frame.workload.category] += 1
             total_frames += 1

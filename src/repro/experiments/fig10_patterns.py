@@ -12,8 +12,9 @@ import dataclasses
 
 from repro.core.config import DVSyncConfig
 from repro.display.device import PIXEL_5
+from repro.exec.spec import DriverSpec, RunSpec
 from repro.experiments.base import ExperimentResult
-from repro.experiments.runner import run_driver
+from repro.experiments.runner import execute_specs
 from repro.testing import light_params, make_animation
 from repro.trace.record import record_run
 from repro.trace.render_ascii import render_queue_depth, render_timeline
@@ -22,7 +23,8 @@ from repro.units import hz_to_period
 PERIOD = hz_to_period(60)
 
 
-def _driver():
+def build_pattern_driver():
+    """RunSpec builder: the Fig 10 animation with one heavy key frame."""
     driver = make_animation(light_params(), "fig10-pattern", duration_ms=700)
     # One heavy key frame mid-animation, ~3.6 periods of render work: the
     # red frame of Fig 10.
@@ -31,11 +33,21 @@ def _driver():
     return driver
 
 
+_DRIVER = DriverSpec.of("repro.experiments.fig10_patterns:build_pattern_driver")
+
+
 def run(runs: int = 1, quick: bool = False) -> ExperimentResult:
     """Regenerate the Fig 10 runtime-trace comparison."""
-    baseline = run_driver(_driver(), PIXEL_5, "vsync", buffer_count=3)
-    improved = run_driver(
-        _driver(), PIXEL_5, "dvsync", dvsync_config=DVSyncConfig(buffer_count=5)
+    baseline, improved = execute_specs(
+        [
+            RunSpec(driver=_DRIVER, device=PIXEL_5, architecture="vsync", buffer_count=3),
+            RunSpec(
+                driver=_DRIVER,
+                device=PIXEL_5,
+                architecture="dvsync",
+                dvsync=DVSyncConfig(buffer_count=5),
+            ),
+        ]
     )
     rows = []
     for label, result in (("(a) VSync", baseline), ("(b) D-VSync", improved)):

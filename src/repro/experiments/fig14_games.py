@@ -9,8 +9,10 @@ from __future__ import annotations
 
 from repro.core.config import DVSyncConfig
 from repro.display.device import MATE_60_PRO
+from repro.errors import WorkloadError
+from repro.exec.spec import DriverSpec, RunSpec
 from repro.experiments.base import ExperimentResult, mean, pct_reduction
-from repro.experiments.runner import run_driver
+from repro.experiments.runner import execute_specs
 from repro.metrics.fdps import fdps
 from repro.workloads.drivers import TraceDriver
 from repro.workloads.games import GAME_SPECS, record_game_trace
@@ -21,34 +23,52 @@ PAPER_REDUCTION_4 = 68.4
 PAPER_REDUCTION_5 = 87.3
 
 
+def build_game_driver(game: str, repetition: int) -> TraceDriver:
+    """RunSpec builder: replay one game's synthesized trace for a repetition."""
+    for spec in GAME_SPECS:
+        if spec.name == game:
+            return TraceDriver(record_game_trace(spec, repetition))
+    raise WorkloadError(f"unknown game {game!r}")
+
+
 def run(runs: int = 3, quick: bool = False) -> ExperimentResult:
     """Regenerate the Fig 14 bars."""
     specs = GAME_SPECS[::3] if quick else GAME_SPECS
     effective_runs = min(runs, 2) if quick else runs
+    arms = ("vsync", 4, 5)
+    batch = []
+    for spec in specs:
+        device = MATE_60_PRO.at_refresh(spec.refresh_hz)
+        for repetition in range(effective_runs):
+            driver = DriverSpec.of(
+                "repro.experiments.fig14_games:build_game_driver",
+                game=spec.name,
+                repetition=repetition,
+            )
+            batch.append(
+                RunSpec(
+                    driver=driver, device=device, architecture="vsync", buffer_count=3
+                )
+            )
+            for buffers in (4, 5):
+                batch.append(
+                    RunSpec(
+                        driver=driver,
+                        device=device,
+                        architecture="dvsync",
+                        dvsync=DVSyncConfig(buffer_count=buffers),
+                    )
+                )
+    run_results = iter(execute_specs(batch))
     rows = []
     averages = {"vsync": [], 4: [], 5: []}
     for spec in specs:
-        device = MATE_60_PRO.at_refresh(spec.refresh_hz)
         values = {"vsync": [], 4: [], 5: []}
-        for repetition in range(effective_runs):
-            trace = record_game_trace(spec, repetition)
-            values["vsync"].append(
-                fdps(run_driver(TraceDriver(trace), device, "vsync", buffer_count=3))
-            )
-            for buffers in (4, 5):
-                trace = record_game_trace(spec, repetition)
-                values[buffers].append(
-                    fdps(
-                        run_driver(
-                            TraceDriver(trace),
-                            device,
-                            "dvsync",
-                            dvsync_config=DVSyncConfig(buffer_count=buffers),
-                        )
-                    )
-                )
+        for _repetition in range(effective_runs):
+            for key in arms:
+                values[key].append(fdps(next(run_results)))
         row = [f"{spec.name}, {spec.refresh_hz}Hz"]
-        for key in ("vsync", 4, 5):
+        for key in arms:
             value = mean(values[key])
             averages[key].append(value)
             row.append(round(value, 2))

@@ -11,7 +11,7 @@ from __future__ import annotations
 from repro.core.config import DVSyncConfig
 from repro.display.device import MATE_40_PRO, MATE_60_PRO, PIXEL_5
 from repro.experiments.base import ExperimentResult, mean, pct_reduction
-from repro.experiments.runner import run_driver
+from repro.experiments.runner import execute_specs, scenario_spec
 from repro.metrics.latency import latency_summary
 from repro.workloads.android_apps import app_scenarios
 from repro.workloads.os_cases import os_case_scenarios
@@ -40,23 +40,26 @@ def run(runs: int = 2, quick: bool = False) -> ExperimentResult:
         if quick:
             scenarios = scenarios[::4]
         effective_runs = 1 if quick else runs
-        vsync_ms, dvsync_ms = [], []
-        for scenario in scenarios:
-            for repetition in range(effective_runs):
-                baseline = run_driver(
-                    scenario.build_driver(repetition),
-                    device,
-                    "vsync",
-                    buffer_count=buffers,
-                )
-                improved = run_driver(
-                    scenario.build_driver(repetition),
-                    device,
-                    "dvsync",
-                    dvsync_config=DVSyncConfig(buffer_count=max(4, buffers)),
-                )
-                vsync_ms.append(latency_summary(baseline).mean_ms)
-                dvsync_ms.append(latency_summary(improved).mean_ms)
+        dvsync_config = DVSyncConfig(buffer_count=max(4, buffers))
+        pairs = [
+            (scenario, repetition)
+            for scenario in scenarios
+            for repetition in range(effective_runs)
+        ]
+        specs = [
+            scenario_spec(
+                scenario, device, "vsync", run=repetition, buffer_count=buffers
+            )
+            for scenario, repetition in pairs
+        ] + [
+            scenario_spec(
+                scenario, device, "dvsync", run=repetition, dvsync_config=dvsync_config
+            )
+            for scenario, repetition in pairs
+        ]
+        results = execute_specs(specs)
+        vsync_ms = [latency_summary(r).mean_ms for r in results[: len(pairs)]]
+        dvsync_ms = [latency_summary(r).mean_ms for r in results[len(pairs) :]]
         avg_v, avg_d = mean(vsync_ms), mean(dvsync_ms)
         reduction = pct_reduction(avg_v, avg_d)
         reductions.append(reduction)

@@ -12,8 +12,9 @@ from __future__ import annotations
 from repro.core.config import DVSyncConfig
 from repro.core.ipl import ZoomingDistancePredictor
 from repro.display.device import MATE_60_PRO, PIXEL_5
+from repro.exec.spec import DriverSpec, RunSpec
 from repro.experiments.base import ExperimentResult, mean
-from repro.experiments.runner import run_driver
+from repro.experiments.runner import execute_specs
 from repro.metrics.power import instructions_per_frame, power_increase_percent
 from repro.units import ms
 from repro.workloads.distributions import params_for_target_fdps
@@ -26,10 +27,12 @@ PAPER_INSTR_VSYNC = 10.793
 PAPER_INSTR_OVERHEAD = 0.52
 
 
-def _animation(run_index: int, bursts: int) -> AnimationDriver:
-    # The §6.7 reference workload is a programmed map animation: light, with
-    # only occasional drops — the extra power is dominated by the scheduler
-    # modules, not by recovered frames.
+def build_power_driver(run_index: int, bursts: int) -> AnimationDriver:
+    """RunSpec builder: the §6.7 map-animation reference workload.
+
+    Light, with only occasional drops — the extra power is dominated by the
+    scheduler modules, not by recovered frames.
+    """
     params = params_for_target_fdps(0.5, PIXEL_5.refresh_hz)
     return AnimationDriver(
         f"power-map-anim#{run_index}",
@@ -46,16 +49,32 @@ def run(runs: int = 3, quick: bool = False) -> ExperimentResult:
     bursts = 6 if quick else 20
     increases, increases_zdp = [], []
     instr_vsync, instr_dvsync = [], []
+    drivers = [
+        DriverSpec.of(
+            "repro.experiments.power_case:build_power_driver",
+            run_index=repetition,
+            bursts=bursts,
+        )
+        for repetition in range(effective_runs)
+    ]
+    results = execute_specs(
+        [
+            RunSpec(driver=d, device=PIXEL_5, architecture="vsync", buffer_count=3)
+            for d in drivers
+        ]
+        + [
+            RunSpec(
+                driver=d,
+                device=PIXEL_5,
+                architecture="dvsync",
+                dvsync=DVSyncConfig(buffer_count=4),
+            )
+            for d in drivers
+        ]
+    )
     for repetition in range(effective_runs):
-        baseline = run_driver(
-            _animation(repetition, bursts), PIXEL_5, "vsync", buffer_count=3
-        )
-        improved = run_driver(
-            _animation(repetition, bursts),
-            PIXEL_5,
-            "dvsync",
-            dvsync_config=DVSyncConfig(buffer_count=4),
-        )
+        baseline = results[repetition]
+        improved = results[effective_runs + repetition]
         increases.append(power_increase_percent(baseline, improved))
         # ZDP arm: 10 % of frames additionally run the curve fitting (§6.7).
         zdp_frames = round(0.10 * len(improved.frames))

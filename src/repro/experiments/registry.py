@@ -7,9 +7,11 @@ records.
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 from repro.errors import ReproError
+from repro.exec.executor import get_default_executor
 from repro.experiments import (
     ablations,
     appendix_a,
@@ -36,6 +38,7 @@ from repro.experiments import (
     tab02_stutters,
 )
 from repro.experiments.base import ExperimentResult
+from repro.experiments.runner import DEFAULT_RUNS
 
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig01": fig01_cdf.run,
@@ -64,18 +67,37 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
-def run_experiment(experiment_id: str, runs: int = 3, quick: bool = False) -> ExperimentResult:
-    """Regenerate one paper artifact by id."""
+def run_experiment(
+    experiment_id: str, runs: int = DEFAULT_RUNS, quick: bool = False
+) -> ExperimentResult:
+    """Regenerate one paper artifact by id.
+
+    Executor activity (simulated runs, cache hits, wall time) accumulated
+    while the experiment ran is appended to the result's notes as an
+    ``exec:`` line — observability, not data, so table/comparison content is
+    unaffected by cache state or parallelism.
+    """
     try:
         runner = EXPERIMENTS[experiment_id]
     except KeyError:
         raise ReproError(
             f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
-    return runner(runs=runs, quick=quick)
+    executor = get_default_executor()
+    before = executor.stats.snapshot()
+    started = time.perf_counter()
+    result = runner(runs=runs, quick=quick)
+    elapsed = time.perf_counter() - started
+    delta = executor.stats.since(before)
+    if delta.total_requests:
+        line = f"exec: {delta.describe()}; experiment wall time {elapsed:.2f}s"
+        result.notes = f"{result.notes}\n{line}" if result.notes else line
+    return result
 
 
-def run_all(runs: int = 3, quick: bool = False, skip: set[str] | None = None) -> list[ExperimentResult]:
+def run_all(
+    runs: int = DEFAULT_RUNS, quick: bool = False, skip: set[str] | None = None
+) -> list[ExperimentResult]:
     """Regenerate every artifact (headline last, since it reruns others)."""
     skip = skip or set()
     order = [key for key in EXPERIMENTS if key not in skip and key != "headline"]

@@ -1,21 +1,29 @@
 """Shared harness for running scenarios under both architectures.
 
 Experiments describe *what* to run (scenario, device, buffer configuration);
-this module owns the mechanics: building seeded drivers, instantiating the
-right scheduler, averaging over repetitions the way the paper averages over
-five runs (Appendix A.2), and pairing VSync/D-VSync arms over the same
-workloads.
+this module owns the mechanics: describing runs as content-hashable
+:class:`~repro.exec.spec.RunSpec`\\ s, submitting batches through the default
+:class:`~repro.exec.executor.Executor` (parallel fan-out + result cache),
+averaging over repetitions the way the paper averages over five runs
+(Appendix A.2), and pairing VSync/D-VSync arms over the same workloads.
+
+:func:`run_driver` remains for callers that already hold a live driver
+instance (tests, ad-hoc exploration); experiment modules should prefer the
+spec-based path so their runs parallelize and cache.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import statistics
-from typing import Callable
+from typing import Callable, Iterable, Sequence
 
 from repro.core.config import DVSyncConfig
 from repro.core.dvsync import DVSyncScheduler
 from repro.display.device import DeviceProfile
+from repro.errors import ConfigurationError
+from repro.exec.executor import get_default_executor
+from repro.exec.spec import DriverSpec, RunSpec
 from repro.metrics.fdps import fdps
 from repro.metrics.latency import latency_summary
 from repro.pipeline.driver import ScenarioDriver
@@ -23,7 +31,10 @@ from repro.pipeline.scheduler_base import RunResult
 from repro.vsync.scheduler import VSyncScheduler
 from repro.workloads.scenarios import Scenario
 
-DEFAULT_RUNS = 5  # the paper averages five runs to mitigate fluctuations
+#: Repetitions per scenario — the paper averages five runs to mitigate
+#: fluctuations (Appendix A.2). The CLI's ``--runs`` defaults to this value;
+#: ``--quick`` additionally lets each experiment trim its own repetitions.
+DEFAULT_RUNS = 5
 
 
 def run_driver(
@@ -33,15 +44,43 @@ def run_driver(
     buffer_count: int | None = None,
     dvsync_config: DVSyncConfig | None = None,
 ) -> RunResult:
-    """Run one driver to completion under the requested architecture."""
+    """Run one live driver to completion under the requested architecture."""
     if architecture == "vsync":
         scheduler = VSyncScheduler(driver, device, buffer_count=buffer_count)
     elif architecture == "dvsync":
         config = dvsync_config or DVSyncConfig(buffer_count=buffer_count or 4)
         scheduler = DVSyncScheduler(driver, device, config=config)
     else:
-        raise ValueError(f"unknown architecture {architecture!r}")
+        raise ConfigurationError(f"unknown architecture {architecture!r}")
     return scheduler.run()
+
+
+def scenario_spec(
+    scenario: Scenario,
+    device: DeviceProfile,
+    architecture: str = "vsync",
+    run: int = 0,
+    buffer_count: int | None = None,
+    dvsync_config: DVSyncConfig | None = None,
+) -> RunSpec:
+    """Describe one repetition of a scenario as a RunSpec."""
+    return RunSpec(
+        driver=DriverSpec.from_scenario(scenario, run=run),
+        device=device,
+        architecture=architecture,
+        buffer_count=buffer_count,
+        dvsync=dvsync_config,
+    )
+
+
+def execute_specs(specs: Iterable[RunSpec]) -> list[RunResult]:
+    """Submit a batch of specs through the default executor, order-preserving."""
+    return get_default_executor().map(specs)
+
+
+def run_spec(spec: RunSpec) -> RunResult:
+    """Execute (or fetch from cache) a single spec via the default executor."""
+    return get_default_executor().run(spec)
 
 
 @dataclasses.dataclass
@@ -73,6 +112,26 @@ class ScenarioComparison:
         )
 
 
+def _comparison_from_results(
+    scenario_name: str,
+    vsync_results: Sequence[RunResult],
+    dvsync_results: Sequence[RunResult],
+) -> ScenarioComparison:
+    return ScenarioComparison(
+        scenario=scenario_name,
+        vsync_fdps=statistics.fmean(fdps(r) for r in vsync_results),
+        dvsync_fdps=statistics.fmean(fdps(r) for r in dvsync_results),
+        vsync_latency_ms=statistics.fmean(
+            latency_summary(r).mean_ms for r in vsync_results
+        ),
+        dvsync_latency_ms=statistics.fmean(
+            latency_summary(r).mean_ms for r in dvsync_results
+        ),
+        vsync_results=list(vsync_results),
+        dvsync_results=list(dvsync_results),
+    )
+
+
 def compare_scenario(
     scenario: Scenario,
     device: DeviceProfile,
@@ -84,28 +143,38 @@ def compare_scenario(
     """Run a scenario under both architectures, averaged over *runs* seeds.
 
     Each repetition builds two drivers from the same seed, so both arms see
-    the exact same series of workloads (Fig 10's premise).
+    the exact same series of workloads (Fig 10's premise). Without a custom
+    ``driver_factory`` the ``2 × runs`` arms are described as RunSpecs and
+    submitted as one executor batch — they fan out across workers and cache
+    individually. A custom factory (an in-memory driver the spec layer cannot
+    name) falls back to serial in-process execution.
     """
-    factory = driver_factory or scenario.build_driver
-    vsync_results: list[RunResult] = []
-    dvsync_results: list[RunResult] = []
-    for run in range(runs):
-        vsync_results.append(
-            run_driver(factory(run), device, "vsync", buffer_count=vsync_buffers)
+    if driver_factory is not None:
+        vsync_results = []
+        dvsync_results = []
+        for run in range(runs):
+            vsync_results.append(
+                run_driver(
+                    driver_factory(run), device, "vsync", buffer_count=vsync_buffers
+                )
+            )
+            dvsync_results.append(
+                run_driver(
+                    driver_factory(run), device, "dvsync", dvsync_config=dvsync_config
+                )
+            )
+        return _comparison_from_results(scenario.name, vsync_results, dvsync_results)
+
+    specs = [
+        scenario_spec(
+            scenario, device, "vsync", run=run, buffer_count=vsync_buffers
         )
-        dvsync_results.append(
-            run_driver(factory(run), device, "dvsync", dvsync_config=dvsync_config)
+        for run in range(runs)
+    ] + [
+        scenario_spec(
+            scenario, device, "dvsync", run=run, dvsync_config=dvsync_config
         )
-    return ScenarioComparison(
-        scenario=scenario.name,
-        vsync_fdps=statistics.fmean(fdps(r) for r in vsync_results),
-        dvsync_fdps=statistics.fmean(fdps(r) for r in dvsync_results),
-        vsync_latency_ms=statistics.fmean(
-            latency_summary(r).mean_ms for r in vsync_results
-        ),
-        dvsync_latency_ms=statistics.fmean(
-            latency_summary(r).mean_ms for r in dvsync_results
-        ),
-        vsync_results=vsync_results,
-        dvsync_results=dvsync_results,
-    )
+        for run in range(runs)
+    ]
+    results = execute_specs(specs)
+    return _comparison_from_results(scenario.name, results[:runs], results[runs:])

@@ -13,7 +13,7 @@ import dataclasses
 from repro.core.config import DVSyncConfig
 from repro.display.device import MATE_60_PRO
 from repro.experiments.base import ExperimentResult, mean, pct_reduction
-from repro.experiments.runner import run_driver
+from repro.experiments.runner import execute_specs, scenario_spec
 from repro.metrics.stutter import count_perceived_stutters
 from repro.workloads.scenarios import Scenario
 
@@ -70,19 +70,35 @@ def run(runs: int = 3, quick: bool = False) -> ExperimentResult:
     reductions = []
     for task in tasks:
         scenario = _task_scenario(task, 0)
+        specs = [
+            scenario_spec(scenario, MATE_60_PRO, "vsync", run=r, buffer_count=4)
+            for r in range(effective_runs)
+        ] + [
+            scenario_spec(
+                scenario,
+                MATE_60_PRO,
+                "dvsync",
+                run=r,
+                dvsync_config=DVSyncConfig(buffer_count=4),
+            )
+            for r in range(effective_runs)
+        ]
+        results = execute_specs(specs)
         vsync_counts, dvsync_counts = [], []
         for repetition in range(effective_runs):
+            # The perception model needs the animation-speed curve; rebuild
+            # the (deterministic) driver the spec describes for analysis.
             driver = scenario.build_driver(repetition)
-            baseline = run_driver(driver, MATE_60_PRO, "vsync", buffer_count=4)
             vsync_counts.append(
-                count_perceived_stutters(baseline, speed_at=driver.animation_speed)
-            )
-            driver = scenario.build_driver(repetition)
-            improved = run_driver(
-                driver, MATE_60_PRO, "dvsync", dvsync_config=DVSyncConfig(buffer_count=4)
+                count_perceived_stutters(
+                    results[repetition], speed_at=driver.animation_speed
+                )
             )
             dvsync_counts.append(
-                count_perceived_stutters(improved, speed_at=driver.animation_speed)
+                count_perceived_stutters(
+                    results[effective_runs + repetition],
+                    speed_at=driver.animation_speed,
+                )
             )
         vsync_stutters = mean(vsync_counts)
         dvsync_stutters = mean(dvsync_counts)

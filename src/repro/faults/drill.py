@@ -14,6 +14,8 @@ from repro.core.config import DVSyncConfig
 from repro.core.dvsync import DVSyncScheduler
 from repro.display.device import PIXEL_5, DeviceProfile
 from repro.errors import WorkloadError
+from repro.exec.executor import get_default_executor
+from repro.exec.spec import DriverSpec, RunSpec
 from repro.experiments.base import ExperimentResult
 from repro.faults.injector import FaultInjector
 from repro.faults.schedule import FaultSchedule
@@ -87,17 +89,47 @@ def run_drill_pair(
     Returns ``(vsync_result, dvsync_result)``. Each run gets its own driver,
     injector, and (for D-VSync) watchdog; the two runs draw from independent
     fault rngs, so this compares architectures, not one shared fault trace.
-    """
-    baseline = VSyncScheduler(drill_driver(scenario), device, buffer_count=3)
-    FaultInjector(schedule, seed=seed).attach(baseline)
-    vsync_result = baseline.run()
 
-    improved = DVSyncScheduler(
-        drill_driver(scenario), device, DVSyncConfig(buffer_count=4)
+    The pair is described as RunSpecs and submitted as one executor batch
+    (parallel under ``--jobs``, individually cached). Custom watchdog
+    *thresholds* are live objects the spec layer does not name, so that case
+    runs inline.
+    """
+    if thresholds is not None:
+        baseline = VSyncScheduler(drill_driver(scenario), device, buffer_count=3)
+        FaultInjector(schedule, seed=seed).attach(baseline)
+        vsync_result = baseline.run()
+
+        improved = DVSyncScheduler(
+            drill_driver(scenario), device, DVSyncConfig(buffer_count=4)
+        )
+        FaultInjector(schedule, seed=seed).attach(improved)
+        improved.attach_watchdog(DegradationWatchdog(thresholds))
+        return vsync_result, improved.run()
+
+    driver = DriverSpec.of("repro.faults.drill:drill_driver", scenario=scenario)
+    faults = schedule.describe()
+    vsync_result, dvsync_result = get_default_executor().map(
+        [
+            RunSpec(
+                driver=driver,
+                device=device,
+                architecture="vsync",
+                buffer_count=3,
+                faults=faults,
+                fault_seed=seed,
+            ),
+            RunSpec(
+                driver=driver,
+                device=device,
+                architecture="dvsync",
+                dvsync=DVSyncConfig(buffer_count=4),
+                faults=faults,
+                fault_seed=seed,
+                watchdog=True,
+            ),
+        ]
     )
-    FaultInjector(schedule, seed=seed).attach(improved)
-    improved.attach_watchdog(DegradationWatchdog(thresholds))
-    dvsync_result = improved.run()
     return vsync_result, dvsync_result
 
 

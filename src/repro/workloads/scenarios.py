@@ -12,6 +12,7 @@ per repetition, matching the paper's five-run averaging (Appendix A.2).
 from __future__ import annotations
 
 import dataclasses
+import statistics
 
 from repro.errors import WorkloadError
 from repro.pipeline.driver import ScenarioDriver
@@ -141,7 +142,7 @@ def targets_from_weights(
         raise WorkloadError("at least one case is required")
     if any(w < 0 for w in weights):
         raise WorkloadError("weights must be non-negative")
-    mean_weight = sum(weights) / len(weights)
+    mean_weight = statistics.fmean(weights)
     if mean_weight <= 0:
         raise WorkloadError("weights must have a positive mean")
     return {

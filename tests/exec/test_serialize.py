@@ -1,0 +1,79 @@
+"""Tests for the lossless RunResult wire form."""
+
+import json
+
+import pytest
+
+from repro.core.config import DVSyncConfig
+from repro.display.device import PIXEL_5
+from repro.exec.serialize import (
+    RESULT_SCHEMA_VERSION,
+    jsonable,
+    normalize_result,
+    result_from_wire,
+    result_to_wire,
+)
+from repro.exec.spec import DriverSpec, RunSpec
+from repro.exec.executor import execute_spec
+
+
+def _result(architecture="vsync", faults=None, watchdog=False):
+    spec = RunSpec(
+        driver=DriverSpec.of(
+            "repro.exec.builders:burst_animation",
+            name="wire-test",
+            target_fdps=2.0,
+        ),
+        device=PIXEL_5,
+        architecture=architecture,
+        buffer_count=3 if architecture == "vsync" else None,
+        dvsync=DVSyncConfig(buffer_count=4) if architecture == "dvsync" else None,
+        faults=faults,
+        watchdog=watchdog,
+    )
+    return execute_spec(spec)
+
+
+def test_round_trip_is_lossless():
+    result = _result()
+    clone = result_from_wire(result_to_wire(result))
+    assert clone.frames == result.frames
+    assert clone.drops == result.drops
+    assert clone.presents == result.presents
+    assert clone.device == result.device
+    assert clone.scheduler == result.scheduler
+    assert clone.end_time == result.end_time
+
+
+def test_wire_form_is_json_and_bit_stable():
+    wire = result_to_wire(_result())
+    text = json.dumps(wire, sort_keys=True)
+    again = result_to_wire(result_from_wire(json.loads(text)))
+    assert json.dumps(again, sort_keys=True) == text
+
+
+def test_round_trip_covers_dvsync_extras():
+    result = _result(
+        architecture="dvsync",
+        faults="vsync-jitter(sigma_us=300)",
+        watchdog=True,
+    )
+    clone = normalize_result(result)
+    assert clone.extra.get("faults") == jsonable(result.extra["faults"])
+    assert clone.scheduler == "dvsync"
+    # Normalization is idempotent: a second round-trip changes nothing.
+    assert result_to_wire(clone) == result_to_wire(normalize_result(clone))
+
+
+def test_schema_mismatch_is_rejected():
+    wire = result_to_wire(_result())
+    wire["schema"] = RESULT_SCHEMA_VERSION + 1
+    with pytest.raises(ValueError, match="schema"):
+        result_from_wire(wire)
+
+
+def test_jsonable_converts_tuples_recursively():
+    assert jsonable({"a": (1, (2, 3)), "b": [4, (5,)]}) == {
+        "a": [1, [2, 3]],
+        "b": [4, [5]],
+    }

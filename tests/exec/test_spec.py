@@ -1,0 +1,141 @@
+"""Tests for the declarative RunSpec / DriverSpec layer."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import DVSyncConfig
+from repro.display.device import MATE_60_PRO, PIXEL_5
+from repro.errors import ConfigurationError
+from repro.exec.spec import ARCHITECTURES, DriverSpec, RunSpec, canonical_json
+from repro.workloads.drivers import AnimationDriver
+from repro.workloads.scenarios import Scenario
+
+
+def _anim_spec(name="spec-test", target=2.0, bursts=1):
+    return DriverSpec.of(
+        "repro.exec.builders:burst_animation",
+        name=name,
+        target_fdps=target,
+        bursts=bursts,
+    )
+
+
+def test_canonical_json_is_order_insensitive():
+    assert canonical_json({"b": 1, "a": [1, 2]}) == canonical_json(
+        {"a": [1, 2], "b": 1}
+    )
+
+
+def test_driver_spec_builds_a_driver():
+    driver = _anim_spec().build()
+    assert isinstance(driver, AnimationDriver)
+    assert driver.name == "spec-test"
+
+
+def test_driver_spec_rejects_bad_builder_path():
+    with pytest.raises(ConfigurationError, match="module:function"):
+        DriverSpec.of("no_colon_here")
+
+
+def test_driver_spec_rejects_unserializable_params():
+    with pytest.raises(ConfigurationError, match="JSON-serializable"):
+        DriverSpec.of("repro.exec.builders:burst_animation", bad=object())
+
+
+def test_driver_spec_resolve_errors_are_configuration_errors():
+    with pytest.raises(ConfigurationError, match="cannot resolve"):
+        DriverSpec.of("repro.exec.builders:nope").resolve()
+    with pytest.raises(ConfigurationError, match="cannot resolve"):
+        DriverSpec.of("repro.not_a_module:x").resolve()
+    with pytest.raises(ConfigurationError, match="not callable"):
+        DriverSpec.of("repro.exec.cache:DEFAULT_CACHE_DIR").build()
+
+
+def test_driver_spec_from_scenario_matches_direct_build():
+    scenario = Scenario(
+        name="spec-scn", description="", refresh_hz=60, target_vsync_fdps=2.0,
+        bursts=2,
+    )
+    spec = DriverSpec.from_scenario(scenario, run=1)
+    direct = scenario.build_driver(1)
+    built = spec.build()
+    assert built.name == direct.name
+
+
+def test_driver_spec_wire_round_trip():
+    spec = _anim_spec(bursts=3)
+    assert DriverSpec.from_wire(spec.to_wire()) == spec
+
+
+def test_run_spec_rejects_unknown_architecture():
+    with pytest.raises(ConfigurationError, match="unknown architecture 'gsync'"):
+        RunSpec(driver=_anim_spec(), device=PIXEL_5, architecture="gsync")
+    assert ARCHITECTURES == ("vsync", "dvsync")
+
+
+def test_run_spec_rejects_watchdog_on_vsync():
+    with pytest.raises(ConfigurationError, match="watchdog"):
+        RunSpec(
+            driver=_anim_spec(), device=PIXEL_5, architecture="vsync",
+            watchdog=True,
+        )
+
+
+def test_run_spec_wire_round_trip_preserves_everything():
+    spec = RunSpec(
+        driver=_anim_spec(),
+        device=MATE_60_PRO,
+        architecture="dvsync",
+        dvsync=DVSyncConfig(buffer_count=5),
+        faults="vsync-jitter(sigma_us=300)",
+        fault_seed=7,
+        watchdog=True,
+        start_time=1000,
+        horizon=10_000_000,
+    )
+    clone = RunSpec.from_wire(spec.to_wire())
+    assert clone == spec
+    assert clone.content_hash() == spec.content_hash()
+
+
+def test_content_hash_is_stable_and_field_sensitive():
+    base = RunSpec(driver=_anim_spec(), device=PIXEL_5, buffer_count=3)
+    same = RunSpec(driver=_anim_spec(), device=PIXEL_5, buffer_count=3)
+    assert base.content_hash() == same.content_hash()
+    assert len(base.content_hash()) == 64
+
+    for variant in (
+        RunSpec(driver=_anim_spec(), device=PIXEL_5, buffer_count=4),
+        RunSpec(driver=_anim_spec(), device=MATE_60_PRO, buffer_count=3),
+        RunSpec(driver=_anim_spec(target=3.0), device=PIXEL_5, buffer_count=3),
+        RunSpec(
+            driver=_anim_spec(), device=PIXEL_5, buffer_count=3, fault_seed=1
+        ),
+        RunSpec(
+            driver=_anim_spec(), device=PIXEL_5, buffer_count=3,
+            faults="thermal(factor=2.0,start_ms=0,end_ms=100)",
+        ),
+    ):
+        assert variant.content_hash() != base.content_hash()
+
+
+def test_run_spec_is_frozen_and_hashable():
+    spec = RunSpec(driver=_anim_spec(), device=PIXEL_5)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        spec.architecture = "dvsync"
+    assert spec in {spec}
+
+
+def test_describe_mentions_the_key_knobs():
+    spec = RunSpec(
+        driver=_anim_spec(),
+        device=PIXEL_5,
+        architecture="dvsync",
+        dvsync=DVSyncConfig(buffer_count=4),
+        faults="input-loss(drop_prob=0.5)",
+    )
+    text = spec.describe()
+    assert "dvsync" in text
+    assert PIXEL_5.name in text
+    assert "input-loss" in text

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.config import DVSyncConfig
 from repro.display.device import PIXEL_5
+from repro.errors import ConfigurationError
 from repro.experiments.runner import compare_scenario, run_driver
 from repro.testing import light_params, make_animation
 from repro.workloads.scenarios import Scenario
@@ -22,7 +23,7 @@ def test_run_driver_architecture_dispatch():
 
 
 def test_run_driver_unknown_architecture():
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigurationError, match="unknown architecture 'gsync'"):
         run_driver(make_animation(light_params(), "run-c"), PIXEL_5, "gsync")
 
 

@@ -17,6 +17,7 @@ SUBPACKAGES = [
     "repro.metrics",
     "repro.apps",
     "repro.trace",
+    "repro.exec",
     "repro.extensions",
     "repro.experiments",
     "repro.testing",
