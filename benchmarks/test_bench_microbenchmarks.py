@@ -71,3 +71,62 @@ def test_bench_dvsync_scheduler_second_of_frames(benchmark):
 
     result = benchmark(run)
     assert len(result.frames) >= 59
+
+
+def test_bench_disabled_telemetry_overhead():
+    """Zero-cost-when-disabled gate: < 3% overhead vs a telemetry-free build.
+
+    The control arm monkeypatches ``SchedulerBase._install_telemetry`` to a
+    no-op, which is exactly the pre-telemetry construction path (disabled
+    telemetry registers zero hooks, so the run loop executes the same code
+    either way; the only residue is the resolve call at construction).
+    Rounds interleave the two arms in alternating order and the gate compares
+    per-arm *minimums* — the floor is the honest cost estimate, robust to the
+    scheduling noise a median ratio is hostage to. One escalation retry
+    absorbs pathological machine load.
+    """
+    import time
+
+    from repro.pipeline.scheduler_base import SchedulerBase
+
+    def run_once(tag: str) -> float:
+        driver = make_animation(light_params(), f"bench-tel-{tag}", duration_ms=4000)
+        scheduler = VSyncScheduler(driver, PIXEL_5, buffer_count=3)
+        started = time.perf_counter()
+        scheduler.run()
+        return time.perf_counter() - started
+
+    original = SchedulerBase._install_telemetry
+
+    def stub(self, telemetry):
+        return None
+
+    def measure(rounds: int) -> tuple[float, float]:
+        control, measured = [], []
+        try:
+            for _ in range(2):  # warm both paths
+                run_once("warm")
+            for index in range(rounds):
+                arms = [(stub, control), (original, measured)]
+                if index % 2:
+                    arms.reverse()
+                for install, samples in arms:
+                    SchedulerBase._install_telemetry = install
+                    samples.append(run_once(f"r{index}"))
+        finally:
+            SchedulerBase._install_telemetry = original
+        return min(control), min(measured)
+
+    for attempt, rounds in enumerate((16, 32)):
+        control_floor, measured_floor = measure(rounds)
+        overhead = measured_floor / control_floor - 1.0
+        print(
+            f"\ndisabled-telemetry overhead (attempt {attempt}, {rounds} rounds): "
+            f"{overhead * 100:+.2f}% (control {control_floor * 1000:.2f} ms, "
+            f"measured {measured_floor * 1000:.2f} ms)"
+        )
+        if measured_floor < control_floor * 1.03:
+            return
+    raise AssertionError(
+        f"disabled telemetry costs {overhead * 100:.2f}% (gate: < 3%)"
+    )

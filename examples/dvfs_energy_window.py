@@ -9,13 +9,11 @@ Run:  python examples/dvfs_energy_window.py
 """
 
 from repro import (
-    DVSyncConfig,
-    DVSyncScheduler,
     PIXEL_5,
     AnimationDriver,
-    VSyncScheduler,
     fdps,
     params_for_target_fdps,
+    simulate,
 )
 from repro.extensions import FrequencyGovernor, GovernedDriver
 from repro.units import ms
@@ -40,12 +38,10 @@ def main() -> None:
     for label, architecture, window in arms:
         governor = FrequencyGovernor(window_periods=window, period_ns=period)
         driver = GovernedDriver(build_driver(0), governor)
-        if architecture == "vsync":
-            result = VSyncScheduler(driver, PIXEL_5, buffer_count=3).run()
-        else:
-            result = DVSyncScheduler(
-                driver, PIXEL_5, DVSyncConfig(buffer_count=4)
-            ).run()
+        buffers = 3 if architecture == "vsync" else 4
+        result = simulate(
+            driver, PIXEL_5, architecture=architecture, config=buffers
+        )
         print(
             f"{label:34s}{fdps(result):>6.2f}{governor.stats.mean_level:>8.2f}"
             f"{governor.stats.energy_saving_percent:>13.1f}%"

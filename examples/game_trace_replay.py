@@ -7,8 +7,8 @@ both schedulers at the game's rendering rate, sweeping D-VSync buffer counts.
 Run:  python examples/game_trace_replay.py
 """
 
-from repro import DVSyncConfig, DVSyncScheduler, MATE_60_PRO, TraceDriver, VSyncScheduler, fdps
-from repro.trace.format import load_frame_trace, save_frame_trace
+from repro import MATE_60_PRO, TraceDriver, fdps, simulate
+from repro.trace import schema
 from repro.workloads.games import GAME_SPECS, record_game_trace
 
 
@@ -25,19 +25,19 @@ def main() -> None:
     )
 
     path = "honor_of_kings.trace.json"
-    save_frame_trace(trace, path)
-    trace = load_frame_trace(path)
+    schema.save(trace, path)
+    trace = schema.load(path)
     print(f"trace round-tripped through {path}\n")
 
-    baseline = VSyncScheduler(TraceDriver(trace), device, buffer_count=3).run()
+    baseline = simulate(
+        TraceDriver(trace), device, architecture="vsync", config=3
+    )
     print(f"VSync 3 bufs : FDPS {fdps(baseline):.2f} "
           f"({len(baseline.effective_drops)} drops)")
     for buffers in (4, 5):
-        result = DVSyncScheduler(
-            TraceDriver(load_frame_trace(path)),
-            device,
-            DVSyncConfig(buffer_count=buffers),
-        ).run()
+        result = simulate(
+            TraceDriver(schema.load(path)), device, config=buffers
+        )
         reduction = (1 - fdps(result) / max(fdps(baseline), 1e-9)) * 100
         print(f"D-VSync {buffers} bufs: FDPS {fdps(result):.2f} "
               f"({reduction:5.1f} % reduction)")

@@ -9,22 +9,36 @@ drain rule disabled to see the mismatches it prevents.
 Run:  python examples/ltpo_fling.py
 """
 
-from repro import DVSyncConfig, DVSyncScheduler, LTPOCoDesign, LTPOController, MATE_60_PRO
+from repro import (
+    DVSyncConfig,
+    DVSyncScheduler,
+    LTPOCoDesign,
+    LTPOController,
+    MATE_60_PRO,
+    simulate,
+)
 from repro.units import ms, to_ms
 from repro.workloads.animations import DecelerateCurve
 from repro.workloads.distributions import FrameTimeParams
 from repro.workloads.drivers import AnimationDriver
 
 
-def run_fling(enforce_drain: bool):
+def build_fling() -> AnimationDriver:
     params = FrameTimeParams(refresh_hz=120, key_prob=0.0)
-    driver = AnimationDriver(
+    return AnimationDriver(
         "ltpo-fling",
         params,
         duration_ns=ms(1500),
         curve=DecelerateCurve(rate=4.0),
     )
-    scheduler = DVSyncScheduler(driver, MATE_60_PRO, DVSyncConfig(buffer_count=4))
+
+
+def run_fling(enforce_drain: bool):
+    # The co-design bridge attaches to the scheduler *before* the run, so
+    # this arm constructs one explicitly instead of going through simulate().
+    scheduler = DVSyncScheduler(
+        build_fling(), MATE_60_PRO, DVSyncConfig(buffer_count=4)
+    )
     ltpo = LTPOController(scheduler.hw_vsync, max_hz=120)
     bridge = LTPOCoDesign(scheduler, ltpo, enforce_drain=enforce_drain)
     result = scheduler.run()
@@ -32,6 +46,9 @@ def run_fling(enforce_drain: bool):
 
 
 def main() -> None:
+    pinned = simulate(build_fling(), MATE_60_PRO, config=4)
+    print("== fling with the panel pinned at 120 Hz (no LTPO) ==")
+    print(f"  frame drops            : {len(pinned.effective_drops)}\n")
     for enforce in (True, False):
         label = "with co-design" if enforce else "WITHOUT co-design"
         result, ltpo, bridge = run_fling(enforce)

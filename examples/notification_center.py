@@ -8,11 +8,11 @@ distribution, and dumps a perfetto-lite trace of each run for inspection.
 Run:  python examples/notification_center.py
 """
 
-from repro import DVSyncConfig, DVSyncScheduler, MATE_60_PRO_VULKAN, VSyncScheduler, fdps
+from repro import MATE_60_PRO_VULKAN, fdps, simulate
 from repro.metrics.frames import FrameOutcome, frame_distribution
 from repro.metrics.latency import latency_summary
+from repro.trace import schema
 from repro.trace.analyze import analyze, decoupling_lead_ms
-from repro.trace.format import save_trace
 from repro.trace.record import record_run
 from repro.workloads.os_cases import MATE60_VULKAN_TARGETS, scenario_for_case, use_case
 
@@ -29,12 +29,12 @@ def main() -> None:
     print(f"device: {MATE_60_PRO_VULKAN.name} ({MATE_60_PRO_VULKAN.backend.value})\n")
 
     runs = {}
-    for label, build in (
-        ("vsync", lambda d: VSyncScheduler(d, MATE_60_PRO_VULKAN, buffer_count=4)),
-        ("dvsync", lambda d: DVSyncScheduler(
-            d, MATE_60_PRO_VULKAN, DVSyncConfig(buffer_count=4))),
-    ):
-        result = build(scenario.build_driver()).run()
+    for label in ("vsync", "dvsync"):
+        # The declarative Scenario routes through the executor (cached,
+        # parallelizable); both arms use 4 buffers like Table 3.
+        result = simulate(
+            scenario, MATE_60_PRO_VULKAN, architecture=label, config=4
+        )
         runs[label] = result
         distribution = frame_distribution(result)
         print(f"[{label}]")
@@ -44,7 +44,7 @@ def main() -> None:
             print(f"  {outcome.value:18s}  {distribution.fraction(outcome) * 100:5.1f} %")
         trace = record_run(result)
         path = f"notif_center_{label}.trace.json"
-        save_trace(trace, path)
+        schema.save(trace, path)
         summary = analyze(trace)
         print(f"  trace: {path} (max queue depth {summary.max_queue_depth:.0f})")
         leads = decoupling_lead_ms(trace)

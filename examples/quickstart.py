@@ -11,11 +11,10 @@ from repro import (
     PIXEL_5,
     AnimationDriver,
     DVSyncConfig,
-    DVSyncScheduler,
-    VSyncScheduler,
     fdps,
     latency_summary,
     params_for_target_fdps,
+    simulate,
 )
 from repro.metrics.stutter import count_perceived_stutters
 from repro.units import ms
@@ -34,10 +33,10 @@ def build_driver() -> AnimationDriver:
 
 
 def main() -> None:
-    baseline = VSyncScheduler(build_driver(), PIXEL_5, buffer_count=3).run()
-    improved = DVSyncScheduler(
-        build_driver(), PIXEL_5, DVSyncConfig(buffer_count=4)
-    ).run()
+    baseline = simulate(build_driver(), PIXEL_5, architecture="vsync", config=3)
+    improved = simulate(
+        build_driver(), PIXEL_5, config=DVSyncConfig(buffer_count=4)
+    )
 
     print(f"workload: {baseline.scenario} on {PIXEL_5.name} ({PIXEL_5.refresh_hz} Hz)")
     print(f"{'':24s}{'VSync 3buf':>12s}{'D-VSync 4buf':>14s}")

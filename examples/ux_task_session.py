@@ -9,13 +9,11 @@ Run:  python examples/ux_task_session.py
 """
 
 from repro import (
-    DVSyncConfig,
-    DVSyncScheduler,
     MATE_60_PRO,
     AnimationDriver,
-    VSyncScheduler,
     fdps,
     params_for_target_fdps,
+    simulate,
 )
 from repro.metrics.stutter import count_perceived_stutters, longest_freeze_ms
 from repro.units import ms
@@ -42,13 +40,12 @@ def build_session(run: int) -> CompositeDriver:
 def main() -> None:
     print(f"device: {MATE_60_PRO.name} ({MATE_60_PRO.refresh_hz} Hz)")
     print("session: open app -> scroll feed -> switch app (300 ms hand gaps)\n")
-    for label, build in (
-        ("vsync 4buf", lambda d: VSyncScheduler(d, MATE_60_PRO, buffer_count=4)),
-        ("dvsync 4buf", lambda d: DVSyncScheduler(
-            d, MATE_60_PRO, DVSyncConfig(buffer_count=4))),
+    for label, architecture in (
+        ("vsync 4buf", "vsync"),
+        ("dvsync 4buf", "dvsync"),
     ):
         driver = build_session(0)
-        result = build(driver).run()
+        result = simulate(driver, MATE_60_PRO, architecture=architecture, config=4)
         stutters = count_perceived_stutters(result, speed_at=driver.animation_speed)
         print(f"[{label}]")
         print(f"  frames: {len(result.frames)}  drops: {len(result.effective_drops)}"

@@ -3,20 +3,22 @@ graphics (Wu et al., ASPLOS 2025).
 
 Quick start::
 
-    from repro import (
-        DVSyncConfig, DVSyncScheduler, VSyncScheduler, PIXEL_5,
-        AnimationDriver, params_for_target_fdps, fdps,
+    from repro import PIXEL_5, Scenario, fdps, simulate
+
+    scenario = Scenario(
+        name="demo", description="drop-prone animation",
+        refresh_hz=60, target_vsync_fdps=2.0,
     )
-    from repro.units import ms
-
-    params = params_for_target_fdps(target_fdps=2.0, refresh_hz=60)
-    driver = AnimationDriver("demo", params, duration_ns=ms(3000))
-    baseline = VSyncScheduler(driver, PIXEL_5).run()
-
-    driver = AnimationDriver("demo", params, duration_ns=ms(3000))
-    improved = DVSyncScheduler(driver, PIXEL_5, DVSyncConfig(buffer_count=4)).run()
+    baseline = simulate(scenario, PIXEL_5, architecture="vsync")
+    improved = simulate(scenario, PIXEL_5)  # architecture="dvsync"
 
     print(fdps(baseline), "->", fdps(improved))
+
+Pass ``telemetry=True`` (or flip the process-wide switch with
+``repro.telemetry.runtime.set_enabled``) to get a
+:class:`~repro.telemetry.session.TelemetrySnapshot` on
+``result.telemetry`` — spans, counters and profiling blocks exportable to
+Chrome trace JSON via :mod:`repro.telemetry.chrome`.
 """
 
 from repro.core import (
@@ -67,6 +69,7 @@ from repro.metrics import (
     latency_summary,
     reduction_percent,
 )
+from repro.facade import simulate
 from repro.pipeline import FrameCategory, FrameWorkload, RunResult, ScenarioDriver
 from repro.sim import SeededRng, Simulator
 from repro.vsync import VSyncScheduler
@@ -137,5 +140,6 @@ __all__ = [
     "Scenario",
     "TraceDriver",
     "params_for_target_fdps",
+    "simulate",
     "__version__",
 ]

@@ -11,6 +11,11 @@ and over the fault drill, for robustness questions:
 
     python -m repro --faults standard
     python -m repro --faults "vsync-jitter(sigma_us=500);thermal(factor=2.5,start_ms=300,end_ms=800)" --scenario interaction
+
+and over the telemetry subsystem, for observability questions:
+
+    python -m repro fig05 --trace out.json --profile
+    python -m repro --all --quick --trace all.json --profile
 """
 
 from __future__ import annotations
@@ -24,6 +29,12 @@ from repro.exec.executor import Executor, set_default_executor
 from repro.experiments.registry import EXPERIMENTS, run_all, run_experiment
 from repro.experiments.runner import DEFAULT_RUNS
 from repro.faults.drill import DRILL_SCENARIOS, run_fault_drill
+from repro.telemetry import runtime as telemetry_runtime
+from repro.telemetry.chrome import save_chrome_trace
+from repro.telemetry.profiler import render_profile, write_bench_telemetry
+
+#: Perf-trajectory artifact ``--all`` writes when telemetry is recording.
+BENCH_TELEMETRY_PATH = "BENCH_telemetry.json"
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -85,7 +96,28 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--fault-seed", type=int, default=0, help="seed for the fault drill rngs"
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help=(
+            "record telemetry and write a Chrome trace JSON of every "
+            "instrumented run (load in Perfetto or chrome://tracing)"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "record telemetry and print the wall-clock profile (per-stage "
+            "self time, sim event-loop time, executor/cache activity)"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    recording = args.trace is not None or args.profile
+    if recording:
+        telemetry_runtime.reset()
+        telemetry_runtime.set_enabled(True)
 
     cache_dir = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
     if args.cache_stats:
@@ -134,6 +166,20 @@ def main(argv: list[str] | None = None) -> int:
         print(f"executor: {executor.stats.describe()}")
         if executor.cache is not None:
             print(executor.cache.describe())
+        if recording:
+            collector = telemetry_runtime.collector()
+            if args.trace is not None:
+                document = save_chrome_trace(args.trace, collector.snapshots)
+                print(
+                    f"trace: {args.trace} ({len(collector.snapshots)} runs, "
+                    f"{len(document['traceEvents'])} events)"
+                )
+            if args.profile or args.all:
+                print()
+                print(render_profile(collector))
+            if args.all:
+                write_bench_telemetry(BENCH_TELEMETRY_PATH, collector)
+                print(f"perf trajectory: {BENCH_TELEMETRY_PATH}")
     except BrokenPipeError:  # piping into `head` etc. is fine
         pass
     executor.close()

@@ -27,7 +27,6 @@ from repro.metrics.fdps import fdps
 from repro.metrics.latency import latency_summary
 from repro.pipeline.scheduler_base import RunResult
 from repro.units import ms, us
-from repro.vsync.scheduler import VSyncScheduler
 from repro.workloads.distributions import FLUCTUATION_DEEP, params_for_target_fdps
 from repro.workloads.drivers import InteractionDriver
 from repro.workloads.touch import PinchGesture
@@ -84,8 +83,10 @@ class MapApp:
     # ------------------------------------------------------------------ runs
     def run_vsync(self, run: int = 0) -> tuple[RunResult, InteractionDriver]:
         """Baseline arm: zooming under the traditional VSync architecture."""
+        from repro.facade import simulate
+
         driver = self.build_zoom_driver(run)
-        result = VSyncScheduler(driver, self.device, buffer_count=3).run()
+        result = simulate(driver, self.device, architecture="vsync", config=3)
         return result, driver
 
     def run_dvsync(self, run: int = 0) -> tuple[RunResult, InteractionDriver]:

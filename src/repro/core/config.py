@@ -14,9 +14,12 @@ from repro.errors import ConfigurationError
 from repro.units import us
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, kw_only=True)
 class DVSyncConfig:
     """Configuration of the D-VSync scheduler.
+
+    All options are keyword-only (``DVSyncConfig(buffer_count=4)``) so config
+    call sites stay self-describing as knobs accumulate.
 
     Attributes:
         buffer_count: Total buffer-queue slots (front + back). The paper's

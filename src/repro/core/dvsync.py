@@ -36,8 +36,10 @@ class DVSyncScheduler(SchedulerBase):
         driver: ScenarioDriver,
         device: DeviceProfile,
         config: DVSyncConfig | None = None,
+        *,
         offsets: VsyncOffsets | None = None,
         sim: Simulator | None = None,
+        telemetry=None,
     ) -> None:
         self.config = config or DVSyncConfig()
         super().__init__(
@@ -46,6 +48,7 @@ class DVSyncScheduler(SchedulerBase):
             buffer_count=self.config.buffer_count,
             offsets=offsets,
             sim=sim,
+            telemetry=telemetry,
         )
         self.controller = RuntimeController(
             enabled=self.config.enabled, ipl_enabled=self.config.ipl_enabled
@@ -172,10 +175,13 @@ class DVSyncScheduler(SchedulerBase):
             return value
         return super()._content_value_for(frame)
 
-    # ------------------------------------------------------------------- run
-    def run(self, start_time: int = 0, horizon: int | None = None) -> RunResult:
-        """Execute the scenario and attach D-VSync component statistics."""
-        result = super().run(start_time=start_time, horizon=horizon)
+    # ------------------------------------------------------------- finalize
+    def _finalize_result(self, result: RunResult) -> None:
+        """Attach D-VSync component statistics to a finished run.
+
+        Called by the inherited :meth:`SchedulerBase.run` — this scheduler
+        does not override ``run`` (the unified contract).
+        """
         result.extra.update(
             {
                 "fpe_triggers_accumulation": self.fpe.triggers_in_accumulation,
@@ -194,4 +200,3 @@ class DVSyncScheduler(SchedulerBase):
         )
         if self.watchdog is not None:
             result.extra["watchdog"] = self.watchdog.summary(self.sim.now)
-        return result

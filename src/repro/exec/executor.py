@@ -28,6 +28,7 @@ from repro.exec.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.exec.serialize import result_from_wire, result_to_wire
 from repro.exec.spec import RunSpec
 from repro.pipeline.scheduler_base import RunResult
+from repro.telemetry import runtime as telemetry_runtime
 
 BACKENDS = ("inprocess", "process")
 
@@ -49,13 +50,18 @@ def execute_spec(spec: RunSpec) -> RunResult:
     from repro.vsync.scheduler import VSyncScheduler
 
     driver = spec.driver.build()
+    # spec.telemetry forces a session even when this process (a pool worker,
+    # say) never flipped the process-wide switch; False defers to it.
+    telemetry = True if spec.telemetry else None
     if spec.architecture == "vsync":
         scheduler = VSyncScheduler(
-            driver, spec.device, buffer_count=spec.buffer_count
+            driver, spec.device, buffer_count=spec.buffer_count, telemetry=telemetry
         )
     elif spec.architecture == "dvsync":
         config = spec.dvsync or DVSyncConfig(buffer_count=spec.buffer_count or 4)
-        scheduler = DVSyncScheduler(driver, spec.device, config=config)
+        scheduler = DVSyncScheduler(
+            driver, spec.device, config=config, telemetry=telemetry
+        )
     else:  # pragma: no cover - RunSpec.__post_init__ already rejects this
         raise ConfigurationError(f"unknown architecture {spec.architecture!r}")
     if spec.faults:
@@ -205,6 +211,7 @@ class Executor:
                 self.stats.cache_hits += 1
                 wires[key] = result_to_wire(cached)
                 results[index] = cached
+                telemetry_runtime.collect(cached.telemetry)
                 continue
             if self.cache is not None:
                 self.stats.cache_misses += 1
@@ -212,7 +219,12 @@ class Executor:
             pending_indices[key] = [index]
 
         if pending:
+            batch_started = time.perf_counter()
             executed = self._execute_batch(list(pending.values()))
+            if telemetry_runtime.enabled():
+                telemetry_runtime.collector().note_batch(
+                    time.perf_counter() - batch_started
+                )
             for (key, spec), (wire, seconds) in zip(pending.items(), executed):
                 self.stats.runs_executed += 1
                 self.stats.run_seconds += seconds
@@ -220,7 +232,10 @@ class Executor:
                     self.cache.put(spec, result_from_wire(wire))
                 wires[key] = wire
                 for index in pending_indices[key]:
-                    results[index] = result_from_wire(wire)
+                    result = result_from_wire(wire)
+                    if index == pending_indices[key][0]:
+                        telemetry_runtime.collect(result.telemetry)
+                    results[index] = result
 
         return results  # type: ignore[return-value]
 

@@ -21,9 +21,11 @@ from repro.exec.spec import device_from_wire, device_to_wire
 from repro.pipeline.compositor import DropEvent
 from repro.pipeline.frame import FrameCategory, FrameRecord, FrameWorkload
 from repro.pipeline.scheduler_base import RunResult
+from repro.telemetry.session import TelemetrySnapshot
 
 #: Bump when the wire layout changes; folded into the cache key.
-RESULT_SCHEMA_VERSION = 1
+#: v2: optional ``telemetry`` key carrying a TelemetrySnapshot payload.
+RESULT_SCHEMA_VERSION = 2
 
 _FRAME_FIELDS = (
     "frame_id",
@@ -119,6 +121,9 @@ def result_to_wire(result: RunResult) -> dict:
         "gpu_busy_ns": result.gpu_busy_ns,
         "scheduler_overhead_ns": result.scheduler_overhead_ns,
         "extra": jsonable(result.extra),
+        "telemetry": (
+            result.telemetry.to_dict() if result.telemetry is not None else None
+        ),
     }
 
 
@@ -148,6 +153,11 @@ def result_from_wire(wire: dict) -> RunResult:
         gpu_busy_ns=wire["gpu_busy_ns"],
         scheduler_overhead_ns=wire["scheduler_overhead_ns"],
         extra=wire["extra"],
+        telemetry=(
+            TelemetrySnapshot.from_dict(wire["telemetry"])
+            if wire.get("telemetry") is not None
+            else None
+        ),
     )
 
 

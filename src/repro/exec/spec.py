@@ -158,6 +158,10 @@ class RunSpec:
         watchdog: Attach the degradation watchdog (D-VSync only).
         start_time: Simulation start timestamp (ns).
         horizon: Optional simulation cutoff (ns).
+        telemetry: Record a telemetry session during the run and attach its
+            snapshot to ``RunResult.telemetry``. Part of the spec (and its
+            content hash) because it must reach process-pool workers, whose
+            process-wide telemetry switch is independent of the parent's.
     """
 
     driver: DriverSpec
@@ -170,6 +174,7 @@ class RunSpec:
     watchdog: bool = False
     start_time: int = 0
     horizon: int | None = None
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if self.architecture not in ARCHITECTURES:
@@ -194,6 +199,7 @@ class RunSpec:
             "watchdog": self.watchdog,
             "start_time": self.start_time,
             "horizon": self.horizon,
+            "telemetry": self.telemetry,
         }
 
     @classmethod
@@ -211,6 +217,7 @@ class RunSpec:
             watchdog=wire["watchdog"],
             start_time=wire["start_time"],
             horizon=wire["horizon"],
+            telemetry=wire.get("telemetry", False),
         )
 
     def content_hash(self) -> str:

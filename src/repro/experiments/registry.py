@@ -39,6 +39,7 @@ from repro.experiments import (
 )
 from repro.experiments.base import ExperimentResult
 from repro.experiments.runner import DEFAULT_RUNS
+from repro.telemetry import runtime as telemetry_runtime
 
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig01": fig01_cdf.run,
@@ -92,6 +93,15 @@ def run_experiment(
     if delta.total_requests:
         line = f"exec: {delta.describe()}; experiment wall time {elapsed:.2f}s"
         result.notes = f"{result.notes}\n{line}" if result.notes else line
+    if telemetry_runtime.enabled():
+        telemetry_runtime.collector().note_experiment(
+            experiment_id=experiment_id,
+            wall_seconds=elapsed,
+            runs_executed=delta.runs_executed,
+            cache_hits=delta.cache_hits,
+            deduplicated=delta.deduplicated,
+            run_seconds=delta.run_seconds,
+        )
     return result
 
 

@@ -28,6 +28,7 @@ from repro.metrics.fdps import fdps
 from repro.metrics.latency import latency_summary
 from repro.pipeline.driver import ScenarioDriver
 from repro.pipeline.scheduler_base import RunResult
+from repro.telemetry import runtime as telemetry_runtime
 from repro.vsync.scheduler import VSyncScheduler
 from repro.workloads.scenarios import Scenario
 
@@ -43,16 +44,28 @@ def run_driver(
     architecture: str = "vsync",
     buffer_count: int | None = None,
     dvsync_config: DVSyncConfig | None = None,
+    telemetry=None,
 ) -> RunResult:
-    """Run one live driver to completion under the requested architecture."""
+    """Run one live driver to completion under the requested architecture.
+
+    ``telemetry=None`` defers to the process-wide switch; the resulting
+    snapshot (if any) is published to the telemetry collector like
+    executor-path runs are.
+    """
     if architecture == "vsync":
-        scheduler = VSyncScheduler(driver, device, buffer_count=buffer_count)
+        scheduler = VSyncScheduler(
+            driver, device, buffer_count=buffer_count, telemetry=telemetry
+        )
     elif architecture == "dvsync":
         config = dvsync_config or DVSyncConfig(buffer_count=buffer_count or 4)
-        scheduler = DVSyncScheduler(driver, device, config=config)
+        scheduler = DVSyncScheduler(
+            driver, device, config=config, telemetry=telemetry
+        )
     else:
         raise ConfigurationError(f"unknown architecture {architecture!r}")
-    return scheduler.run()
+    result = scheduler.run()
+    telemetry_runtime.collect(result.telemetry)
+    return result
 
 
 def scenario_spec(
@@ -62,14 +75,23 @@ def scenario_spec(
     run: int = 0,
     buffer_count: int | None = None,
     dvsync_config: DVSyncConfig | None = None,
+    telemetry: bool | None = None,
 ) -> RunSpec:
-    """Describe one repetition of a scenario as a RunSpec."""
+    """Describe one repetition of a scenario as a RunSpec.
+
+    ``telemetry=None`` reads the process-wide switch at description time, so
+    a ``--trace``/``--profile`` invocation records every run the experiments
+    submit — including runs that execute in pool workers.
+    """
+    if telemetry is None:
+        telemetry = telemetry_runtime.enabled()
     return RunSpec(
         driver=DriverSpec.from_scenario(scenario, run=run),
         device=device,
         architecture=architecture,
         buffer_count=buffer_count,
         dvsync=dvsync_config,
+        telemetry=telemetry,
     )
 
 

@@ -1,0 +1,138 @@
+"""``repro.simulate()``: one front door for running a workload.
+
+The library grew three ways to run the same simulation — construct a
+scheduler by hand, call :func:`repro.experiments.runner.run_driver` with a
+live driver, or describe a :class:`~repro.exec.spec.RunSpec` and submit it
+through the executor. :func:`simulate` folds them into a single call that
+picks the right path from its arguments:
+
+* a :class:`~repro.workloads.scenarios.Scenario` is declarative, so the run
+  goes through the default executor and benefits from the result cache and
+  any configured parallelism;
+* a live :class:`~repro.pipeline.driver.ScenarioDriver` cannot be content-
+  addressed, so it runs in-process directly.
+
+Either way the result is the same normalized :class:`RunResult`, and
+telemetry obeys the same tri-state contract as the scheduler constructors:
+``None`` defers to the process-wide switch, ``True``/``False`` force it, and
+a :class:`~repro.telemetry.session.Telemetry` instance records into a session
+the caller owns (driver path only — sessions cannot cross the spec wire).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.config import DVSyncConfig
+from repro.errors import ConfigurationError
+from repro.exec.spec import ARCHITECTURES
+from repro.pipeline.driver import ScenarioDriver
+from repro.pipeline.scheduler_base import RunResult
+from repro.workloads.scenarios import Scenario
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.session import NullTelemetry, Telemetry
+
+
+def _split_config(
+    architecture: str, config: DVSyncConfig | int | None
+) -> tuple[int | None, DVSyncConfig | None]:
+    """Normalize *config* into (buffer_count, dvsync_config) for the runner."""
+    if architecture not in ARCHITECTURES:
+        raise ConfigurationError(
+            f"unknown architecture {architecture!r}; "
+            f"known: {', '.join(ARCHITECTURES)}"
+        )
+    if config is None:
+        return None, None
+    if isinstance(config, DVSyncConfig):
+        if architecture != "dvsync":
+            raise ConfigurationError(
+                "a DVSyncConfig only applies to architecture='dvsync'; "
+                "pass an int buffer count for the vsync baseline"
+            )
+        return None, config
+    if isinstance(config, int) and not isinstance(config, bool):
+        if architecture == "dvsync":
+            return None, DVSyncConfig(buffer_count=config)
+        return config, None
+    raise ConfigurationError(
+        f"config must be a DVSyncConfig, an int buffer count, or None; "
+        f"got {config!r}"
+    )
+
+
+def simulate(
+    scenario: Scenario | ScenarioDriver,
+    device,
+    *,
+    architecture: str = "dvsync",
+    config: DVSyncConfig | int | None = None,
+    telemetry: "bool | Telemetry | NullTelemetry | None" = None,
+    seed: int | None = None,
+) -> RunResult:
+    """Run *scenario* on *device* under one architecture; return the result.
+
+    Args:
+        scenario: A declarative :class:`Scenario` (runs via the default
+            executor: cached, parallelizable) or a live
+            :class:`ScenarioDriver` (runs in-process).
+        device: The :class:`~repro.display.device.DeviceProfile` under test.
+        architecture: ``"dvsync"`` (the paper's system, default) or
+            ``"vsync"`` (the classic baseline).
+        config: Architecture configuration — a :class:`DVSyncConfig` for
+            D-VSync, a plain int buffer count for either architecture, or
+            ``None`` for the defaults.
+        telemetry: ``None`` defers to the process-wide switch
+            (:func:`repro.telemetry.runtime.set_enabled`); ``True``/``False``
+            force recording on/off for this run; an explicit session records
+            into it (live-driver path only). When recorded, the snapshot is
+            attached as ``result.telemetry``.
+        seed: Repetition index for a :class:`Scenario` (its driver builder is
+            seeded by name + run index). Must be ``None`` for a live driver,
+            which is already constructed.
+
+    Returns:
+        The normalized :class:`RunResult` for the run.
+    """
+    from repro.experiments.runner import run_driver, run_spec, scenario_spec
+
+    buffer_count, dvsync_config = _split_config(architecture, config)
+
+    if isinstance(scenario, Scenario):
+        if telemetry is not None and not isinstance(telemetry, bool):
+            raise ConfigurationError(
+                "a Scenario runs through the executor, whose specs only carry "
+                "a telemetry on/off flag; pass telemetry=True/False/None or "
+                "use a live driver with an explicit session"
+            )
+        return run_spec(
+            scenario_spec(
+                scenario,
+                device,
+                architecture,
+                run=seed or 0,
+                buffer_count=buffer_count,
+                dvsync_config=dvsync_config,
+                telemetry=telemetry,
+            )
+        )
+
+    if isinstance(scenario, ScenarioDriver):
+        if seed is not None:
+            raise ConfigurationError(
+                "seed only applies to a declarative Scenario; a live driver "
+                "is already constructed (seed its builder instead)"
+            )
+        return run_driver(
+            scenario,
+            device,
+            architecture,
+            buffer_count=buffer_count,
+            dvsync_config=dvsync_config,
+            telemetry=telemetry,
+        )
+
+    raise ConfigurationError(
+        f"scenario must be a Scenario or a ScenarioDriver, got {scenario!r}"
+    )

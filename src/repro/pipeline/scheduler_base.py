@@ -14,7 +14,8 @@ from __future__ import annotations
 
 import abc
 import dataclasses
-from typing import Callable
+import time
+from typing import TYPE_CHECKING, Callable
 
 from repro.display.device import DeviceProfile
 from repro.display.hal import PresentRecord, ScreenHAL
@@ -26,6 +27,9 @@ from repro.pipeline.driver import ScenarioDriver
 from repro.pipeline.frame import FrameCategory, FrameRecord, FrameWorkload
 from repro.pipeline.stages import RenderPipeline
 from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.session import NullTelemetry, Telemetry, TelemetrySnapshot
 
 # Safety valve for run(); generous enough for hours of simulated 120 Hz.
 _MAX_EVENTS = 20_000_000
@@ -49,6 +53,7 @@ class RunResult:
     gpu_busy_ns: int
     scheduler_overhead_ns: int = 0
     extra: dict = dataclasses.field(default_factory=dict)
+    telemetry: "TelemetrySnapshot | None" = None
 
     @property
     def presented_frames(self) -> list[FrameRecord]:
@@ -96,17 +101,30 @@ class RunResult:
 
 
 class SchedulerBase(abc.ABC):
-    """One scenario run under a specific frame-triggering architecture."""
+    """One scenario run under a specific frame-triggering architecture.
+
+    The construction contract is shared by every scheduler: positional
+    ``(driver, device)``, one positional-or-keyword architecture knob
+    (``buffer_count`` here and on the VSync subclasses, ``config`` on
+    D-VSync), and keyword-only ``offsets`` / ``sim`` / ``telemetry``.
+    Likewise :meth:`run` is defined once, here — subclasses customize the
+    result through :meth:`_finalize_result`, never by overriding ``run``.
+    """
 
     scheduler_name = "base"
+    #: Telemetry session for this run; ``None`` until construction installs
+    #: one (the null session when telemetry is off).
+    telemetry: "Telemetry | NullTelemetry | None" = None
 
     def __init__(
         self,
         driver: ScenarioDriver,
         device: DeviceProfile,
         buffer_count: int | None = None,
+        *,
         offsets: VsyncOffsets | None = None,
         sim: Simulator | None = None,
+        telemetry: "Telemetry | NullTelemetry | bool | None" = None,
     ) -> None:
         self.driver = driver
         self.device = device
@@ -148,7 +166,87 @@ class SchedulerBase(abc.ABC):
             Callable[[list[tuple[int, float]], int], list[tuple[int, float]]]
         ] = []
         self.result_hooks: list[Callable[[RunResult], None]] = []
+        # Observability seam: fires after a frame is created and handed to the
+        # pipeline. Telemetry registers here; the list stays empty otherwise.
+        self.on_frame_spawned: list[Callable[[FrameRecord], None]] = []
         self.compositor.after_tick.append(self._after_tick)
+        self._install_telemetry(telemetry)
+
+    # -------------------------------------------------------------- telemetry
+    def _install_telemetry(
+        self, telemetry: "Telemetry | NullTelemetry | bool | None"
+    ) -> None:
+        """Resolve the telemetry argument and, when enabled, attach probes.
+
+        Disabled telemetry registers **nothing**: every emission below rides
+        an existing hook list, so a run without telemetry executes the same
+        code paths as one built before the subsystem existed.
+        """
+        from repro.telemetry.session import resolve_telemetry
+
+        session = resolve_telemetry(
+            telemetry, name=f"{self.scheduler_name}@{self.driver.name}"
+        )
+        self.telemetry = session
+        if not session.enabled:
+            return
+        pipeline_probe = session.probe("ui")
+        trigger_probe = session.probe("trigger")
+        display_probe = session.probe("display")
+        jank_probe = session.probe("janks")
+
+        def frame_spawned(frame: FrameRecord) -> None:
+            trigger_probe.instant(
+                "d-vsync" if frame.decoupled else "vsync-app", frame.trigger_time
+            )
+            trigger_probe.count("frames")
+
+        def ui_complete(frame: FrameRecord) -> None:
+            if frame.ui_start is not None and frame.ui_end is not None:
+                pipeline_probe.span(
+                    f"frame-{frame.frame_id}", frame.ui_start, frame.ui_end,
+                )
+                pipeline_probe.observe("self_ns", frame.ui_end - frame.ui_start)
+
+        def frame_queued(frame: FrameRecord) -> None:
+            if frame.render_start is not None and frame.render_end is not None:
+                session.trace.add_span(
+                    "render", f"frame-{frame.frame_id}", frame.render_start, frame.render_end
+                )
+            if frame.workload.gpu_ns and frame.render_end is not None and frame.gpu_end:
+                session.trace.add_span(
+                    "gpu", f"frame-{frame.frame_id}", frame.render_end, frame.gpu_end
+                )
+            if frame.buffer_wait_ns:
+                session.metrics.histogram("queue.buffer_wait_ns").observe(
+                    frame.buffer_wait_ns
+                )
+
+        def presented(record: PresentRecord) -> None:
+            display_probe.instant(f"frame-{record.frame_id}", record.present_time)
+            display_probe.counter(
+                record.present_time, record.queue_depth_after, name="queue-depth"
+            )
+            display_probe.count("presents")
+
+        drops_seen = 0
+
+        def after_tick(timestamp: int, index: int) -> None:
+            nonlocal drops_seen
+            jank_probe.count("ticks")
+            while drops_seen < len(self.compositor.drops):
+                drop = self.compositor.drops[drops_seen]
+                drops_seen += 1
+                jank_probe.instant("frame-drop", drop.time)
+                jank_probe.count("drops")
+
+        self.on_frame_spawned.append(frame_spawned)
+        self.pipeline.on_ui_complete.append(ui_complete)
+        self.pipeline.on_frame_queued.append(frame_queued)
+        self.hal.add_listener(presented)
+        self.compositor.after_tick.append(after_tick)
+        # The simulator self-times its event loop (wall clock) into the session.
+        self.sim.telemetry = session
 
     # ------------------------------------------------------------------ hooks
     def _frame_by_id(self, frame_id: int) -> FrameRecord | None:
@@ -190,6 +288,8 @@ class SchedulerBase(abc.ABC):
         self.frames.append(frame)
         self._frames_by_id[index] = frame
         self.pipeline.start_frame(frame)
+        for hook in list(self.on_frame_spawned):
+            hook(frame)
         return frame
 
     def _content_value_for(self, frame: FrameRecord) -> float | None:
@@ -217,8 +317,22 @@ class SchedulerBase(abc.ABC):
     def _kick(self) -> None:
         """Arm the first frame trigger; subclasses define the policy."""
 
+    def _finalize_result(self, result: RunResult) -> None:
+        """Attach subclass-specific statistics to a finished result.
+
+        The template-method half of the unified :meth:`run` contract:
+        subclasses override this (not ``run``) to annotate ``result.extra``.
+        """
+
     def run(self, start_time: int = 0, horizon: int | None = None) -> RunResult:
-        """Execute the scenario to completion and return the run result."""
+        """Execute the scenario to completion and return the run result.
+
+        This is the one run signature every scheduler shares; subclasses
+        inherit it unchanged and customize via :meth:`_finalize_result`.
+        """
+        telemetry = self.telemetry
+        recording = telemetry is not None and telemetry.enabled
+        run_started = time.perf_counter() if recording else None
         self.driver.begin(start_time)
         self._started = True
         self.hw_vsync.start(start_time)
@@ -244,6 +358,15 @@ class SchedulerBase(abc.ABC):
             result.extra["contained_exceptions"] = [
                 (c.time, c.listener, c.error) for c in self.hal.contained_errors
             ]
+        self._finalize_result(result)
+        if run_started is not None:
+            telemetry.add_profile("scheduler.run", time.perf_counter() - run_started)
+            telemetry.metrics.gauge("run.frames").set(len(result.frames))
+            telemetry.metrics.gauge("run.drops").set(len(result.drops))
+            telemetry.metrics.gauge("run.presents").set(len(result.presents))
+            result.telemetry = telemetry.snapshot(
+                f"{self.scheduler_name}@{self.driver.name}"
+            )
         for hook in list(self.result_hooks):
             hook(result)
         return result

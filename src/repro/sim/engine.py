@@ -18,6 +18,7 @@ Determinism guarantees:
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Any, Callable
 
 from repro.errors import SimulationError
@@ -47,6 +48,11 @@ class Simulator:
         # event loop continues. None (the default) preserves fail-fast
         # semantics — any callback exception aborts the run.
         self.exception_handler: Callable[[int, Exception], bool] | None = None
+        # Opt-in observability: a telemetry session (repro.telemetry) that
+        # run() self-times its event loop into — wall-clock seconds under the
+        # "sim.loop" profile block plus an executed-event count. None (the
+        # default) records nothing.
+        self.telemetry = None
 
     @property
     def now(self) -> int:
@@ -104,6 +110,7 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run() call)")
         self._running = True
         executed = 0
+        loop_started = time.perf_counter() if self.telemetry is not None else None
         try:
             while self._queue:
                 event = self._queue[0]
@@ -126,6 +133,11 @@ class Simulator:
                 self._now = until
         finally:
             self._running = False
+            if loop_started is not None:
+                self.telemetry.add_profile(
+                    "sim.loop", time.perf_counter() - loop_started
+                )
+                self.telemetry.metrics.counter("sim.events").inc(executed)
 
     def step(self) -> bool:
         """Execute the single next pending event.

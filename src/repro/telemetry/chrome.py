@@ -1,0 +1,146 @@
+"""Chrome trace-event JSON export (Perfetto / ``chrome://tracing``).
+
+Converts the repository's :class:`~repro.trace.record.Trace` vocabulary —
+spans, instants, counter samples — into the Trace Event Format both viewers
+load: complete events (``"ph": "X"``), instant events (``"ph": "i"``), and
+counter events (``"ph": "C"``), plus metadata events naming each process and
+thread. Timestamps convert from simulated nanoseconds to the format's
+microseconds.
+
+One exported file can hold many runs: each telemetry snapshot (or recorded
+run trace) becomes its own ``pid``, and each track within it a ``tid``, so a
+``--trace`` capture of a whole experiment opens as a stack of per-run
+process groups.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.pipeline.scheduler_base import RunResult
+from repro.telemetry.session import TelemetrySnapshot
+from repro.trace.record import Trace, record_run
+
+#: Keys every emitted trace event carries (the validation contract).
+REQUIRED_EVENT_KEYS = ("ph", "ts", "pid", "tid", "name")
+
+
+def _metadata_event(name: str, pid: int, tid: int, value: str) -> dict:
+    return {
+        "ph": "M",
+        "ts": 0,
+        "pid": pid,
+        "tid": tid,
+        "name": name,
+        "args": {"name": value},
+    }
+
+
+def chrome_events_from_trace(trace: Trace, pid: int = 1) -> list[dict]:
+    """Flatten one event trace into trace-event dicts under process *pid*.
+
+    Tracks map to stable ``tid`` values (sorted track order) and are named
+    with ``thread_name`` metadata; counter tracks keep their own ``ph: "C"``
+    series keyed by track name.
+    """
+    events: list[dict] = [_metadata_event("process_name", pid, 0, trace.name)]
+    tids = {track: tid for tid, track in enumerate(trace.tracks(), start=1)}
+    for track, tid in tids.items():
+        events.append(_metadata_event("thread_name", pid, tid, track))
+    for span in trace.spans:
+        events.append(
+            {
+                "ph": "X",
+                "ts": span.start / 1000.0,
+                "dur": span.duration / 1000.0,
+                "pid": pid,
+                "tid": tids[span.track],
+                "name": span.name,
+                "cat": span.track,
+            }
+        )
+    for instant in trace.instants:
+        events.append(
+            {
+                "ph": "i",
+                "ts": instant.time / 1000.0,
+                "pid": pid,
+                "tid": tids[instant.track],
+                "name": instant.name,
+                "cat": instant.track,
+                "s": "t",
+            }
+        )
+    for sample in trace.counters:
+        events.append(
+            {
+                "ph": "C",
+                "ts": sample.time / 1000.0,
+                "pid": pid,
+                "tid": tids[sample.track],
+                "name": sample.track,
+                "args": {"value": sample.value},
+            }
+        )
+    return events
+
+
+def chrome_trace(
+    snapshots: Iterable[TelemetrySnapshot | Trace],
+) -> dict:
+    """Build a complete Chrome trace document from snapshots and/or traces."""
+    events: list[dict] = []
+    for pid, item in enumerate(snapshots, start=1):
+        trace = item.trace if isinstance(item, TelemetrySnapshot) else item
+        events.extend(chrome_events_from_trace(trace, pid=pid))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"exporter": "repro.telemetry.chrome"},
+    }
+
+
+def chrome_trace_from_results(results: Sequence[RunResult]) -> dict:
+    """Chrome trace document for finished runs.
+
+    Runs that carry a telemetry snapshot export it directly; runs without one
+    fall back to :func:`repro.trace.record.record_run`, so the exporter works
+    on any RunResult regardless of how it was collected.
+    """
+    items: list[TelemetrySnapshot | Trace] = []
+    for result in results:
+        if result.telemetry is not None:
+            items.append(result.telemetry)
+        else:
+            items.append(record_run(result))
+    return chrome_trace(items)
+
+
+def save_chrome_trace(
+    path: str | Path, snapshots: Iterable[TelemetrySnapshot | Trace]
+) -> dict:
+    """Write a Chrome trace JSON file; returns the document written."""
+    document = chrome_trace(snapshots)
+    Path(path).write_text(json.dumps(document), encoding="utf-8")
+    return document
+
+
+def validate_chrome_trace(document: dict) -> int:
+    """Check a trace document against the event contract.
+
+    Returns the number of events; raises ``ValueError`` on the first event
+    missing a required key (``ph``/``ts``/``pid``/``tid``/``name``) or on a
+    document without a ``traceEvents`` list. Used by the CI artifact gate.
+    """
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("chrome trace document has no traceEvents list")
+    for position, event in enumerate(events):
+        missing = [key for key in REQUIRED_EVENT_KEYS if key not in event]
+        if missing:
+            raise ValueError(
+                f"traceEvents[{position}] missing required keys: {', '.join(missing)}"
+            )
+    return len(events)

@@ -1,0 +1,147 @@
+"""Wall-clock profile aggregation and rendering.
+
+Sessions record named wall-clock blocks (``scheduler.run``, ``sim.loop``,
+``exec.batch``) while probes count events; this module folds the snapshots a
+capture produced into one :class:`ProfileSummary` — where the real seconds
+went, per stage and per experiment — and renders the CLI's ``--profile``
+report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Sequence
+
+from repro.metrics.report import format_table
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.runtime import Collector
+from repro.telemetry.session import TelemetrySnapshot
+
+
+@dataclasses.dataclass
+class ProfileSummary:
+    """Aggregated wall-clock profile of one capture."""
+
+    runs: int
+    blocks: dict[str, dict[str, float]]
+    metrics: MetricsRegistry
+
+    def block_seconds(self, block: str) -> float:
+        entry = self.blocks.get(block)
+        return entry["seconds"] if entry else 0.0
+
+    def metric(self, name: str) -> float:
+        value = self.metrics.value(name)
+        return value if value is not None else 0.0
+
+
+def summarize_snapshots(
+    snapshots: Iterable[TelemetrySnapshot],
+) -> ProfileSummary:
+    """Fold run snapshots into one profile: blocks sum, metrics merge."""
+    blocks: dict[str, dict[str, float]] = {}
+    metrics = MetricsRegistry()
+    runs = 0
+    for snapshot in snapshots:
+        runs += 1
+        for name, entry in snapshot.profile.items():
+            merged = blocks.setdefault(name, {"seconds": 0.0, "count": 0})
+            merged["seconds"] += entry["seconds"]
+            merged["count"] += entry["count"]
+        metrics.merge(snapshot.metrics_registry())
+    return ProfileSummary(runs=runs, blocks=blocks, metrics=metrics)
+
+
+def render_profile(collector: Collector) -> str:
+    """The ``--profile`` report: per-experiment trajectory + self-time table."""
+    parts: list[str] = ["=== profile ==="]
+    if collector.experiments:
+        parts.append(
+            format_table(
+                ["experiment", "wall s", "simulated", "cache hits", "dedup", "sim s"],
+                [
+                    [
+                        entry.experiment_id,
+                        f"{entry.wall_seconds:.2f}",
+                        entry.runs_executed,
+                        entry.cache_hits,
+                        entry.deduplicated,
+                        f"{entry.run_seconds:.2f}",
+                    ]
+                    for entry in collector.experiments
+                ],
+            )
+        )
+    summary = summarize_snapshots(collector.snapshots)
+    if summary.runs:
+        parts.append("")
+        parts.append(f"instrumented runs: {summary.runs}")
+        rows = [
+            [block, f"{entry['seconds'] * 1000.0:.2f}", int(entry["count"])]
+            for block, entry in sorted(summary.blocks.items())
+        ]
+        if rows:
+            parts.append(format_table(["block", "wall ms", "count"], rows))
+        counts = [
+            [name, summary.metrics.value(name)]
+            for name in summary.metrics.names()
+        ]
+        if counts:
+            parts.append(format_table(["metric", "value"], counts))
+    if collector.batches:
+        parts.append("")
+        parts.append(
+            f"executor batches: {collector.batches} "
+            f"({collector.batch_seconds:.2f}s wall)"
+        )
+    if len(parts) == 1:
+        parts.append("(nothing recorded — telemetry was off)")
+    return "\n".join(parts)
+
+
+def perf_trajectory(collector: Collector) -> dict:
+    """The ``BENCH_telemetry.json`` payload: per-experiment perf over a run.
+
+    A stable, versioned artifact CI can diff across commits: wall seconds and
+    executor activity per experiment, plus capture-wide totals (instrumented
+    runs, sim event-loop seconds, events executed).
+    """
+    summary = summarize_snapshots(collector.snapshots)
+    return {
+        "version": 1,
+        "kind": "telemetry-trajectory",
+        "experiments": [entry.to_dict() for entry in collector.experiments],
+        "totals": {
+            "wall_seconds": sum(e.wall_seconds for e in collector.experiments),
+            "runs_executed": sum(e.runs_executed for e in collector.experiments),
+            "cache_hits": sum(e.cache_hits for e in collector.experiments),
+            "instrumented_runs": summary.runs,
+            "sim_loop_seconds": summary.block_seconds("sim.loop"),
+            "scheduler_run_seconds": summary.block_seconds("scheduler.run"),
+            "sim_events": summary.metric("sim.events"),
+            "executor_batches": collector.batches,
+            "executor_batch_seconds": collector.batch_seconds,
+        },
+    }
+
+
+def write_bench_telemetry(path, collector: Collector) -> dict:
+    """Write the perf-trajectory artifact; returns the payload written."""
+    import json
+    from pathlib import Path
+
+    payload = perf_trajectory(collector)
+    Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    return payload
+
+
+def profile_rows(snapshots: Sequence[TelemetrySnapshot]) -> list[list]:
+    """Per-run profile rows (name, scheduler wall ms, sim wall ms) for reports."""
+    return [
+        [
+            snapshot.name,
+            f"{snapshot.profile_seconds('scheduler.run') * 1000.0:.2f}",
+            f"{snapshot.profile_seconds('sim.loop') * 1000.0:.2f}",
+        ]
+        for snapshot in snapshots
+    ]

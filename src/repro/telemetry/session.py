@@ -1,0 +1,266 @@
+"""Telemetry sessions: the per-run recorder behind every probe.
+
+A :class:`Telemetry` session owns three stores:
+
+- an event :class:`~repro.trace.record.Trace` (spans / instants / counter
+  samples in *simulated* nanoseconds) that probes append to;
+- a :class:`~repro.telemetry.metrics.MetricsRegistry` of counters, gauges,
+  and histograms;
+- a wall-clock profile: named blocks measured with ``time.perf_counter``
+  (scheduler run time, sim event-loop self-time, executor batches).
+
+Disabled telemetry is the :data:`NULL_TELEMETRY` singleton whose probes are
+shared no-ops and which never allocates a store — schedulers built without a
+session register **zero** telemetry hooks, so the disabled path costs one
+branch at construction and nothing per frame.
+
+A finished session freezes into a :class:`TelemetrySnapshot`, the JSON-able
+form that rides on ``RunResult.telemetry`` across the executor's process-pool
+wire (see ``repro.exec.serialize``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import time
+from typing import Mapping
+
+from repro.errors import ConfigurationError
+from repro.telemetry.metrics import MetricsRegistry
+from repro.trace.record import Trace
+
+#: Bump when the snapshot wire layout changes (folded into the RunResult
+#: schema via repro.exec.serialize).
+TELEMETRY_SCHEMA_VERSION = 1
+
+
+class Probe:
+    """A named emission point bound to one session and one track.
+
+    Components hold a probe and emit spans (named intervals), instants (point
+    events), and counter samples — all in simulated nanoseconds — plus
+    registry metrics namespaced under the probe's track.
+    """
+
+    __slots__ = ("session", "track")
+
+    def __init__(self, session: "Telemetry", track: str) -> None:
+        self.session = session
+        self.track = track
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def span(self, name: str, start: int, end: int) -> None:
+        """Record a completed interval on this probe's track."""
+        self.session.trace.add_span(self.track, name, start, end)
+
+    def instant(self, name: str, time_ns: int) -> None:
+        """Record a point event on this probe's track."""
+        self.session.trace.add_instant(self.track, name, time_ns)
+
+    def counter(self, time_ns: int, value: float, name: str | None = None) -> None:
+        """Sample a numeric counter track (defaults to this probe's track)."""
+        self.session.trace.add_counter(name or self.track, time_ns, value)
+
+    def count(self, metric: str, amount: float = 1.0) -> None:
+        """Increment a registry counter namespaced under this track."""
+        self.session.metrics.counter(f"{self.track}.{metric}").inc(amount)
+
+    def gauge(self, metric: str, value: float) -> None:
+        """Set a registry gauge namespaced under this track."""
+        self.session.metrics.gauge(f"{self.track}.{metric}").set(value)
+
+    def observe(self, metric: str, value: float) -> None:
+        """Feed a registry histogram namespaced under this track."""
+        self.session.metrics.histogram(f"{self.track}.{metric}").observe(value)
+
+
+class NullProbe:
+    """The do-nothing probe: every emission method returns immediately."""
+
+    __slots__ = ()
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def span(self, name: str, start: int, end: int) -> None:
+        pass
+
+    def instant(self, name: str, time_ns: int) -> None:
+        pass
+
+    def counter(self, time_ns: int, value: float, name: str | None = None) -> None:
+        pass
+
+    def count(self, metric: str, amount: float = 1.0) -> None:
+        pass
+
+    def gauge(self, metric: str, value: float) -> None:
+        pass
+
+    def observe(self, metric: str, value: float) -> None:
+        pass
+
+
+#: Shared no-op probe handed out by disabled telemetry.
+NULL_PROBE = NullProbe()
+
+
+@dataclasses.dataclass(frozen=True)
+class TelemetrySnapshot:
+    """The frozen, JSON-able record of one telemetry session.
+
+    Attributes:
+        name: Session label (scheduler\\@scenario by convention).
+        trace: Event trace in simulated nanoseconds.
+        metrics: Wire form of the session's metrics registry.
+        profile: Wall-clock blocks — name to ``{"seconds", "count"}``.
+    """
+
+    name: str
+    trace: Trace
+    metrics: dict
+    profile: dict
+
+    def to_dict(self) -> dict:
+        from repro.trace.schema import event_trace_to_payload
+
+        return {
+            "version": TELEMETRY_SCHEMA_VERSION,
+            "name": self.name,
+            "trace": event_trace_to_payload(self.trace),
+            "metrics": self.metrics,
+            "profile": self.profile,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TelemetrySnapshot":
+        from repro.trace.schema import event_trace_from_payload
+
+        version = data.get("version")
+        if version != TELEMETRY_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported telemetry snapshot version {version!r} "
+                f"(expected {TELEMETRY_SCHEMA_VERSION})"
+            )
+        return cls(
+            name=data["name"],
+            trace=event_trace_from_payload(data["trace"]),
+            metrics=dict(data["metrics"]),
+            profile={key: dict(value) for key, value in data["profile"].items()},
+        )
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """Rehydrate the metrics registry from its wire form."""
+        return MetricsRegistry.from_dict(self.metrics)
+
+    def profile_seconds(self, block: str) -> float:
+        """Total wall-clock seconds recorded for one profile block."""
+        entry = self.profile.get(block)
+        return entry["seconds"] if entry else 0.0
+
+
+class Telemetry:
+    """A live, enabled telemetry session for one scheduler run."""
+
+    enabled = True
+
+    def __init__(self, name: str = "telemetry") -> None:
+        self.name = name
+        self.trace = Trace(name=name)
+        self.metrics = MetricsRegistry()
+        self._profile: dict[str, dict[str, float]] = {}
+
+    def probe(self, track: str) -> Probe:
+        """A probe bound to *track* on this session."""
+        return Probe(self, track)
+
+    # ------------------------------------------------------- wall-clock blocks
+    def add_profile(self, block: str, seconds: float, count: int = 1) -> None:
+        """Accumulate wall-clock time under a named profile block."""
+        entry = self._profile.setdefault(block, {"seconds": 0.0, "count": 0})
+        entry["seconds"] += seconds
+        entry["count"] += count
+
+    @contextlib.contextmanager
+    def profile_block(self, block: str):
+        """Measure the wall-clock time of a ``with`` body."""
+        started = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.add_profile(block, time.perf_counter() - started)
+
+    def profile_seconds(self, block: str) -> float:
+        entry = self._profile.get(block)
+        return entry["seconds"] if entry else 0.0
+
+    # --------------------------------------------------------------- snapshot
+    def snapshot(self, name: str | None = None) -> TelemetrySnapshot:
+        """Freeze the session into its wire-able form."""
+        return TelemetrySnapshot(
+            name=name or self.name,
+            trace=self.trace,
+            metrics=self.metrics.to_dict(),
+            profile={key: dict(value) for key, value in self._profile.items()},
+        )
+
+
+class NullTelemetry:
+    """Disabled telemetry: shared no-op probes, no stores, no snapshot."""
+
+    enabled = False
+
+    @property
+    def name(self) -> str:
+        return "telemetry-off"
+
+    def probe(self, track: str) -> NullProbe:
+        return NULL_PROBE
+
+    def add_profile(self, block: str, seconds: float, count: int = 1) -> None:
+        pass
+
+    @contextlib.contextmanager
+    def profile_block(self, block: str):
+        yield self
+
+    def profile_seconds(self, block: str) -> float:
+        return 0.0
+
+    def snapshot(self, name: str | None = None) -> None:
+        return None
+
+
+#: The process-wide disabled session.
+NULL_TELEMETRY = NullTelemetry()
+
+
+def resolve_telemetry(
+    telemetry: "Telemetry | NullTelemetry | bool | None",
+    name: str = "telemetry",
+) -> "Telemetry | NullTelemetry":
+    """Normalize a telemetry argument into a session.
+
+    ``None`` defers to the process-wide default (``repro.telemetry.runtime``),
+    ``True``/``False`` force a fresh session or the null one, and an existing
+    session passes through unchanged.
+    """
+    if telemetry is None:
+        from repro.telemetry.runtime import new_run_session
+
+        return new_run_session(name)
+    if telemetry is True:
+        return Telemetry(name)
+    if telemetry is False:
+        return NULL_TELEMETRY
+    if isinstance(telemetry, (Telemetry, NullTelemetry)):
+        return telemetry
+    raise ConfigurationError(
+        f"telemetry must be a Telemetry session, bool, or None, "
+        f"got {type(telemetry).__name__}"
+    )

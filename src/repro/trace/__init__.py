@@ -1,5 +1,6 @@
 """Trace recording, serialization, and analysis (perfetto-lite)."""
 
+from repro.trace import schema
 from repro.trace.analyze import TraceAnalysis, analyze, decoupling_lead_ms
 from repro.trace.format import (
     load_frame_trace,
@@ -13,9 +14,11 @@ from repro.trace.record import CounterSample, Instant, Span, Trace, record_run
 from repro.trace.render_ascii import render_queue_depth, render_timeline
 
 __all__ = [
+    "schema",
     "TraceAnalysis",
     "analyze",
     "decoupling_lead_ms",
+    # deprecated shims (use repro.trace.schema)
     "load_frame_trace",
     "load_trace",
     "save_frame_trace",

@@ -1,81 +1,76 @@
-"""JSON serialization for traces.
+"""Deprecated trace save/load names — use :mod:`repro.trace.schema`.
 
-Round-trips both event traces (:class:`repro.trace.record.Trace`) and frame
-workload traces (:class:`repro.workloads.frametrace.FrameTrace`), so recorded
-game traces and pipeline timelines can be saved, shared, and replayed — the
-simulation analogue of exporting a Perfetto capture.
+The four parallel functions this module used to define (one save/load/dict
+pair per trace flavor) are consolidated behind the versioned-schema module's
+:func:`~repro.trace.schema.save` / :func:`~repro.trace.schema.load` /
+:func:`~repro.trace.schema.to_payload` / :func:`~repro.trace.schema.from_payload`.
+Each old name still works but emits a :class:`DeprecationWarning` pointing at
+its replacement.
 """
 
 from __future__ import annotations
 
-import json
+import warnings
 from pathlib import Path
+from typing import Mapping
 
-from repro.errors import WorkloadError
-from repro.trace.record import CounterSample, Instant, Span, Trace
+from repro.trace import schema
+from repro.trace.record import Trace
 from repro.workloads.frametrace import FrameTrace
 
-FORMAT_VERSION = 1
+#: Legacy alias for the envelope version (kept for old imports).
+FORMAT_VERSION = schema.SCHEMA_VERSION
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.trace.format.{old} is deprecated; use repro.trace.schema.{new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def trace_to_dict(trace: Trace) -> dict:
-    """Plain-dict form of an event trace."""
-    return {
-        "version": FORMAT_VERSION,
-        "kind": "event-trace",
-        "name": trace.name,
-        "spans": [
-            {"track": s.track, "name": s.name, "start": s.start, "end": s.end}
-            for s in trace.spans
-        ],
-        "instants": [
-            {"track": i.track, "name": i.name, "time": i.time} for i in trace.instants
-        ],
-        "counters": [
-            {"track": c.track, "time": c.time, "value": c.value} for c in trace.counters
-        ],
-    }
+    """Deprecated: use :func:`repro.trace.schema.to_payload`."""
+    _deprecated("trace_to_dict", "to_payload")
+    return schema.event_trace_to_payload(trace)
 
 
-def trace_from_dict(data: dict) -> Trace:
-    """Inverse of :func:`trace_to_dict`."""
-    try:
-        if data.get("kind") != "event-trace":
-            raise WorkloadError(f"not an event trace: kind={data.get('kind')!r}")
-        trace = Trace(name=data["name"])
-        trace.spans = [
-            Span(s["track"], s["name"], s["start"], s["end"]) for s in data["spans"]
-        ]
-        trace.instants = [
-            Instant(i["track"], i["name"], i["time"]) for i in data["instants"]
-        ]
-        trace.counters = [
-            CounterSample(c["track"], c["time"], c["value"]) for c in data["counters"]
-        ]
-        return trace
-    except (KeyError, TypeError) as exc:
-        raise WorkloadError(f"malformed trace payload: {exc}") from exc
+def trace_from_dict(data: Mapping) -> Trace:
+    """Deprecated: use :func:`repro.trace.schema.from_payload`."""
+    _deprecated("trace_from_dict", "from_payload")
+    return schema.event_trace_from_payload(data)
 
 
 def save_trace(trace: Trace, path: str | Path) -> None:
-    """Write an event trace to a JSON file."""
-    Path(path).write_text(json.dumps(trace_to_dict(trace)), encoding="utf-8")
+    """Deprecated: use :func:`repro.trace.schema.save`."""
+    _deprecated("save_trace", "save")
+    schema.save(trace, path)
 
 
 def load_trace(path: str | Path) -> Trace:
-    """Read an event trace from a JSON file."""
-    return trace_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+    """Deprecated: use :func:`repro.trace.schema.load`."""
+    _deprecated("load_trace", "load")
+    loaded = schema.load(path)
+    if not isinstance(loaded, Trace):
+        from repro.errors import WorkloadError
+
+        raise WorkloadError(f"not an event trace: kind={schema.FRAME_TRACE_KIND!r}")
+    return loaded
 
 
 def save_frame_trace(trace: FrameTrace, path: str | Path) -> None:
-    """Write a frame workload trace to a JSON file."""
-    payload = {"version": FORMAT_VERSION, "kind": "frame-trace", **trace.to_dict()}
-    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+    """Deprecated: use :func:`repro.trace.schema.save`."""
+    _deprecated("save_frame_trace", "save")
+    schema.save(trace, path)
 
 
 def load_frame_trace(path: str | Path) -> FrameTrace:
-    """Read a frame workload trace from a JSON file."""
-    data = json.loads(Path(path).read_text(encoding="utf-8"))
-    if data.get("kind") != "frame-trace":
-        raise WorkloadError(f"not a frame trace: kind={data.get('kind')!r}")
-    return FrameTrace.from_dict(data)
+    """Deprecated: use :func:`repro.trace.schema.load`."""
+    _deprecated("load_frame_trace", "load")
+    loaded = schema.load(path)
+    if not isinstance(loaded, FrameTrace):
+        from repro.errors import WorkloadError
+
+        raise WorkloadError(f"not a frame trace: kind={schema.EVENT_TRACE_KIND!r}")
+    return loaded

@@ -39,8 +39,10 @@ class OpenHarmonyVSyncScheduler(VSyncScheduler):
         driver: ScenarioDriver,
         device: DeviceProfile,
         buffer_count: int | None = None,
+        *,
         offsets: VsyncOffsets | None = None,
         sim: Simulator | None = None,
+        telemetry=None,
     ) -> None:
         if offsets is None:
             offsets = VsyncOffsets(rs_offset=default_rs_offset(device))
@@ -50,6 +52,7 @@ class OpenHarmonyVSyncScheduler(VSyncScheduler):
             buffer_count=buffer_count or device.default_buffer_count,
             offsets=offsets,
             sim=sim,
+            telemetry=telemetry,
         )
         self.rs_channel = VsyncChannel(self.hw_vsync, self.offsets.rs_offset, "vsync-rs")
         self.pipeline.auto_render = False

@@ -13,7 +13,11 @@ This scheduler is the control arm of every experiment.
 
 from __future__ import annotations
 
+from repro.display.device import DeviceProfile
+from repro.display.vsync import VsyncOffsets
+from repro.pipeline.driver import ScenarioDriver
 from repro.pipeline.scheduler_base import SchedulerBase
+from repro.sim.engine import Simulator
 
 
 class VSyncScheduler(SchedulerBase):
@@ -21,8 +25,24 @@ class VSyncScheduler(SchedulerBase):
 
     scheduler_name = "vsync"
 
-    def __init__(self, *args, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
+    def __init__(
+        self,
+        driver: ScenarioDriver,
+        device: DeviceProfile,
+        buffer_count: int | None = None,
+        *,
+        offsets: VsyncOffsets | None = None,
+        sim: Simulator | None = None,
+        telemetry=None,
+    ) -> None:
+        super().__init__(
+            driver,
+            device,
+            buffer_count,
+            offsets=offsets,
+            sim=sim,
+            telemetry=telemetry,
+        )
         self.skipped_ticks = 0
 
     def _kick(self) -> None:

@@ -14,6 +14,15 @@ from repro.workloads.distributions import (
 )
 
 
+@pytest.fixture(autouse=True)
+def _telemetry_isolation():
+    """Keep the process-wide telemetry switch/collector from leaking."""
+    yield
+    from repro.telemetry import runtime
+
+    runtime.reset()
+
+
 @pytest.fixture
 def sim() -> Simulator:
     return Simulator()

@@ -1,0 +1,84 @@
+"""The unified scheduler construction/run contract (API redesign).
+
+Every scheduler shares: positional ``(driver, device)``, one
+positional-or-keyword architecture knob, keyword-only
+``offsets``/``sim``/``telemetry``, explicit parameters (no ``*args`` /
+``**kwargs``), and a single inherited ``run(start_time=0, horizon=None)``.
+"""
+
+import inspect
+
+import pytest
+
+from repro.core.config import DVSyncConfig
+from repro.core.dvsync import DVSyncScheduler
+from repro.pipeline.scheduler_base import SchedulerBase
+from repro.testing import light_params, make_animation
+from repro.vsync.oh_scheduler import OpenHarmonyVSyncScheduler
+from repro.vsync.scheduler import VSyncScheduler
+
+SCHEDULERS = [VSyncScheduler, OpenHarmonyVSyncScheduler, DVSyncScheduler]
+
+
+@pytest.mark.parametrize("scheduler_cls", SCHEDULERS)
+def test_init_has_no_var_args(scheduler_cls):
+    signature = inspect.signature(scheduler_cls.__init__)
+    kinds = {p.kind for p in signature.parameters.values()}
+    assert inspect.Parameter.VAR_POSITIONAL not in kinds
+    assert inspect.Parameter.VAR_KEYWORD not in kinds
+
+
+@pytest.mark.parametrize("scheduler_cls", SCHEDULERS)
+def test_offsets_sim_telemetry_are_keyword_only(scheduler_cls):
+    signature = inspect.signature(scheduler_cls.__init__)
+    for name in ("offsets", "sim", "telemetry"):
+        parameter = signature.parameters[name]
+        assert parameter.kind is inspect.Parameter.KEYWORD_ONLY, name
+        assert parameter.default is None
+
+
+@pytest.mark.parametrize("scheduler_cls", SCHEDULERS)
+def test_run_is_inherited_not_overridden(scheduler_cls):
+    assert "run" not in scheduler_cls.__dict__
+    assert scheduler_cls.run is SchedulerBase.run
+
+
+def test_run_signature():
+    signature = inspect.signature(SchedulerBase.run)
+    parameters = list(signature.parameters)
+    assert parameters == ["self", "start_time", "horizon"]
+    assert signature.parameters["start_time"].default == 0
+    assert signature.parameters["horizon"].default is None
+
+
+def test_vsync_positional_contract(pixel5):
+    driver = make_animation(light_params(), "contract-vs")
+    scheduler = VSyncScheduler(driver, pixel5, 3)
+    assert scheduler.buffer_count == 3
+
+
+def test_dvsync_positional_contract(pixel5):
+    driver = make_animation(light_params(), "contract-dv")
+    scheduler = DVSyncScheduler(driver, pixel5, DVSyncConfig(buffer_count=4))
+    assert scheduler.buffer_count == 4
+
+
+def test_dvsync_finalize_annotates_extra(pixel5):
+    driver = make_animation(light_params(), "contract-extra")
+    result = DVSyncScheduler(
+        driver, pixel5, DVSyncConfig(buffer_count=4)
+    ).run()
+    assert "fpe_triggers_accumulation" in result.extra
+    assert "dtv_calibrations" in result.extra
+
+
+def test_dvsync_config_is_keyword_only():
+    with pytest.raises(TypeError):
+        DVSyncConfig(4)  # options must be spelled out
+    assert DVSyncConfig(buffer_count=4).buffer_count == 4
+
+
+def test_run_horizon_is_keyword_friendly(pixel5):
+    driver = make_animation(light_params(), "contract-run")
+    result = VSyncScheduler(driver, pixel5).run(start_time=0, horizon=10_000_000)
+    assert result.end_time <= 10_000_000

@@ -1,0 +1,80 @@
+"""Tests for profile aggregation, rendering, and the perf trajectory."""
+
+import json
+
+from repro.telemetry.profiler import (
+    perf_trajectory,
+    profile_rows,
+    render_profile,
+    summarize_snapshots,
+    write_bench_telemetry,
+)
+from repro.telemetry.runtime import Collector
+from repro.telemetry.session import Telemetry
+
+
+def make_snapshot(name="run", seconds=0.5):
+    session = Telemetry(name)
+    session.add_profile("scheduler.run", seconds)
+    session.add_profile("sim.loop", seconds / 2)
+    session.metrics.counter("sim.events").inc(1000)
+    return session.snapshot(name)
+
+
+def test_summarize_folds_blocks_and_metrics():
+    summary = summarize_snapshots([make_snapshot("a"), make_snapshot("b")])
+    assert summary.runs == 2
+    assert summary.block_seconds("scheduler.run") == 1.0
+    assert summary.block_seconds("sim.loop") == 0.5
+    assert summary.blocks["scheduler.run"]["count"] == 2
+    assert summary.metric("sim.events") == 2000
+    assert summary.metric("missing") == 0.0
+
+
+def test_render_profile_empty_capture():
+    assert "nothing recorded" in render_profile(Collector())
+
+
+def test_render_profile_full_capture():
+    collector = Collector()
+    collector.add_snapshot(make_snapshot())
+    collector.note_batch(0.25)
+    collector.note_experiment("fig05", wall_seconds=1.5, runs_executed=3)
+    report = render_profile(collector)
+    assert "fig05" in report
+    assert "instrumented runs: 1" in report
+    assert "scheduler.run" in report
+    assert "sim.events" in report
+    assert "executor batches: 1" in report
+
+
+def test_perf_trajectory_payload():
+    collector = Collector()
+    collector.add_snapshot(make_snapshot())
+    collector.note_experiment(
+        "fig05", wall_seconds=1.5, runs_executed=3, cache_hits=2
+    )
+    payload = perf_trajectory(collector)
+    assert payload["version"] == 1
+    assert payload["kind"] == "telemetry-trajectory"
+    assert payload["experiments"][0]["experiment_id"] == "fig05"
+    totals = payload["totals"]
+    assert totals["wall_seconds"] == 1.5
+    assert totals["runs_executed"] == 3
+    assert totals["cache_hits"] == 2
+    assert totals["instrumented_runs"] == 1
+    assert totals["scheduler_run_seconds"] == 0.5
+    assert totals["sim_events"] == 1000
+
+
+def test_write_bench_telemetry_is_json(tmp_path):
+    collector = Collector()
+    collector.add_snapshot(make_snapshot())
+    path = tmp_path / "BENCH_telemetry.json"
+    written = write_bench_telemetry(path, collector)
+    assert json.loads(path.read_text()) == written
+
+
+def test_profile_rows():
+    rows = profile_rows([make_snapshot("vsync@x", seconds=1.0)])
+    assert rows == [["vsync@x", "1000.00", "500.00"]]

@@ -1,0 +1,122 @@
+"""Tests for telemetry sessions, probes, and the process-wide runtime."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import runtime
+from repro.telemetry.session import (
+    NULL_PROBE,
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    TelemetrySnapshot,
+    resolve_telemetry,
+)
+
+
+def test_probe_emits_into_session_stores():
+    session = Telemetry("run")
+    probe = session.probe("ui")
+    probe.span("frame-0", 100, 200)
+    probe.instant("wakeup", 150)
+    probe.counter(150, 3, name="queue-depth")
+    probe.count("frames")
+    probe.gauge("depth", 2)
+    probe.observe("self_ns", 100)
+    assert len(session.trace.spans) == 1
+    assert session.trace.spans[0].track == "ui"
+    assert len(session.trace.instants) == 1
+    assert len(session.trace.counters) == 1
+    assert session.metrics.value("ui.frames") == 1
+    assert session.metrics.value("ui.depth") == 2
+    assert session.metrics.value("ui.self_ns") == 100
+
+
+def test_null_probe_is_shared_and_inert():
+    assert NULL_TELEMETRY.probe("anything") is NULL_PROBE
+    NULL_PROBE.span("x", 0, 1)
+    NULL_PROBE.instant("x", 0)
+    NULL_PROBE.counter(0, 1)
+    NULL_PROBE.count("x")
+    NULL_PROBE.gauge("x", 1)
+    NULL_PROBE.observe("x", 1)
+    assert not NULL_PROBE.enabled
+    assert NULL_TELEMETRY.snapshot() is None
+
+
+def test_profile_blocks_accumulate():
+    session = Telemetry()
+    session.add_profile("sim.loop", 0.25)
+    session.add_profile("sim.loop", 0.75, count=2)
+    assert session.profile_seconds("sim.loop") == pytest.approx(1.0)
+    with session.profile_block("other"):
+        pass
+    assert session.profile_seconds("other") >= 0.0
+    snapshot = session.snapshot("s")
+    assert snapshot.profile["sim.loop"] == {"seconds": 1.0, "count": 3}
+
+
+def test_snapshot_wire_roundtrip():
+    session = Telemetry("run")
+    session.probe("ui").span("frame-0", 100, 200)
+    session.metrics.counter("ui.frames").inc(3)
+    session.add_profile("scheduler.run", 0.5)
+    snapshot = session.snapshot("vsync@demo")
+    clone = TelemetrySnapshot.from_dict(snapshot.to_dict())
+    assert clone.name == "vsync@demo"
+    assert clone.trace.spans == snapshot.trace.spans
+    assert clone.metrics_registry().value("ui.frames") == 3
+    assert clone.profile_seconds("scheduler.run") == pytest.approx(0.5)
+
+
+def test_snapshot_version_checked():
+    with pytest.raises(ConfigurationError):
+        TelemetrySnapshot.from_dict({"version": 99, "name": "x"})
+
+
+def test_resolve_telemetry_tristate():
+    assert isinstance(resolve_telemetry(True, "n"), Telemetry)
+    assert resolve_telemetry(False) is NULL_TELEMETRY
+    session = Telemetry("mine")
+    assert resolve_telemetry(session) is session
+    assert resolve_telemetry(NULL_TELEMETRY) is NULL_TELEMETRY
+    with pytest.raises(ConfigurationError):
+        resolve_telemetry("yes")
+
+
+def test_resolve_none_defers_to_runtime_switch():
+    assert resolve_telemetry(None) is NULL_TELEMETRY
+    runtime.set_enabled(True)
+    try:
+        resolved = resolve_telemetry(None, "auto")
+        assert isinstance(resolved, Telemetry)
+        assert resolved.name == "auto"
+    finally:
+        runtime.set_enabled(False)
+
+
+def test_runtime_switch_and_collector():
+    assert runtime.enabled() is False
+    previous = runtime.set_enabled(True)
+    assert previous is False
+    assert runtime.enabled() is True
+    snapshot = Telemetry("x").snapshot()
+    runtime.collect(snapshot)
+    runtime.collect(None)  # ignored
+    runtime.collector().note_batch(0.5)
+    runtime.collector().note_experiment("fig05", wall_seconds=1.0, runs_executed=2)
+    assert runtime.collector().snapshots == [snapshot]
+    assert runtime.collector().batches == 1
+    assert runtime.collector().experiments[0].experiment_id == "fig05"
+    runtime.reset()
+    assert runtime.enabled() is False
+    assert runtime.collector().snapshots == []
+    assert runtime.collector().experiments == []
+
+
+def test_null_telemetry_is_reusable_across_runs():
+    assert isinstance(NULL_TELEMETRY, NullTelemetry)
+    with NULL_TELEMETRY.profile_block("x"):
+        pass
+    assert NULL_TELEMETRY.profile_seconds("x") == 0.0
+    assert NULL_TELEMETRY.name == "telemetry-off"

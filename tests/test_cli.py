@@ -40,3 +40,38 @@ def test_faults_flag_accepts_clause_syntax(capsys):
     out = capsys.readouterr().out
     assert "thermal" in out
     assert "injected" in out
+
+
+def test_trace_flag_writes_valid_chrome_trace(tmp_path, capsys, monkeypatch):
+    import json
+
+    from repro.telemetry.chrome import validate_chrome_trace
+
+    monkeypatch.chdir(tmp_path)
+    path = tmp_path / "out.json"
+    assert main(["fig05", "--quick", "--trace", str(path), "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "trace:" in out
+    document = json.loads(path.read_text())
+    assert validate_chrome_trace(document) > 0
+
+
+def test_profile_flag_prints_summary(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["fig05", "--quick", "--profile", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "=== profile ===" in out
+    assert "instrumented runs:" in out
+    assert "scheduler.run" in out
+    assert "sim.loop" in out
+
+
+def test_no_telemetry_flags_record_nothing(tmp_path, capsys, monkeypatch):
+    from repro.telemetry import runtime
+
+    monkeypatch.chdir(tmp_path)
+    assert main(["fig05", "--quick", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "=== profile ===" not in out
+    assert runtime.enabled() is False
+    assert runtime.collector().snapshots == []

@@ -1,18 +1,11 @@
-"""Tests for trace serialization."""
+"""Tests for trace serialization: the schema module and its legacy shims."""
 
 import pytest
 
 from repro.errors import WorkloadError
 from repro.pipeline.frame import FrameWorkload
 from repro.testing import light_params, make_animation, run_vsync
-from repro.trace.format import (
-    load_frame_trace,
-    load_trace,
-    save_frame_trace,
-    save_trace,
-    trace_from_dict,
-    trace_to_dict,
-)
+from repro.trace import schema
 from repro.trace.record import record_run
 from repro.workloads.frametrace import FrameTrace
 
@@ -21,8 +14,8 @@ def test_event_trace_roundtrip(tmp_path):
     result = run_vsync(make_animation(light_params(), "fmt-run"))
     trace = record_run(result)
     path = tmp_path / "trace.json"
-    save_trace(trace, path)
-    clone = load_trace(path)
+    schema.save(trace, path)
+    clone = schema.load(path)
     assert clone.name == trace.name
     assert clone.spans == trace.spans
     assert clone.instants == trace.instants
@@ -32,7 +25,7 @@ def test_event_trace_roundtrip(tmp_path):
 def test_dict_roundtrip_without_files():
     result = run_vsync(make_animation(light_params(), "fmt-dict"))
     trace = record_run(result)
-    clone = trace_from_dict(trace_to_dict(trace))
+    clone = schema.from_payload(schema.to_payload(trace))
     assert clone.spans == trace.spans
 
 
@@ -42,22 +35,78 @@ def test_frame_trace_roundtrip(tmp_path):
         workloads=[FrameWorkload(ui_ns=1000, render_ns=2000, gpu_ns=500)],
     )
     path = tmp_path / "frames.json"
-    save_frame_trace(trace, path)
-    clone = load_frame_trace(path)
+    schema.save(trace, path)
+    clone = schema.load(path)
     assert clone.workloads == trace.workloads
     assert clone.refresh_hz == 30
 
 
-def test_kind_mismatch_rejected(tmp_path):
-    trace = FrameTrace(
+def test_load_dispatches_by_kind(tmp_path):
+    """schema.load returns the right type for either payload kind."""
+    frame_trace = FrameTrace(
         name="game", refresh_hz=30, workloads=[FrameWorkload(1, 2)]
     )
     path = tmp_path / "frames.json"
-    save_frame_trace(trace, path)
-    with pytest.raises(WorkloadError):
-        load_trace(path)
+    schema.save(frame_trace, path)
+    assert isinstance(schema.load(path), FrameTrace)
 
 
 def test_malformed_event_payload_rejected():
     with pytest.raises(WorkloadError):
-        trace_from_dict({"kind": "event-trace", "name": "x"})
+        schema.event_trace_from_payload({"kind": "event-trace", "name": "x"})
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(WorkloadError):
+        schema.from_payload({"kind": "mystery", "version": 1})
+
+
+def test_version_mismatch_rejected():
+    with pytest.raises(WorkloadError):
+        schema.from_payload(
+            {"kind": schema.EVENT_TRACE_KIND, "version": 999, "name": "x"}
+        )
+
+
+# ------------------------------------------------------------- legacy shims
+def test_deprecated_names_warn_and_delegate(tmp_path):
+    """Every legacy repro.trace.format name warns and still works."""
+    from repro.trace import format as legacy
+
+    result = run_vsync(make_animation(light_params(), "fmt-shim"))
+    trace = record_run(result)
+
+    with pytest.warns(DeprecationWarning, match="trace_to_dict is deprecated"):
+        payload = legacy.trace_to_dict(trace)
+    with pytest.warns(DeprecationWarning, match="trace_from_dict is deprecated"):
+        clone = legacy.trace_from_dict(payload)
+    assert clone.spans == trace.spans
+
+    path = tmp_path / "trace.json"
+    with pytest.warns(DeprecationWarning, match="save_trace is deprecated"):
+        legacy.save_trace(trace, path)
+    with pytest.warns(DeprecationWarning, match="load_trace is deprecated"):
+        assert legacy.load_trace(path).spans == trace.spans
+
+    frames = FrameTrace(
+        name="game", refresh_hz=30, workloads=[FrameWorkload(1, 2)]
+    )
+    frames_path = tmp_path / "frames.json"
+    with pytest.warns(DeprecationWarning, match="save_frame_trace is deprecated"):
+        legacy.save_frame_trace(frames, frames_path)
+    with pytest.warns(DeprecationWarning, match="load_frame_trace is deprecated"):
+        assert legacy.load_frame_trace(frames_path).workloads == frames.workloads
+
+
+def test_deprecated_loader_still_checks_kind(tmp_path):
+    """The shimmed loaders keep the kind check the old API promised."""
+    from repro.trace import format as legacy
+
+    frames = FrameTrace(
+        name="game", refresh_hz=30, workloads=[FrameWorkload(1, 2)]
+    )
+    path = tmp_path / "frames.json"
+    schema.save(frames, path)
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(WorkloadError):
+            legacy.load_trace(path)
