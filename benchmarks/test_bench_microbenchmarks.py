@@ -130,3 +130,65 @@ def test_bench_disabled_telemetry_overhead():
     raise AssertionError(
         f"disabled telemetry costs {overhead * 100:.2f}% (gate: < 3%)"
     )
+
+def test_bench_disabled_verify_overhead():
+    """Zero-cost-when-disabled gate: < 3% overhead vs a checker-free build.
+
+    Same protocol as the telemetry gate above: the control arm monkeypatches
+    ``SchedulerBase._install_verifier`` to a no-op (the pre-verification
+    construction path), the measured arm keeps the real resolve with the
+    process-wide switch off — which registers zero hooks, so both arms run
+    identical per-frame code. Alternating arms, per-arm minimums, one
+    escalation retry.
+    """
+    import time
+
+    from repro.pipeline.scheduler_base import SchedulerBase
+    from repro.verify import runtime as verify_runtime
+
+    verify_runtime.reset()
+    assert not verify_runtime.enabled(), (
+        "REPRO_VERIFY is set; the disabled-overhead gate needs the switch off"
+    )
+
+    def run_once(tag: str) -> float:
+        driver = make_animation(light_params(), f"bench-ver-{tag}", duration_ms=4000)
+        scheduler = VSyncScheduler(driver, PIXEL_5, buffer_count=3)
+        started = time.perf_counter()
+        scheduler.run()
+        return time.perf_counter() - started
+
+    original = SchedulerBase._install_verifier
+
+    def stub(self, verify):
+        return None
+
+    def measure(rounds: int) -> tuple[float, float]:
+        control, measured = [], []
+        try:
+            for _ in range(2):  # warm both paths
+                run_once("warm")
+            for index in range(rounds):
+                arms = [(stub, control), (original, measured)]
+                if index % 2:
+                    arms.reverse()
+                for install, samples in arms:
+                    SchedulerBase._install_verifier = install
+                    samples.append(run_once(f"r{index}"))
+        finally:
+            SchedulerBase._install_verifier = original
+        return min(control), min(measured)
+
+    for attempt, rounds in enumerate((16, 32)):
+        control_floor, measured_floor = measure(rounds)
+        overhead = measured_floor / control_floor - 1.0
+        print(
+            f"\ndisabled-verify overhead (attempt {attempt}, {rounds} rounds): "
+            f"{overhead * 100:+.2f}% (control {control_floor * 1000:.2f} ms, "
+            f"measured {measured_floor * 1000:.2f} ms)"
+        )
+        if measured_floor < control_floor * 1.03:
+            return
+    raise AssertionError(
+        f"disabled verification costs {overhead * 100:.2f}% (gate: < 3%)"
+    )

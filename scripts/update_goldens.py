@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Refresh (or check) the golden-trace regression corpus in tests/golden/.
+
+Default mode re-runs every spec registered in
+:func:`repro.verify.golden.golden_specs` and rewrites the corpus files —
+do this in the same commit as an intentional behavioural change, so the
+diff review answers "is this drift intended?". ``--check`` compares instead
+of writing and exits non-zero on any drift, missing file, or stale spec
+(this is what the CI ``verify`` job runs).
+
+Usage:
+    PYTHONPATH=src python scripts/update_goldens.py [--check] [--dir DIR] [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the stored corpus instead of rewriting it",
+    )
+    parser.add_argument(
+        "--dir",
+        default=None,
+        metavar="DIR",
+        help="corpus directory (default: tests/golden/ in the checkout)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parallel simulation workers (default: 1, in-process)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.exec.executor import Executor
+    from repro.verify.golden import check_goldens, write_goldens
+
+    with Executor(jobs=args.jobs, cache=False) as executor:
+        if args.check:
+            report = check_goldens(directory=args.dir, executor=executor)
+            print(report.render())
+            return 0 if report.passed else 1
+        paths = write_goldens(directory=args.dir, executor=executor)
+        for path in paths:
+            print(f"wrote {path}")
+        print(f"{len(paths)} golden(s) regenerated")
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -19,6 +19,11 @@ Pass ``telemetry=True`` (or flip the process-wide switch with
 :class:`~repro.telemetry.session.TelemetrySnapshot` on
 ``result.telemetry`` — spans, counters and profiling blocks exportable to
 Chrome trace JSON via :mod:`repro.telemetry.chrome`.
+
+Pass ``verify=True`` (or flip :mod:`repro.verify.runtime`) to ride a runtime
+:class:`~repro.verify.invariants.InvariantChecker` along any run;
+``python -m repro --verify`` runs the differential VSync/D-VSync oracle and
+the golden-trace comparator over the registered scenarios.
 """
 
 from repro.core import (
@@ -71,6 +76,11 @@ from repro.metrics import (
 )
 from repro.facade import simulate
 from repro.pipeline import FrameCategory, FrameWorkload, RunResult, ScenarioDriver
+from repro.verify import (
+    InvariantChecker,
+    check_goldens,
+    run_differential_oracle,
+)
 from repro.sim import SeededRng, Simulator
 from repro.vsync import VSyncScheduler
 from repro.workloads import (
@@ -141,5 +151,8 @@ __all__ = [
     "TraceDriver",
     "params_for_target_fdps",
     "simulate",
+    "InvariantChecker",
+    "check_goldens",
+    "run_differential_oracle",
     "__version__",
 ]

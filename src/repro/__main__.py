@@ -16,6 +16,11 @@ and over the telemetry subsystem, for observability questions:
 
     python -m repro fig05 --trace out.json --profile
     python -m repro --all --quick --trace all.json --profile
+
+and over the verification subsystem, for correctness questions:
+
+    python -m repro --verify
+    python -m repro --verify --jobs 4
 """
 
 from __future__ import annotations
@@ -97,6 +102,15 @@ def main(argv: list[str] | None = None) -> int:
         "--fault-seed", type=int, default=0, help="seed for the fault drill rngs"
     )
     parser.add_argument(
+        "--verify",
+        action="store_true",
+        help=(
+            "run the correctness suite: the differential VSync/D-VSync "
+            "oracle over every registered scenario, then the golden-trace "
+            "comparator (exit 1 on any failed claim or drifted golden)"
+        ),
+    )
+    parser.add_argument(
         "--trace",
         metavar="PATH",
         help=(
@@ -130,6 +144,21 @@ def main(argv: list[str] | None = None) -> int:
     )
     set_default_executor(executor)
 
+    if args.verify:
+        from repro.verify.golden import check_goldens
+        from repro.verify.oracle import run_differential_oracle
+
+        oracle_report = run_differential_oracle(executor=executor)
+        golden_report = check_goldens(executor=executor)
+        try:
+            print(oracle_report.render())
+            print()
+            print(golden_report.render())
+            print(f"executor: {executor.stats.describe()}")
+        except BrokenPipeError:  # piping into `head` etc. is fine
+            pass
+        executor.close()
+        return 0 if oracle_report.passed and golden_report.passed else 1
     if args.faults is not None:
         try:
             drill = run_fault_drill(

@@ -66,6 +66,9 @@ class DisplayTimeVirtualizer:
         self.calibrations = 0
         self.skipped_periods = 0
         self.predictions_made = 0
+        # Observability seam: fires on every committed prediction. The
+        # invariant checker registers here; the list stays empty otherwise.
+        self.on_commit: list = []
 
     @property
     def exec_estimate_ns(self) -> int:
@@ -100,11 +103,18 @@ class DisplayTimeVirtualizer:
             d_timestamp = max(d_timestamp, self._last_issued_d_ts + period // 4)
         return DisplayPrediction(d_timestamp=d_timestamp, predicted_present=predicted_present)
 
+    @property
+    def pending_frame_ids(self) -> tuple[int, ...]:
+        """Frames tracked for calibration whose present fence has not landed."""
+        return tuple(self._pending)
+
     def commit(self, prediction: DisplayPrediction) -> None:
         """Reserve the predicted slot so later frames pace behind it."""
         self._last_committed_present = prediction.predicted_present
         self._last_issued_d_ts = prediction.d_timestamp
         self.predictions_made += 1
+        for hook in self.on_commit:
+            hook(prediction)
 
     def predict(self, now: int) -> DisplayPrediction:
         """Preview and immediately commit (convenience for simple callers)."""

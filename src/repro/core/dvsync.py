@@ -40,6 +40,7 @@ class DVSyncScheduler(SchedulerBase):
         offsets: VsyncOffsets | None = None,
         sim: Simulator | None = None,
         telemetry=None,
+        verify=None,
     ) -> None:
         self.config = config or DVSyncConfig()
         super().__init__(
@@ -49,6 +50,7 @@ class DVSyncScheduler(SchedulerBase):
             offsets=offsets,
             sim=sim,
             telemetry=telemetry,
+            verify=verify,
         )
         self.controller = RuntimeController(
             enabled=self.config.enabled, ipl_enabled=self.config.ipl_enabled

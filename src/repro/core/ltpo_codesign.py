@@ -42,6 +42,12 @@ class LTPOCoDesign:
         self._draining = False
         if enforce_drain:
             ltpo.switch_gate = self._switch_gate
+        elif scheduler.verifier is not None:
+            # The ablation exists to produce rate-mismatched presents; the
+            # invariant checker must not report them as library bugs.
+            scheduler.verifier.waive(
+                "rate-bound-display", "ltpo co-design drain disabled (ablation)"
+            )
         ltpo.add_rate_listener(self._on_rate_change)
         scheduler.pipeline.on_frame_queued.append(self._on_frame_queued)
         scheduler.hal.add_listener(self._on_present)

@@ -53,6 +53,17 @@ class InjectedFaultError(ReproError):
     """
 
 
+class InvariantViolationError(ReproError):
+    """A runtime invariant of the rendering architecture was violated.
+
+    Raised at the end of ``run()`` by a *strict*
+    :class:`~repro.verify.invariants.InvariantChecker` when any paper-derived
+    invariant (buffer conservation, D-Timestamp monotonicity, the pre-render
+    limit, rate-bound display, ...) was breached during the run. Non-strict
+    checkers record violations in ``RunResult.extra["invariants"]`` instead.
+    """
+
+
 class FaultContainmentError(ReproError):
     """Fault containment gave up on keeping the run alive.
 

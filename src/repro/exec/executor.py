@@ -50,17 +50,23 @@ def execute_spec(spec: RunSpec) -> RunResult:
     from repro.vsync.scheduler import VSyncScheduler
 
     driver = spec.driver.build()
-    # spec.telemetry forces a session even when this process (a pool worker,
-    # say) never flipped the process-wide switch; False defers to it.
+    # spec.telemetry / spec.verify force a session or checker even when this
+    # process (a pool worker, say) never flipped the corresponding
+    # process-wide switch; False defers to it.
     telemetry = True if spec.telemetry else None
+    verify = True if spec.verify else None
     if spec.architecture == "vsync":
         scheduler = VSyncScheduler(
-            driver, spec.device, buffer_count=spec.buffer_count, telemetry=telemetry
+            driver,
+            spec.device,
+            buffer_count=spec.buffer_count,
+            telemetry=telemetry,
+            verify=verify,
         )
     elif spec.architecture == "dvsync":
         config = spec.dvsync or DVSyncConfig(buffer_count=spec.buffer_count or 4)
         scheduler = DVSyncScheduler(
-            driver, spec.device, config=config, telemetry=telemetry
+            driver, spec.device, config=config, telemetry=telemetry, verify=verify
         )
     else:  # pragma: no cover - RunSpec.__post_init__ already rejects this
         raise ConfigurationError(f"unknown architecture {spec.architecture!r}")

@@ -162,6 +162,10 @@ class RunSpec:
             snapshot to ``RunResult.telemetry``. Part of the spec (and its
             content hash) because it must reach process-pool workers, whose
             process-wide telemetry switch is independent of the parent's.
+        verify: Attach a (non-strict) invariant checker to the run and record
+            its structured verdict in ``RunResult.extra["invariants"]``. In
+            the spec for the same reason as ``telemetry``: pool workers have
+            their own process-wide verification switch.
     """
 
     driver: DriverSpec
@@ -175,6 +179,7 @@ class RunSpec:
     start_time: int = 0
     horizon: int | None = None
     telemetry: bool = False
+    verify: bool = False
 
     def __post_init__(self) -> None:
         if self.architecture not in ARCHITECTURES:
@@ -200,6 +205,7 @@ class RunSpec:
             "start_time": self.start_time,
             "horizon": self.horizon,
             "telemetry": self.telemetry,
+            "verify": self.verify,
         }
 
     @classmethod
@@ -218,6 +224,7 @@ class RunSpec:
             start_time=wire["start_time"],
             horizon=wire["horizon"],
             telemetry=wire.get("telemetry", False),
+            verify=wire.get("verify", False),
         )
 
     def content_hash(self) -> str:

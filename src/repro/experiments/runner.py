@@ -45,21 +45,26 @@ def run_driver(
     buffer_count: int | None = None,
     dvsync_config: DVSyncConfig | None = None,
     telemetry=None,
+    verify=None,
 ) -> RunResult:
     """Run one live driver to completion under the requested architecture.
 
-    ``telemetry=None`` defers to the process-wide switch; the resulting
-    snapshot (if any) is published to the telemetry collector like
-    executor-path runs are.
+    ``telemetry=None`` / ``verify=None`` defer to the process-wide switches;
+    the resulting snapshot (if any) is published to the telemetry collector
+    like executor-path runs are.
     """
     if architecture == "vsync":
         scheduler = VSyncScheduler(
-            driver, device, buffer_count=buffer_count, telemetry=telemetry
+            driver,
+            device,
+            buffer_count=buffer_count,
+            telemetry=telemetry,
+            verify=verify,
         )
     elif architecture == "dvsync":
         config = dvsync_config or DVSyncConfig(buffer_count=buffer_count or 4)
         scheduler = DVSyncScheduler(
-            driver, device, config=config, telemetry=telemetry
+            driver, device, config=config, telemetry=telemetry, verify=verify
         )
     else:
         raise ConfigurationError(f"unknown architecture {architecture!r}")
@@ -76,15 +81,21 @@ def scenario_spec(
     buffer_count: int | None = None,
     dvsync_config: DVSyncConfig | None = None,
     telemetry: bool | None = None,
+    verify: bool | None = None,
 ) -> RunSpec:
     """Describe one repetition of a scenario as a RunSpec.
 
-    ``telemetry=None`` reads the process-wide switch at description time, so
-    a ``--trace``/``--profile`` invocation records every run the experiments
-    submit — including runs that execute in pool workers.
+    ``telemetry=None`` / ``verify=None`` read the process-wide switches at
+    description time, so a ``--trace``/``--profile`` invocation records (and
+    an enabled checker verifies) every run the experiments submit —
+    including runs that execute in pool workers.
     """
     if telemetry is None:
         telemetry = telemetry_runtime.enabled()
+    if verify is None:
+        from repro.verify import runtime as verify_runtime
+
+        verify = verify_runtime.enabled()
     return RunSpec(
         driver=DriverSpec.from_scenario(scenario, run=run),
         device=device,
@@ -92,6 +103,7 @@ def scenario_spec(
         buffer_count=buffer_count,
         dvsync=dvsync_config,
         telemetry=telemetry,
+        verify=verify,
     )
 
 

@@ -13,7 +13,8 @@ picks the right path from its arguments:
   addressed, so it runs in-process directly.
 
 Either way the result is the same normalized :class:`RunResult`, and
-telemetry obeys the same tri-state contract as the scheduler constructors:
+telemetry and verification obey the same tri-state contract as the scheduler
+constructors:
 ``None`` defers to the process-wide switch, ``True``/``False`` force it, and
 a :class:`~repro.telemetry.session.Telemetry` instance records into a session
 the caller owns (driver path only — sessions cannot cross the spec wire).
@@ -32,6 +33,7 @@ from repro.workloads.scenarios import Scenario
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.telemetry.session import NullTelemetry, Telemetry
+    from repro.verify.invariants import InvariantChecker
 
 
 def _split_config(
@@ -69,6 +71,7 @@ def simulate(
     architecture: str = "dvsync",
     config: DVSyncConfig | int | None = None,
     telemetry: "bool | Telemetry | NullTelemetry | None" = None,
+    verify: "bool | InvariantChecker | None" = None,
     seed: int | None = None,
 ) -> RunResult:
     """Run *scenario* on *device* under one architecture; return the result.
@@ -88,6 +91,17 @@ def simulate(
             force recording on/off for this run; an explicit session records
             into it (live-driver path only). When recorded, the snapshot is
             attached as ``result.telemetry``.
+        verify: Same tri-state contract for the runtime invariant checker
+            (:mod:`repro.verify`): ``None`` defers to
+            :func:`repro.verify.runtime.set_enabled`, ``True`` forces a
+            checker, ``False`` declines one, an
+            :class:`~repro.verify.invariants.InvariantChecker` instance is
+            used as-is (live-driver path only). Like ``telemetry``, the
+            Scenario path records the flag on the :class:`RunSpec` as an
+            opt-in: ``True`` forces a checker in whichever process executes
+            the spec, while ``False`` still defers to that process's
+            process-wide switch. The verdict is attached as
+            ``result.extra["invariants"]``.
         seed: Repetition index for a :class:`Scenario` (its driver builder is
             seeded by name + run index). Must be ``None`` for a live driver,
             which is already constructed.
@@ -106,6 +120,12 @@ def simulate(
                 "a telemetry on/off flag; pass telemetry=True/False/None or "
                 "use a live driver with an explicit session"
             )
+        if verify is not None and not isinstance(verify, bool):
+            raise ConfigurationError(
+                "a Scenario runs through the executor, whose specs only carry "
+                "a verify on/off flag; pass verify=True/False/None or use a "
+                "live driver with an explicit InvariantChecker"
+            )
         return run_spec(
             scenario_spec(
                 scenario,
@@ -115,6 +135,7 @@ def simulate(
                 buffer_count=buffer_count,
                 dvsync_config=dvsync_config,
                 telemetry=telemetry,
+                verify=verify,
             )
         )
 
@@ -131,6 +152,7 @@ def simulate(
             buffer_count=buffer_count,
             dvsync_config=dvsync_config,
             telemetry=telemetry,
+            verify=verify,
         )
 
     raise ConfigurationError(

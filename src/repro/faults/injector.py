@@ -96,6 +96,12 @@ class FaultInjector:
             model.attach(scheduler)
         scheduler.sim.exception_handler = self._contain
         scheduler.result_hooks.append(self._annotate)
+        if scheduler.verifier is not None and self.models:
+            # Injected faults legitimately break runtime invariants (off-grid
+            # presents under VSync jitter, say); the checker keeps recording
+            # them as evidence but must not treat them as library bugs. An
+            # empty schedule injects nothing and must not perturb the run.
+            scheduler.verifier.relax(f"faults injected: {self.schedule.describe()}")
 
     def _contain(self, now: int, exc: Exception) -> bool:
         """Simulator exception handler: contain injected faults only.

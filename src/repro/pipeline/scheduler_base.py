@@ -30,6 +30,7 @@ from repro.sim.engine import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.telemetry.session import NullTelemetry, Telemetry, TelemetrySnapshot
+    from repro.verify.invariants import InvariantChecker
 
 # Safety valve for run(); generous enough for hours of simulated 120 Hz.
 _MAX_EVENTS = 20_000_000
@@ -106,7 +107,8 @@ class SchedulerBase(abc.ABC):
     The construction contract is shared by every scheduler: positional
     ``(driver, device)``, one positional-or-keyword architecture knob
     (``buffer_count`` here and on the VSync subclasses, ``config`` on
-    D-VSync), and keyword-only ``offsets`` / ``sim`` / ``telemetry``.
+    D-VSync), and keyword-only ``offsets`` / ``sim`` / ``telemetry`` /
+    ``verify``.
     Likewise :meth:`run` is defined once, here — subclasses customize the
     result through :meth:`_finalize_result`, never by overriding ``run``.
     """
@@ -115,6 +117,9 @@ class SchedulerBase(abc.ABC):
     #: Telemetry session for this run; ``None`` until construction installs
     #: one (the null session when telemetry is off).
     telemetry: "Telemetry | NullTelemetry | None" = None
+    #: Invariant checker for this run; stays ``None`` when verification is
+    #: disabled (the zero-cost default — no hooks are registered).
+    verifier: "InvariantChecker | None" = None
 
     def __init__(
         self,
@@ -125,6 +130,7 @@ class SchedulerBase(abc.ABC):
         offsets: VsyncOffsets | None = None,
         sim: Simulator | None = None,
         telemetry: "Telemetry | NullTelemetry | bool | None" = None,
+        verify: "InvariantChecker | bool | None" = None,
     ) -> None:
         self.driver = driver
         self.device = device
@@ -171,6 +177,7 @@ class SchedulerBase(abc.ABC):
         self.on_frame_spawned: list[Callable[[FrameRecord], None]] = []
         self.compositor.after_tick.append(self._after_tick)
         self._install_telemetry(telemetry)
+        self._install_verifier(verify)
 
     # -------------------------------------------------------------- telemetry
     def _install_telemetry(
@@ -247,6 +254,24 @@ class SchedulerBase(abc.ABC):
         self.compositor.after_tick.append(after_tick)
         # The simulator self-times its event loop (wall clock) into the session.
         self.sim.telemetry = session
+
+    # ----------------------------------------------------------- verification
+    def _install_verifier(self, verify: "InvariantChecker | bool | None") -> None:
+        """Resolve the verify argument; when enabled, bind the checker.
+
+        Disabled verification (the default) binds **nothing**: the checker's
+        per-event hooks only exist on runs that asked for them, so a run
+        without verification executes the same code paths as one built before
+        the subsystem existed. The checker's event hooks install at the top
+        of :meth:`run` (see :meth:`InvariantChecker.arm`), after every
+        component and listener exists.
+        """
+        from repro.verify.invariants import resolve_checker
+
+        checker = resolve_checker(verify)
+        if checker is not None:
+            self.verifier = checker
+            checker.attach(self)
 
     # ------------------------------------------------------------------ hooks
     def _frame_by_id(self, frame_id: int) -> FrameRecord | None:
@@ -333,6 +358,8 @@ class SchedulerBase(abc.ABC):
         telemetry = self.telemetry
         recording = telemetry is not None and telemetry.enabled
         run_started = time.perf_counter() if recording else None
+        if self.verifier is not None:
+            self.verifier.arm()
         self.driver.begin(start_time)
         self._started = True
         self.hw_vsync.start(start_time)
@@ -369,4 +396,6 @@ class SchedulerBase(abc.ABC):
             )
         for hook in list(self.result_hooks):
             hook(result)
+        if self.verifier is not None:
+            self.verifier.enforce(result)
         return result

@@ -1,0 +1,265 @@
+"""Golden-trace regression corpus.
+
+Every golden pins one :class:`RunSpec` to the SHA-256 digest of its result's
+wire form (floats rounded, so libm noise across platforms cannot flip a
+digest). The corpus lives in ``tests/golden/`` and is refreshed by
+``scripts/update_goldens.py``; :func:`check_goldens` re-runs every registered
+spec and reports drift as a structured diff — which *summary* dimension moved
+(frame counts, drops, violations, run length) before falling back to
+"frame-level drift" when only the fine-grained digest changed.
+
+A digest mismatch is the point, not a nuisance: any change to scheduler
+timing, workload seeding, or serialization shows up here first, and the
+review question becomes "is this drift intended?" — answered by regenerating
+the corpus in the same commit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import pathlib
+
+from repro.core.config import DVSyncConfig
+from repro.display.device import MATE_40_PRO, PIXEL_5
+from repro.exec.executor import Executor, get_default_executor
+from repro.exec.serialize import result_to_wire
+from repro.exec.spec import DriverSpec, RunSpec, canonical_json
+from repro.pipeline.scheduler_base import RunResult
+
+#: Bump when the golden payload layout changes (forces regeneration).
+GOLDEN_SCHEMA_VERSION = 1
+
+#: Decimal places floats are rounded to before digesting. Timings in this
+#: codebase are integers from seeded generators; the only floats are content
+#: values, where 6 decimals is far above libm cross-platform variance.
+_FLOAT_DECIMALS = 6
+
+
+def _rounded(value):
+    """Recursively round floats so digests survive platform libm drift."""
+    if isinstance(value, float):
+        return round(value, _FLOAT_DECIMALS)
+    if isinstance(value, list):
+        return [_rounded(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _rounded(item) for key, item in value.items()}
+    return value
+
+
+def run_digest(result: RunResult) -> str:
+    """SHA-256 digest of a result's behavioural surface (hex).
+
+    Digests the full wire form — frames, drops, presents, busy counters,
+    extra (including the invariant verdict) — with floats rounded. Telemetry
+    is excluded: it carries wall-clock measurements that differ per host.
+    """
+    wire = result_to_wire(result)
+    wire.pop("telemetry", None)
+    return hashlib.sha256(
+        canonical_json(_rounded(wire)).encode("utf-8")
+    ).hexdigest()
+
+
+def run_summary(result: RunResult) -> dict:
+    """Coarse behavioural summary stored next to the digest for diffing."""
+    return {
+        "frames": len(result.frames),
+        "presents": len(result.presents),
+        "drops": len(result.drops),
+        "effective_drops": len(result.effective_drops),
+        "end_time": result.end_time,
+        "violations": result.extra.get("invariants", {}).get(
+            "violation_count", None
+        ),
+    }
+
+
+def golden_specs() -> dict[str, RunSpec]:
+    """The registered corpus: name -> spec (all with the checker riding)."""
+
+    def burst(name: str, target_fdps: float, refresh_hz: int, **kwargs):
+        return DriverSpec.of(
+            "repro.exec.builders:burst_animation",
+            name=name,
+            target_fdps=target_fdps,
+            refresh_hz=refresh_hz,
+            **kwargs,
+        )
+
+    steady = burst("golden-steady", 2.0, 60, duration_ms=600, burst_period_ms=None)
+    droppy = burst("golden-droppy", 5.0, 60, duration_ms=600, burst_period_ms=None)
+    composite = DriverSpec.of(
+        "repro.faults.drill:drill_driver", scenario="composite"
+    )
+    return {
+        "vsync-steady-60": RunSpec(
+            driver=steady, device=PIXEL_5, architecture="vsync",
+            buffer_count=3, verify=True,
+        ),
+        "dvsync-steady-60": RunSpec(
+            driver=steady, device=PIXEL_5, architecture="dvsync",
+            dvsync=DVSyncConfig(buffer_count=4), verify=True,
+        ),
+        "vsync-droppy-60": RunSpec(
+            driver=droppy, device=PIXEL_5, architecture="vsync",
+            buffer_count=3, verify=True,
+        ),
+        "dvsync-droppy-60": RunSpec(
+            driver=droppy, device=PIXEL_5, architecture="dvsync",
+            dvsync=DVSyncConfig(buffer_count=4), verify=True,
+        ),
+        "dvsync-bursty-90": RunSpec(
+            driver=burst("golden-bursty", 3.0, 90, duration_ms=500, bursts=2),
+            device=MATE_40_PRO, architecture="dvsync",
+            dvsync=DVSyncConfig(buffer_count=4), verify=True,
+        ),
+        "dvsync-faulted-watchdog": RunSpec(
+            driver=composite, device=PIXEL_5, architecture="dvsync",
+            dvsync=DVSyncConfig(buffer_count=4), faults="standard",
+            fault_seed=7, watchdog=True, verify=True,
+        ),
+    }
+
+
+def default_golden_dir() -> pathlib.Path:
+    """``tests/golden/`` resolved from the repository checkout."""
+    root = pathlib.Path(__file__).resolve().parents[3]
+    if (root / "tests").is_dir():
+        return root / "tests" / "golden"
+    return pathlib.Path.cwd() / "tests" / "golden"
+
+
+def golden_payload(name: str, spec: RunSpec, result: RunResult) -> dict:
+    """The JSON document one golden file stores."""
+    return {
+        "golden_schema": GOLDEN_SCHEMA_VERSION,
+        "name": name,
+        "spec": spec.to_wire(),
+        "spec_hash": spec.content_hash(),
+        "digest": run_digest(result),
+        "summary": run_summary(result),
+    }
+
+
+def write_goldens(
+    directory: pathlib.Path | str | None = None,
+    executor: Executor | None = None,
+) -> list[pathlib.Path]:
+    """(Re)generate every registered golden file; returns the paths."""
+    target = pathlib.Path(directory) if directory else default_golden_dir()
+    target.mkdir(parents=True, exist_ok=True)
+    specs = golden_specs()
+    runner = executor if executor is not None else get_default_executor()
+    results = runner.map(list(specs.values()))
+    paths = []
+    for (name, spec), result in zip(specs.items(), results):
+        path = target / f"{name}.json"
+        payload = golden_payload(name, spec, result)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        paths.append(path)
+    return paths
+
+
+@dataclasses.dataclass(frozen=True)
+class GoldenEntry:
+    """Verdict for one registered golden."""
+
+    name: str
+    status: str  # "ok" | "missing" | "stale-spec" | "drift"
+    detail: str
+
+
+@dataclasses.dataclass
+class GoldenCheckReport:
+    """Outcome of comparing the corpus against fresh runs."""
+
+    entries: list[GoldenEntry]
+
+    @property
+    def failures(self) -> list[GoldenEntry]:
+        return [entry for entry in self.entries if entry.status != "ok"]
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        lines = ["golden-trace corpus:"]
+        for entry in self.entries:
+            mark = "ok  " if entry.status == "ok" else "FAIL"
+            lines.append(
+                f"  {mark} {entry.name:<26} {entry.status:<10} {entry.detail}"
+            )
+        verdict = (
+            "corpus matches"
+            if self.passed
+            else f"{len(self.failures)} golden(s) FAILED "
+            "(scripts/update_goldens.py regenerates if the drift is intended)"
+        )
+        lines.append(f"  => {verdict}")
+        return "\n".join(lines)
+
+
+def _diff_summaries(expected: dict, actual: dict) -> list[str]:
+    deltas = []
+    for key in sorted(set(expected) | set(actual)):
+        if expected.get(key) != actual.get(key):
+            deltas.append(f"{key}: {expected.get(key)} -> {actual.get(key)}")
+    return deltas
+
+
+def check_goldens(
+    directory: pathlib.Path | str | None = None,
+    executor: Executor | None = None,
+) -> GoldenCheckReport:
+    """Re-run every registered spec and compare against the stored corpus."""
+    target = pathlib.Path(directory) if directory else default_golden_dir()
+    specs = golden_specs()
+    runner = executor if executor is not None else get_default_executor()
+    results = runner.map(list(specs.values()))
+
+    entries = []
+    for (name, spec), result in zip(specs.items(), results):
+        path = target / f"{name}.json"
+        if not path.is_file():
+            entries.append(
+                GoldenEntry(
+                    name=name,
+                    status="missing",
+                    detail=f"{path} absent — run scripts/update_goldens.py",
+                )
+            )
+            continue
+        stored = json.loads(path.read_text())
+        if stored.get("golden_schema") != GOLDEN_SCHEMA_VERSION or stored.get(
+            "spec_hash"
+        ) != spec.content_hash():
+            entries.append(
+                GoldenEntry(
+                    name=name,
+                    status="stale-spec",
+                    detail=(
+                        "stored spec/schema no longer matches the registry — "
+                        "regenerate the corpus"
+                    ),
+                )
+            )
+            continue
+        digest = run_digest(result)
+        if digest == stored["digest"]:
+            entries.append(
+                GoldenEntry(
+                    name=name, status="ok", detail=f"digest {digest[:12]}…"
+                )
+            )
+            continue
+        deltas = _diff_summaries(stored.get("summary", {}), run_summary(result))
+        detail = (
+            "; ".join(deltas)
+            if deltas
+            else "frame-level drift (summary unchanged, digest differs)"
+        )
+        entries.append(GoldenEntry(name=name, status="drift", detail=detail))
+    return GoldenCheckReport(entries=entries)

@@ -1,0 +1,462 @@
+"""Runtime invariant checker for scheduler runs.
+
+The paper's correctness claims are structural, not statistical: buffers are
+conserved through the queue (§2), the compositor consumes it FIFO (§4.4),
+D-Timestamps are monotone and bounded by the content-time convention (§4.4,
+§7), the FPE never accumulates past the pre-render limit (§4.3, §5.1), and
+LTPO rate-bound buffers never let a frame rendered at X Hz display at Y Hz
+(§5.3). :class:`InvariantChecker` enforces those properties *while a run
+executes*, riding the same hook surfaces telemetry uses — a scheduler built
+without a checker registers zero verification hooks, so the disabled path
+costs one resolve branch at construction and nothing per frame.
+
+Violations are structured :class:`Violation` records attached to
+``RunResult.extra["invariants"]``; a *strict* checker additionally raises
+:class:`~repro.errors.InvariantViolationError` at the end of ``run()``.
+Components that intentionally break an invariant declare it: the fault
+injector :meth:`relax`\\ es the checker (violations are expected evidence, not
+bugs), and the LTPO co-design ablation :meth:`waive`\\ s the rate-bound check
+it exists to violate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError, InvariantViolationError
+from repro.units import period_to_hz
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.display.hal import PresentRecord
+    from repro.graphics.buffer import FrameBuffer
+    from repro.pipeline.frame import FrameRecord
+    from repro.pipeline.scheduler_base import RunResult, SchedulerBase
+
+#: Every invariant the checker can enforce, with its paper anchor. The ids are
+#: stable — they appear in violation records, waiver maps, and golden traces.
+INVARIANTS = {
+    "buffer-conservation": (
+        "Queue bookkeeping conserves buffers: slot states partition the pool "
+        "and total_queued == total_acquired + queued_depth (§2)."
+    ),
+    "queue-fifo": (
+        "The compositor latches buffers in exactly the order they were "
+        "queued (§4.4's FIFO consumption model)."
+    ),
+    "present-monotone": (
+        "Present-fence times strictly increase — the panel never latches two "
+        "buffers on one edge (§2)."
+    ),
+    "present-once": "No frame reaches the panel twice.",
+    "content-monotone": (
+        "Displayed content timestamps never run backward within a trigger "
+        "channel — the §7 'chaotic content' failure."
+    ),
+    "dts-monotone": (
+        "Committed D-Timestamps strictly increase; the DTV slew floor "
+        "guarantees forward-only content time (§4.4)."
+    ),
+    "dts-future-slot": (
+        "Every committed display prediction targets a future present slot, "
+        "back-dated by at most the pipeline depth (§4.4's content-time "
+        "convention)."
+    ),
+    "accumulation-limit": (
+        "The FPE never holds more undisplayed frames than the pre-render "
+        "limit when it triggers (§4.3, §5.1)."
+    ),
+    "rate-bound-display": (
+        "A frame rendered for X Hz never presents on a Y Hz panel — the "
+        "LTPO co-design drain rule (§5.3)."
+    ),
+    "dtv-grid-calibration": (
+        "With a constant refresh rate, DTV pacing errors are whole VSync "
+        "periods: calibration never drifts off the display grid (§4.4)."
+    ),
+    "drop-accounting": (
+        "Every recorded drop was owed content: a queued-late buffer or "
+        "frames still in flight (§3.2)."
+    ),
+    "dtv-tracking": (
+        "At run end every still-pending DTV prediction belongs to a frame "
+        "that never presented — calibration consumed every present fence "
+        "(§4.4)."
+    ),
+}
+
+#: Cap on *recorded* violations per run; the count keeps counting past it.
+_MAX_RECORDED = 200
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One observed breach of a runtime invariant."""
+
+    invariant: str
+    time: int
+    message: str
+
+    def to_wire(self) -> list:
+        return [self.invariant, self.time, self.message]
+
+
+def resolve_checker(verify) -> "InvariantChecker | None":
+    """Resolve a scheduler's ``verify`` argument to a checker (or None).
+
+    ``None`` defers to the process-wide switch (:mod:`repro.verify.runtime`),
+    ``False`` disables, ``True`` attaches a fresh non-strict checker, and an
+    :class:`InvariantChecker` instance is used as given.
+    """
+    # Imported here, not at module top: the package __init__ re-exports this
+    # module, so a top-level ``from repro.verify import runtime`` would cycle.
+    from repro.verify import runtime
+
+    if verify is False:
+        return None
+    if verify is None:
+        if not runtime.enabled():
+            return None
+        return InvariantChecker(strict=runtime.strict())
+    if verify is True:
+        return InvariantChecker()
+    if isinstance(verify, InvariantChecker):
+        return verify
+    raise ConfigurationError(
+        f"verify must be a bool, None, or an InvariantChecker, got {verify!r}"
+    )
+
+
+class InvariantChecker:
+    """Enforces the paper-derived runtime invariants over one scheduler run.
+
+    Lifecycle: :meth:`attach` binds the checker to a scheduler at
+    construction time (registering only the result annotation); :meth:`arm`
+    — called once at the top of ``SchedulerBase.run`` — installs the
+    per-event hooks, after every component and listener exists, so the
+    checker always observes component state *after* the component updated it.
+    """
+
+    def __init__(self, strict: bool = False) -> None:
+        self.strict = strict
+        self.violations: list[Violation] = []
+        self.violation_count = 0
+        self.checks = 0
+        self.waived: dict[str, str] = {}
+        self.relaxed: str | None = None
+        self._scheduler: "SchedulerBase | None" = None
+        self._armed = False
+        # Streaming state.
+        self._expected_latch: list[int] = []
+        self._last_present_time: int | None = None
+        self._presented: set[int] = set()
+        self._last_content: dict[bool, int] = {}
+        self._last_committed_d_ts: int | None = None
+        self._drops_seen = 0
+        self._pacing_seen = 0
+        self._periods_seen: set[int] = set()
+
+    # ------------------------------------------------------------ exemptions
+    def waive(self, invariant: str, reason: str) -> None:
+        """Skip one invariant for this run (intentional-breakage ablations)."""
+        if invariant not in INVARIANTS:
+            raise ConfigurationError(f"unknown invariant {invariant!r}")
+        self.waived[invariant] = reason
+
+    def relax(self, reason: str) -> None:
+        """Keep recording violations but never raise (fault-injection runs).
+
+        Injected faults legitimately break invariants — off-grid presents
+        under VSync jitter, for instance. Those violations are *evidence*
+        the fault landed, so they stay in the record; they are just not
+        treated as library bugs.
+        """
+        self.relaxed = reason
+
+    # ------------------------------------------------------------ attachment
+    def attach(self, scheduler: "SchedulerBase") -> None:
+        """Bind to *scheduler*; per-event hooks install later via :meth:`arm`."""
+        if self._scheduler is not None:
+            raise ConfigurationError(
+                "an InvariantChecker serves exactly one run; build a fresh one"
+            )
+        self._scheduler = scheduler
+        scheduler.result_hooks.append(self._annotate)
+
+    def arm(self) -> None:
+        """Install the per-event hooks (idempotent; called at run start)."""
+        if self._armed:
+            return
+        scheduler = self._scheduler
+        if scheduler is None:
+            raise ConfigurationError("arm() before attach()")
+        self._armed = True
+        scheduler.buffer_queue.on_buffer_queued.append(self._on_buffer_queued)
+        scheduler.compositor.after_tick.append(self._on_tick)
+        scheduler.hal.add_listener(self._on_present)
+        scheduler.on_frame_spawned.append(self._on_frame_spawned)
+        dtv = getattr(scheduler, "dtv", None)
+        if dtv is not None:
+            dtv.on_commit.append(self._on_dtv_commit)
+
+    # -------------------------------------------------------------- recording
+    def _record(self, invariant: str, time: int, message: str) -> None:
+        self.violation_count += 1
+        if len(self.violations) < _MAX_RECORDED:
+            self.violations.append(
+                Violation(invariant=invariant, time=time, message=message)
+            )
+
+    # ------------------------------------------------------------------ hooks
+    def _on_buffer_queued(self, buffer: "FrameBuffer") -> None:
+        if buffer.frame_id is not None:
+            self._expected_latch.append(buffer.frame_id)
+
+    def _on_tick(self, timestamp: int, index: int) -> None:
+        scheduler = self._scheduler
+        assert scheduler is not None
+        self._periods_seen.add(scheduler.hw_vsync.period)
+        self._check_conservation(timestamp)
+        self._check_new_drops()
+        self._check_new_pacing_errors(timestamp)
+
+    def _check_conservation(self, now: int) -> None:
+        from repro.graphics.buffer import BufferState
+
+        if "buffer-conservation" in self.waived:
+            return
+        scheduler = self._scheduler
+        assert scheduler is not None
+        queue = scheduler.buffer_queue
+        self.checks += 1
+        queued_slots = sum(
+            1 for b in queue.slots if b.state is BufferState.QUEUED
+        )
+        acquired_slots = sum(
+            1 for b in queue.slots if b.state is BufferState.ACQUIRED
+        )
+        if queued_slots != queue.queued_depth:
+            self._record(
+                "buffer-conservation",
+                now,
+                f"{queued_slots} QUEUED slots but FIFO depth {queue.queued_depth}",
+            )
+        expected_front = 1 if queue.front is not None else 0
+        if acquired_slots != expected_front:
+            self._record(
+                "buffer-conservation",
+                now,
+                f"{acquired_slots} ACQUIRED slots with front={queue.front!r}",
+            )
+        if queue.total_queued != queue.total_acquired + queue.queued_depth:
+            self._record(
+                "buffer-conservation",
+                now,
+                f"queued {queue.total_queued} != acquired {queue.total_acquired} "
+                f"+ depth {queue.queued_depth}",
+            )
+
+    def _check_new_drops(self) -> None:
+        scheduler = self._scheduler
+        assert scheduler is not None
+        drops = scheduler.compositor.drops
+        while self._drops_seen < len(drops):
+            drop = drops[self._drops_seen]
+            self._drops_seen += 1
+            if "drop-accounting" in self.waived:
+                continue
+            self.checks += 1
+            if drop.queued_depth == 0 and drop.frames_in_flight == 0:
+                self._record(
+                    "drop-accounting",
+                    drop.time,
+                    "drop recorded with nothing queued and nothing in flight",
+                )
+
+    def _check_new_pacing_errors(self, now: int) -> None:
+        scheduler = self._scheduler
+        dtv = getattr(scheduler, "dtv", None)
+        if dtv is None:
+            return
+        errors = dtv.pacing_errors_ns
+        new_errors = errors[self._pacing_seen :]
+        self._pacing_seen = len(errors)
+        if "dtv-grid-calibration" in self.waived or len(self._periods_seen) != 1:
+            # A rate switch re-anchors the grid; the modular check only holds
+            # while one period has been in effect for the whole run so far.
+            return
+        (period,) = self._periods_seen
+        for error in new_errors:
+            self.checks += 1
+            if error % period != 0:
+                self._record(
+                    "dtv-grid-calibration",
+                    now,
+                    f"pacing error {error} ns is not a multiple of the "
+                    f"{period} ns period",
+                )
+
+    def _on_present(self, record: "PresentRecord") -> None:
+        scheduler = self._scheduler
+        assert scheduler is not None
+        time = record.present_time
+        if "present-monotone" not in self.waived:
+            self.checks += 1
+            if (
+                self._last_present_time is not None
+                and time <= self._last_present_time
+            ):
+                self._record(
+                    "present-monotone",
+                    time,
+                    f"present at {time} after present at {self._last_present_time}",
+                )
+        self._last_present_time = time
+        if "queue-fifo" not in self.waived:
+            self.checks += 1
+            if not self._expected_latch:
+                self._record(
+                    "queue-fifo", time, f"frame {record.frame_id} presented "
+                    "but nothing was queued"
+                )
+            else:
+                expected = self._expected_latch.pop(0)
+                if record.frame_id != expected:
+                    self._record(
+                        "queue-fifo",
+                        time,
+                        f"frame {record.frame_id} latched before frame {expected}",
+                    )
+        if "present-once" not in self.waived:
+            self.checks += 1
+            if record.frame_id in self._presented:
+                self._record(
+                    "present-once", time, f"frame {record.frame_id} presented twice"
+                )
+            self._presented.add(record.frame_id)
+        frame = scheduler._frame_by_id(record.frame_id)
+        if frame is None:
+            return
+        if "rate-bound-display" not in self.waived and frame.render_rate_hz:
+            self.checks += 1
+            panel_hz = round(period_to_hz(record.refresh_period))
+            if frame.render_rate_hz != panel_hz:
+                self._record(
+                    "rate-bound-display",
+                    time,
+                    f"frame {frame.frame_id} rendered at {frame.render_rate_hz} Hz "
+                    f"displayed on a {panel_hz} Hz panel",
+                )
+        if "content-monotone" not in self.waived:
+            self.checks += 1
+            last = self._last_content.get(frame.decoupled)
+            if last is not None and frame.content_timestamp < last:
+                channel = "decoupled" if frame.decoupled else "vsync"
+                self._record(
+                    "content-monotone",
+                    time,
+                    f"{channel} content time ran backward: "
+                    f"{frame.content_timestamp} after {last}",
+                )
+            self._last_content[frame.decoupled] = frame.content_timestamp
+
+    def _on_frame_spawned(self, frame: "FrameRecord") -> None:
+        if not frame.decoupled:
+            return
+        scheduler = self._scheduler
+        assert scheduler is not None
+        fpe = getattr(scheduler, "fpe", None)
+        if fpe is None or "accumulation-limit" in self.waived:
+            return
+        self.checks += 1
+        if fpe.occupancy > fpe.prerender_limit:
+            self._record(
+                "accumulation-limit",
+                frame.trigger_time,
+                f"frame {frame.frame_id} triggered at occupancy {fpe.occupancy} "
+                f"> pre-render limit {fpe.prerender_limit}",
+            )
+
+    def _on_dtv_commit(self, prediction) -> None:
+        scheduler = self._scheduler
+        assert scheduler is not None
+        now = scheduler.sim.now
+        dtv = scheduler.dtv
+        period = scheduler.hw_vsync.period
+        if "dts-future-slot" not in self.waived:
+            self.checks += 1
+            if prediction.predicted_present <= now:
+                self._record(
+                    "dts-future-slot",
+                    now,
+                    f"committed present {prediction.predicted_present} is not "
+                    f"ahead of commit time {now}",
+                )
+            floor = (
+                prediction.predicted_present
+                - dtv.pipeline_depth_periods * period
+            )
+            if prediction.d_timestamp < floor:
+                self._record(
+                    "dts-future-slot",
+                    now,
+                    f"D-Timestamp {prediction.d_timestamp} back-dated past the "
+                    f"{dtv.pipeline_depth_periods}-period convention floor {floor}",
+                )
+        if "dts-monotone" not in self.waived:
+            self.checks += 1
+            if (
+                self._last_committed_d_ts is not None
+                and prediction.d_timestamp <= self._last_committed_d_ts
+            ):
+                self._record(
+                    "dts-monotone",
+                    now,
+                    f"D-Timestamp {prediction.d_timestamp} does not advance past "
+                    f"{self._last_committed_d_ts}",
+                )
+        self._last_committed_d_ts = prediction.d_timestamp
+
+    # ------------------------------------------------------------ run finish
+    def _check_dtv_tracking(self, result: "RunResult") -> None:
+        scheduler = self._scheduler
+        dtv = getattr(scheduler, "dtv", None)
+        if dtv is None or "dtv-tracking" in self.waived:
+            return
+        for frame_id in dtv.pending_frame_ids:
+            self.checks += 1
+            frame = scheduler._frame_by_id(frame_id)
+            if frame is not None and frame.present_time is not None:
+                self._record(
+                    "dtv-tracking",
+                    result.end_time,
+                    f"frame {frame_id} presented at {frame.present_time} but its "
+                    "prediction was never calibrated",
+                )
+
+    def _annotate(self, result: "RunResult") -> None:
+        """Result hook: final checks plus the structured summary in extra."""
+        self._check_conservation(result.end_time)
+        self._check_new_drops()
+        self._check_dtv_tracking(result)
+        result.extra["invariants"] = {
+            "checked": self.checks,
+            "violation_count": self.violation_count,
+            "violations": [v.to_wire() for v in self.violations],
+            "waived": dict(self.waived),
+            "relaxed": self.relaxed,
+        }
+
+    def enforce(self, result: "RunResult") -> None:
+        """Raise on violations when strict (called at the end of ``run()``)."""
+        if not self.strict or self.relaxed is not None:
+            return
+        if self.violation_count == 0:
+            return
+        preview = "; ".join(
+            f"{v.invariant}@{v.time}: {v.message}" for v in self.violations[:5]
+        )
+        raise InvariantViolationError(
+            f"{self.violation_count} invariant violation(s) in "
+            f"{result.scheduler}@{result.scenario} — {preview}"
+        )

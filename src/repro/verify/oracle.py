@@ -1,0 +1,278 @@
+"""The differential VSync / D-VSync oracle.
+
+Single-run invariants (:mod:`repro.verify.invariants`) cannot check the
+paper's *relational* claims — that decoupling helps, and what it is allowed
+to cost. The oracle runs the same seeded workload under both architectures
+through the executor (one batch, so ``--jobs`` parallelizes and the cache
+applies) and asserts, per scenario:
+
+- **invariants-clean** — both runs finish with zero invariant violations
+  (the specs carry ``verify=True``, so the checker rode along);
+- **drops-not-worse** — D-VSync never drops more effective frames than the
+  VSync baseline on identical content (§6.2: pre-rendered frames absorb the
+  deadline misses VSync turns into janks);
+- **content-order** — both architectures present frames in generation
+  order: decoupling reorders *time*, never *content* (§4.4, §7);
+- **latency-elastic** — D-VSync's mean rendering latency stays within the
+  DTV elasticity bound of the baseline's: the pre-render window may trade at
+  most ``pipeline_depth`` periods of latency for its jank wins (§4.3, §6.3).
+
+Every claim failure is a real finding: either a scheduler regression or an
+invariant miscalibration. The oracle is wired into ``python -m repro
+--verify`` and the CI ``verify`` job.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.config import DVSyncConfig
+from repro.display.device import MATE_40_PRO, MATE_60_PRO, PIXEL_5, DeviceProfile
+from repro.errors import ConfigurationError
+from repro.exec.executor import Executor, get_default_executor
+from repro.exec.spec import DriverSpec, RunSpec
+from repro.metrics.latency import latency_summary
+from repro.pipeline.scheduler_base import RunResult
+
+#: Periods of extra mean latency D-VSync may pay over the VSync baseline
+#: before the oracle calls it a regression. Matches the DTV content-time
+#: convention: predictions are back-dated by at most the pipeline depth
+#: (§4.4), so accumulation can age content by that much and no more.
+ELASTICITY_PERIODS = 2
+
+
+@dataclasses.dataclass(frozen=True)
+class OracleScenario:
+    """One seeded workload the oracle runs under both architectures."""
+
+    name: str
+    description: str
+    driver: DriverSpec
+    device: DeviceProfile
+    buffer_count: int = 3
+    dvsync_buffers: int = 4
+
+    def spec_pair(self) -> tuple[RunSpec, RunSpec]:
+        """The (vsync, dvsync) spec pair, with the invariant checker riding."""
+        return (
+            RunSpec(
+                driver=self.driver,
+                device=self.device,
+                architecture="vsync",
+                buffer_count=self.buffer_count,
+                verify=True,
+            ),
+            RunSpec(
+                driver=self.driver,
+                device=self.device,
+                architecture="dvsync",
+                dvsync=DVSyncConfig(buffer_count=self.dvsync_buffers),
+                verify=True,
+            ),
+        )
+
+
+def _burst(name: str, target_fdps: float, refresh_hz: int, **kwargs) -> DriverSpec:
+    return DriverSpec.of(
+        "repro.exec.builders:burst_animation",
+        name=name,
+        target_fdps=target_fdps,
+        refresh_hz=refresh_hz,
+        **kwargs,
+    )
+
+
+#: The registered differential scenarios, spanning the regimes the paper
+#: evaluates: light and drop-heavy animation, high-refresh panels, the
+#: composite acceptance workload, and interaction (IPL territory).
+ORACLE_SCENARIOS = {
+    scenario.name: scenario
+    for scenario in (
+        OracleScenario(
+            name="steady-60",
+            description="light 60 Hz animation, occasional key frames",
+            driver=_burst("oracle-steady", 2.0, 60, duration_ms=800, burst_period_ms=None),
+            device=PIXEL_5,
+        ),
+        OracleScenario(
+            name="droppy-60",
+            description="drop-heavy 60 Hz animation (jank regime, §6.2)",
+            driver=_burst("oracle-droppy", 5.0, 60, duration_ms=800, burst_period_ms=None),
+            device=PIXEL_5,
+        ),
+        OracleScenario(
+            name="bursty-90",
+            description="two-burst animation on the 90 Hz panel",
+            driver=_burst(
+                "oracle-bursty", 3.0, 90, duration_ms=500, bursts=2
+            ),
+            device=MATE_40_PRO,
+        ),
+        OracleScenario(
+            name="heavy-120",
+            description="loaded animation on the 120 Hz LTPO panel",
+            driver=_burst("oracle-heavy", 4.0, 120, duration_ms=500, burst_period_ms=None),
+            device=MATE_60_PRO,
+        ),
+        OracleScenario(
+            name="composite",
+            description="open + pinch + scroll acceptance composite",
+            driver=DriverSpec.of(
+                "repro.faults.drill:drill_driver", scenario="composite"
+            ),
+            device=PIXEL_5,
+        ),
+    )
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class ClaimOutcome:
+    """One relational claim, evaluated for one scenario."""
+
+    scenario: str
+    claim: str
+    passed: bool
+    detail: str
+
+
+@dataclasses.dataclass
+class DifferentialReport:
+    """Everything one oracle sweep observed."""
+
+    outcomes: list[ClaimOutcome]
+
+    @property
+    def failures(self) -> list[ClaimOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.passed]
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        """Multi-line human-readable verdict table."""
+        lines = ["differential oracle (vsync vs dvsync):"]
+        for outcome in self.outcomes:
+            mark = "ok  " if outcome.passed else "FAIL"
+            lines.append(
+                f"  {mark} {outcome.scenario:<12} {outcome.claim:<18} "
+                f"{outcome.detail}"
+            )
+        verdict = (
+            "all claims hold"
+            if self.passed
+            else f"{len(self.failures)} claim(s) FAILED"
+        )
+        lines.append(f"  => {verdict}")
+        return "\n".join(lines)
+
+
+def _violation_count(result: RunResult) -> int:
+    return result.extra.get("invariants", {}).get("violation_count", 0)
+
+
+def _presents_in_generation_order(result: RunResult) -> int | None:
+    """Index of the first out-of-order present, or None when ordered."""
+    last = -1
+    for index, present in enumerate(result.presents):
+        if present.frame_id <= last:
+            return index
+        last = present.frame_id
+    return None
+
+
+def _evaluate(
+    scenario: OracleScenario, vsync: RunResult, dvsync: RunResult
+) -> list[ClaimOutcome]:
+    outcomes = []
+
+    checked = sum(
+        r.extra.get("invariants", {}).get("checked", 0) for r in (vsync, dvsync)
+    )
+    violations = _violation_count(vsync) + _violation_count(dvsync)
+    outcomes.append(
+        ClaimOutcome(
+            scenario=scenario.name,
+            claim="invariants-clean",
+            passed=violations == 0 and checked > 0,
+            detail=f"{checked} checks, {violations} violations",
+        )
+    )
+
+    vsync_drops = len(vsync.effective_drops)
+    dvsync_drops = len(dvsync.effective_drops)
+    outcomes.append(
+        ClaimOutcome(
+            scenario=scenario.name,
+            claim="drops-not-worse",
+            passed=dvsync_drops <= vsync_drops,
+            detail=f"dvsync {dvsync_drops} <= vsync {vsync_drops}",
+        )
+    )
+
+    order_faults = [
+        f"{result.scheduler}@{index}"
+        for result in (vsync, dvsync)
+        if (index := _presents_in_generation_order(result)) is not None
+    ]
+    outcomes.append(
+        ClaimOutcome(
+            scenario=scenario.name,
+            claim="content-order",
+            passed=not order_faults,
+            detail=(
+                "presents follow generation order"
+                if not order_faults
+                else f"out of order at {', '.join(order_faults)}"
+            ),
+        )
+    )
+
+    vsync_mean = latency_summary(vsync).mean_ms
+    dvsync_mean = latency_summary(dvsync).mean_ms
+    slack_ms = ELASTICITY_PERIODS * scenario.device.vsync_period / 1e6
+    outcomes.append(
+        ClaimOutcome(
+            scenario=scenario.name,
+            claim="latency-elastic",
+            passed=dvsync_mean <= vsync_mean + slack_ms,
+            detail=(
+                f"dvsync {dvsync_mean:.2f} ms <= vsync {vsync_mean:.2f} "
+                f"+ {slack_ms:.2f} ms"
+            ),
+        )
+    )
+    return outcomes
+
+
+def run_differential_oracle(
+    names: list[str] | None = None, executor: Executor | None = None
+) -> DifferentialReport:
+    """Run the registered scenarios under both architectures and judge them.
+
+    All runs go out as one executor batch, so a parallel executor overlaps
+    the architecture pairs and the cache short-circuits repeats.
+    """
+    if names is None:
+        names = list(ORACLE_SCENARIOS)
+    scenarios = []
+    for name in names:
+        if name not in ORACLE_SCENARIOS:
+            raise ConfigurationError(
+                f"unknown oracle scenario {name!r}; "
+                f"known: {', '.join(ORACLE_SCENARIOS)}"
+            )
+        scenarios.append(ORACLE_SCENARIOS[name])
+
+    specs: list[RunSpec] = []
+    for scenario in scenarios:
+        specs.extend(scenario.spec_pair())
+    runner = executor if executor is not None else get_default_executor()
+    results = runner.map(specs)
+
+    outcomes: list[ClaimOutcome] = []
+    for index, scenario in enumerate(scenarios):
+        vsync, dvsync = results[2 * index], results[2 * index + 1]
+        outcomes.extend(_evaluate(scenario, vsync, dvsync))
+    return DifferentialReport(outcomes=outcomes)

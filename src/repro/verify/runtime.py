@@ -1,0 +1,51 @@
+"""Process-wide verification switch.
+
+Mirrors :mod:`repro.telemetry.runtime`: a scheduler built with ``verify=None``
+(the default) consults this switch, so an environment — the test suite, a CI
+job, a debugging session — can arm the invariant checker for every run in the
+process without threading a parameter through call sites. ``REPRO_VERIFY=1``
+arms it from the environment; ``REPRO_VERIFY_STRICT=1`` additionally makes
+violations raise :class:`~repro.errors.InvariantViolationError` at run end
+(the mode ``tests/conftest.py`` uses for the whole tier-1 suite).
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_VERIFY", "") == "1"
+
+
+def _env_strict() -> bool:
+    return os.environ.get("REPRO_VERIFY_STRICT", "") == "1"
+
+
+_enabled = _env_enabled()
+_strict = _env_strict()
+
+
+def enabled() -> bool:
+    """True when schedulers should attach an invariant checker by default."""
+    return _enabled
+
+
+def strict() -> bool:
+    """True when default-attached checkers raise on violations."""
+    return _strict
+
+
+def set_enabled(value: bool, strict: bool | None = None) -> None:
+    """Flip the process-wide switch (optionally also the strictness)."""
+    global _enabled, _strict
+    _enabled = bool(value)
+    if strict is not None:
+        _strict = bool(strict)
+
+
+def reset() -> None:
+    """Restore the switch to its environment-derived defaults."""
+    global _enabled, _strict
+    _enabled = _env_enabled()
+    _strict = _env_strict()

@@ -43,6 +43,7 @@ class OpenHarmonyVSyncScheduler(VSyncScheduler):
         offsets: VsyncOffsets | None = None,
         sim: Simulator | None = None,
         telemetry=None,
+        verify=None,
     ) -> None:
         if offsets is None:
             offsets = VsyncOffsets(rs_offset=default_rs_offset(device))
@@ -53,6 +54,7 @@ class OpenHarmonyVSyncScheduler(VSyncScheduler):
             offsets=offsets,
             sim=sim,
             telemetry=telemetry,
+            verify=verify,
         )
         self.rs_channel = VsyncChannel(self.hw_vsync, self.offsets.rs_offset, "vsync-rs")
         self.pipeline.auto_render = False

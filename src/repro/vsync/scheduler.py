@@ -34,6 +34,7 @@ class VSyncScheduler(SchedulerBase):
         offsets: VsyncOffsets | None = None,
         sim: Simulator | None = None,
         telemetry=None,
+        verify=None,
     ) -> None:
         super().__init__(
             driver,
@@ -42,6 +43,7 @@ class VSyncScheduler(SchedulerBase):
             offsets=offsets,
             sim=sim,
             telemetry=telemetry,
+            verify=verify,
         )
         self.skipped_ticks = 0
 

@@ -23,6 +23,23 @@ def _telemetry_isolation():
     runtime.reset()
 
 
+@pytest.fixture(autouse=True)
+def _strict_verification():
+    """Run the whole suite under the strict invariant checker.
+
+    Every scheduler any test constructs gets a checker via the process-wide
+    switch, and a violated invariant fails the test loudly
+    (:class:`~repro.errors.InvariantViolationError`) instead of shipping a
+    silently-wrong trace. Tests that intentionally break invariants pass
+    ``verify=False`` (or a relaxed checker) explicitly.
+    """
+    from repro.verify import runtime
+
+    runtime.set_enabled(True, strict=True)
+    yield
+    runtime.reset()
+
+
 @pytest.fixture
 def sim() -> Simulator:
     return Simulator()

@@ -1,0 +1,80 @@
+"""Property tests for the fault x verification interaction.
+
+Injected faults must surface through the invariant checker as *recorded
+evidence* — never as a harness crash and never as a strict-mode failure:
+the injector relaxes the checker precisely because a fault run is expected
+to break runtime invariants. The suite-wide strict switch (see
+``tests/conftest.py``) is live here, so any hole in that relaxation story
+fails these tests loudly.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.schedule import FaultSchedule, spec
+from repro.testing import (
+    make_animation,
+    run_dvsync_faulted,
+    run_vsync_faulted,
+)
+from repro.workloads.distributions import params_for_target_fdps
+
+#: One representative clause per registered fault model.
+FAULT_MODELS = {
+    "vsync-jitter": spec("vsync-jitter", sigma_us=500, drop_prob=0.1),
+    "thermal": spec("thermal", factor=2.5, start_ms=50, end_ms=250),
+    "buffer-pressure": spec("buffer-pressure", deny_prob=0.4),
+    "input-loss": spec("input-loss", drop_prob=0.2),
+    "callback-crash": spec("callback-crash", prob=0.3),
+}
+
+
+def _driver(name: str):
+    return make_animation(
+        params_for_target_fdps(3.0, 60), f"verify-fault-{name}", duration_ms=300
+    )
+
+
+@given(
+    st.sampled_from(sorted(FAULT_MODELS)),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=15, deadline=None)
+def test_faulted_runs_complete_with_a_relaxed_checker(model, seed):
+    """Any fault model, any seed: the run completes and the checker reports.
+
+    The strict process-wide switch is on, so this property also proves the
+    injector's relaxation reaches the checker before any violation could
+    abort the run.
+    """
+    schedule = FaultSchedule([FAULT_MODELS[model]])
+    for runner in (run_vsync_faulted, run_dvsync_faulted):
+        result = runner(_driver(model), schedule, seed=seed)
+        verdict = result.extra["invariants"]
+        assert verdict["relaxed"] is not None
+        assert verdict["checked"] > 0
+        assert verdict["violation_count"] >= 0
+        assert len(verdict["violations"]) <= verdict["violation_count"]
+        for invariant, time, message in verdict["violations"]:
+            assert isinstance(invariant, str) and invariant
+            assert isinstance(time, int)
+            assert isinstance(message, str) and message
+
+
+@given(st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=8, deadline=None)
+def test_vsync_jitter_surfaces_as_calibration_evidence(seed):
+    """HW-VSync jitter knocks D-VSync presents off the grid — and the
+    checker records exactly that as dtv-grid-calibration violations."""
+    schedule = FaultSchedule([spec("vsync-jitter", sigma_us=800)])
+    result = run_dvsync_faulted(_driver(f"jitter-{seed}"), schedule, seed=seed)
+    verdict = result.extra["invariants"]
+    kinds = {violation[0] for violation in verdict["violations"]}
+    if verdict["violation_count"] > 0:
+        assert kinds <= {"dtv-grid-calibration", "dts-monotone", "dts-future-slot"}
+
+
+def test_clean_schedule_leaves_checker_strict():
+    """FaultSchedule.none() injects nothing, so it must not relax."""
+    result = run_vsync_faulted(_driver("none"), FaultSchedule.none(), seed=0)
+    assert result.extra["invariants"]["relaxed"] is None

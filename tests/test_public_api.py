@@ -18,6 +18,7 @@ SUBPACKAGES = [
     "repro.apps",
     "repro.trace",
     "repro.exec",
+    "repro.verify",
     "repro.extensions",
     "repro.experiments",
     "repro.testing",

@@ -1,0 +1,71 @@
+"""Cross-backend determinism: one spec, one wire form, any backend.
+
+The executor's contract is that a result is a pure function of its spec.
+These tests pin the strongest observable version of that claim: the
+canonical-JSON wire form of a run — frames, presents, drops, extra
+(including the invariant verdict riding via ``verify=True``) — is
+byte-identical whether the run happened in this process or in a pool
+worker with its own interpreter and its own process-wide switches.
+"""
+
+import pytest
+
+from repro.core.config import DVSyncConfig
+from repro.display.device import PIXEL_5
+from repro.exec.executor import Executor
+from repro.exec.serialize import result_to_wire
+from repro.exec.spec import DriverSpec, RunSpec, canonical_json
+
+
+def _spec(architecture: str) -> RunSpec:
+    return RunSpec(
+        driver=DriverSpec.of(
+            "repro.exec.builders:burst_animation",
+            name="determinism-wire",
+            target_fdps=4.0,
+            refresh_hz=60,
+            duration_ms=400.0,
+        ),
+        device=PIXEL_5,
+        architecture=architecture,
+        buffer_count=3 if architecture == "vsync" else None,
+        dvsync=DVSyncConfig(buffer_count=4) if architecture == "dvsync" else None,
+        verify=True,
+    )
+
+
+def _wire_bytes(executor: Executor, spec: RunSpec) -> bytes:
+    # Two distinct specs in the batch, or the process backend falls back to
+    # in-process execution (it only pools batches of >1 pending specs).
+    decoy = RunSpec(
+        driver=DriverSpec.of(
+            "repro.exec.builders:burst_animation",
+            name="determinism-decoy",
+            target_fdps=2.0,
+            refresh_hz=60,
+            duration_ms=200.0,
+        ),
+        device=PIXEL_5,
+        architecture="vsync",
+        buffer_count=3,
+    )
+    result = executor.map([spec, decoy])[0]
+    return canonical_json(result_to_wire(result)).encode("utf-8")
+
+
+@pytest.mark.parametrize("architecture", ["vsync", "dvsync"])
+def test_inprocess_and_pool_wire_forms_are_byte_identical(architecture):
+    spec = _spec(architecture)
+    with Executor(jobs=1, backend="inprocess", cache=False) as local:
+        local_bytes = _wire_bytes(local, spec)
+    with Executor(jobs=2, backend="process", cache=False) as pooled:
+        pooled_bytes = _wire_bytes(pooled, spec)
+    assert local_bytes == pooled_bytes
+
+
+def test_repeat_inprocess_runs_are_byte_identical():
+    spec = _spec("dvsync")
+    with Executor(jobs=1, backend="inprocess", cache=False) as executor:
+        first = _wire_bytes(executor, spec)
+        second = _wire_bytes(executor, spec)
+    assert first == second

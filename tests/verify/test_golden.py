@@ -1,0 +1,131 @@
+"""Tests for the golden-trace corpus and its refresh tooling."""
+
+import importlib.util
+import json
+import pathlib
+
+from repro.exec.executor import Executor
+from repro.verify.golden import (
+    check_goldens,
+    default_golden_dir,
+    golden_specs,
+    run_digest,
+    write_goldens,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def _load_update_goldens():
+    path = REPO_ROOT / "scripts" / "update_goldens.py"
+    spec = importlib.util.spec_from_file_location("update_goldens_script", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _executor():
+    return Executor(jobs=1, cache=False)
+
+
+def test_digest_detects_single_frame_perturbation():
+    spec = golden_specs()["dvsync-steady-60"]
+    with _executor() as executor:
+        result = executor.run(spec)
+    baseline = run_digest(result)
+    victim = result.presented_frames[len(result.presented_frames) // 2]
+    victim.present_time += 1  # one nanosecond, one frame
+    assert run_digest(result) != baseline
+
+
+def test_digest_ignores_sub_rounding_float_noise():
+    spec = golden_specs()["dvsync-steady-60"]
+    with _executor() as executor:
+        result = executor.run(spec)
+    baseline = run_digest(result)
+    frame = result.presented_frames[0]
+    frame.content_value += 1e-9  # below the 6-decimal rounding floor
+    assert run_digest(result) == baseline
+
+
+def test_corpus_round_trips_through_write_and_check(tmp_path):
+    with _executor() as executor:
+        paths = write_goldens(tmp_path, executor=executor)
+        assert len(paths) == len(golden_specs())
+        report = check_goldens(tmp_path, executor=executor)
+    assert report.passed, report.render()
+
+
+def test_check_reports_missing_goldens(tmp_path):
+    with _executor() as executor:
+        report = check_goldens(tmp_path, executor=executor)
+    assert not report.passed
+    assert {entry.status for entry in report.entries} == {"missing"}
+
+
+def _tamper(path: pathlib.Path, **updates):
+    payload = json.loads(path.read_text())
+    for key, value in updates.items():
+        if callable(value):
+            payload[key] = value(payload[key])
+        else:
+            payload[key] = value
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def test_check_reports_frame_level_drift(tmp_path):
+    with _executor() as executor:
+        write_goldens(tmp_path, executor=executor)
+        _tamper(tmp_path / "vsync-steady-60.json", digest="0" * 64)
+        report = check_goldens(tmp_path, executor=executor)
+    entry = next(e for e in report.entries if e.name == "vsync-steady-60")
+    assert entry.status == "drift"
+    assert "frame-level drift" in entry.detail
+    assert not report.passed
+
+
+def test_check_diffs_summary_dimensions(tmp_path):
+    with _executor() as executor:
+        write_goldens(tmp_path, executor=executor)
+        _tamper(
+            tmp_path / "dvsync-droppy-60.json",
+            digest="0" * 64,
+            summary=lambda s: {**s, "presents": s["presents"] + 3},
+        )
+        report = check_goldens(tmp_path, executor=executor)
+    entry = next(e for e in report.entries if e.name == "dvsync-droppy-60")
+    assert entry.status == "drift"
+    assert "presents:" in entry.detail
+
+
+def test_check_reports_stale_spec(tmp_path):
+    with _executor() as executor:
+        write_goldens(tmp_path, executor=executor)
+        _tamper(tmp_path / "dvsync-bursty-90.json", spec_hash="f" * 64)
+        report = check_goldens(tmp_path, executor=executor)
+    entry = next(e for e in report.entries if e.name == "dvsync-bursty-90")
+    assert entry.status == "stale-spec"
+
+
+def test_update_goldens_script_round_trips(tmp_path):
+    script = _load_update_goldens()
+    assert script.main(["--dir", str(tmp_path)]) == 0
+    assert script.main(["--check", "--dir", str(tmp_path)]) == 0
+    _tamper(tmp_path / "vsync-droppy-60.json", digest="0" * 64)
+    assert script.main(["--check", "--dir", str(tmp_path)]) == 1
+
+
+def test_committed_corpus_tracks_the_registry():
+    """Every registered spec has a committed golden with a current spec hash.
+
+    This is the cheap (no-simulation) staleness guard; the CI verify job
+    runs the full digest comparison.
+    """
+    directory = default_golden_dir()
+    for name, spec in golden_specs().items():
+        path = directory / f"{name}.json"
+        assert path.is_file(), f"{path} missing — run scripts/update_goldens.py"
+        payload = json.loads(path.read_text())
+        assert payload["spec_hash"] == spec.content_hash(), (
+            f"{name}: registry spec changed without regenerating the corpus"
+        )

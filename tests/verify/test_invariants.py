@@ -1,0 +1,176 @@
+"""Tests for the runtime invariant checker."""
+
+import pytest
+
+from repro.core.config import DVSyncConfig
+from repro.core.dvsync import DVSyncScheduler
+from repro.core.ltpo_codesign import LTPOCoDesign
+from repro.display.device import MATE_60_PRO, PIXEL_5
+from repro.display.ltpo import LTPOController
+from repro.errors import ConfigurationError, InvariantViolationError
+from repro.testing import light_params, make_animation, run_dvsync, run_vsync
+from repro.units import ms
+from repro.verify import runtime
+from repro.verify.invariants import (
+    INVARIANTS,
+    InvariantChecker,
+    Violation,
+    resolve_checker,
+)
+from repro.vsync.scheduler import VSyncScheduler
+from repro.workloads.animations import DecelerateCurve
+from repro.workloads.distributions import params_for_target_fdps
+from repro.workloads.drivers import AnimationDriver
+
+
+def test_registry_ids_are_documented():
+    assert len(INVARIANTS) >= 10
+    for invariant_id, description in INVARIANTS.items():
+        assert invariant_id == invariant_id.lower()
+        assert description
+
+
+def test_clean_vsync_run_is_violation_free():
+    result = run_vsync(make_animation(light_params(), "inv-vsync"))
+    verdict = result.extra["invariants"]
+    assert verdict["violation_count"] == 0
+    assert verdict["violations"] == []
+    assert verdict["checked"] > 0
+    assert verdict["waived"] == {}
+    assert verdict["relaxed"] is None
+
+
+def test_clean_droppy_dvsync_run_is_violation_free():
+    params = params_for_target_fdps(5.0, 60)
+    result = run_dvsync(make_animation(params, "inv-droppy"))
+    verdict = result.extra["invariants"]
+    assert verdict["violation_count"] == 0
+    assert verdict["checked"] > 0
+
+
+def test_disabled_scheduler_registers_no_verifier():
+    scheduler = VSyncScheduler(
+        make_animation(light_params(), "inv-off"),
+        PIXEL_5,
+        buffer_count=3,
+        verify=False,
+    )
+    assert scheduler.verifier is None
+    result = scheduler.run()
+    assert "invariants" not in result.extra
+
+
+def test_resolve_checker_semantics():
+    assert resolve_checker(False) is None
+    checker = resolve_checker(True)
+    assert isinstance(checker, InvariantChecker) and not checker.strict
+    explicit = InvariantChecker(strict=True)
+    assert resolve_checker(explicit) is explicit
+    with pytest.raises(ConfigurationError):
+        resolve_checker(7)
+
+
+def test_resolve_checker_follows_runtime_switch():
+    runtime.set_enabled(False)
+    assert resolve_checker(None) is None
+    runtime.set_enabled(True, strict=False)
+    checker = resolve_checker(None)
+    assert isinstance(checker, InvariantChecker) and not checker.strict
+    runtime.set_enabled(True, strict=True)
+    assert resolve_checker(None).strict
+
+
+def test_checker_serves_exactly_one_run():
+    checker = InvariantChecker()
+    VSyncScheduler(
+        make_animation(light_params(), "inv-one"),
+        PIXEL_5,
+        buffer_count=3,
+        verify=checker,
+    )
+    with pytest.raises(ConfigurationError):
+        VSyncScheduler(
+            make_animation(light_params(), "inv-two"),
+            PIXEL_5,
+            buffer_count=3,
+            verify=checker,
+        )
+
+
+def test_arm_requires_attach():
+    with pytest.raises(ConfigurationError):
+        InvariantChecker().arm()
+
+
+def test_waive_rejects_unknown_invariant():
+    with pytest.raises(ConfigurationError):
+        InvariantChecker().waive("no-such-invariant", "because")
+
+
+def test_strict_checker_fails_the_run_on_violation():
+    checker = InvariantChecker(strict=True)
+    scheduler = VSyncScheduler(
+        make_animation(light_params(), "inv-strict", duration_ms=200),
+        PIXEL_5,
+        buffer_count=3,
+        verify=checker,
+    )
+    checker._record("present-once", 0, "synthetic violation for the test")
+    with pytest.raises(InvariantViolationError, match="present-once"):
+        scheduler.run()
+
+
+def test_relaxed_checker_records_without_raising():
+    checker = InvariantChecker(strict=True)
+    checker.relax("test exercises the evidence path")
+    scheduler = VSyncScheduler(
+        make_animation(light_params(), "inv-relaxed", duration_ms=200),
+        PIXEL_5,
+        buffer_count=3,
+        verify=checker,
+    )
+    checker._record("present-once", 0, "synthetic violation for the test")
+    result = scheduler.run()  # records, never raises
+    verdict = result.extra["invariants"]
+    assert verdict["violation_count"] == 1
+    assert verdict["relaxed"] == "test exercises the evidence path"
+
+
+def test_violation_wire_form_is_json_primitive():
+    violation = Violation(invariant="queue-fifo", time=42, message="m")
+    assert violation.to_wire() == ["queue-fifo", 42, "m"]
+
+
+def test_ltpo_rate_switching_run_stays_clean():
+    """A run that actually switches panel rates passes the full checker."""
+    driver = AnimationDriver(
+        "inv-ltpo",
+        light_params(refresh_hz=120),
+        duration_ns=ms(1200.0),
+        curve=DecelerateCurve(rate=4.0),
+    )
+    scheduler = DVSyncScheduler(driver, MATE_60_PRO, DVSyncConfig(buffer_count=4))
+    ltpo = LTPOController(scheduler.hw_vsync, max_hz=120)
+    LTPOCoDesign(scheduler, ltpo, enforce_drain=True)
+    result = scheduler.run()
+    assert ltpo.current_hz < 120  # the rate really switched
+    assert result.extra["invariants"]["violation_count"] == 0
+
+
+def test_ltpo_ablation_waives_rate_bound_display():
+    driver = AnimationDriver(
+        "inv-ltpo-ablate",
+        light_params(refresh_hz=120),
+        duration_ns=ms(1200.0),
+        curve=DecelerateCurve(rate=4.0),
+    )
+    scheduler = DVSyncScheduler(driver, MATE_60_PRO, DVSyncConfig(buffer_count=4))
+    ltpo = LTPOController(scheduler.hw_vsync, max_hz=120)
+    bridge = LTPOCoDesign(scheduler, ltpo, enforce_drain=False)
+    result = scheduler.run()
+    waived = result.extra["invariants"]["waived"]
+    assert "rate-bound-display" in waived
+    # The ablation produced the mismatches the waiver covers, and the
+    # checker reported no *other* violations.
+    assert bridge.rate_mismatched_presents > 0
+    assert result.extra["invariants"]["violation_count"] == 0

@@ -1,0 +1,59 @@
+"""Tests for the differential VSync/D-VSync oracle."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec.executor import Executor
+from repro.verify.oracle import (
+    ORACLE_SCENARIOS,
+    ClaimOutcome,
+    DifferentialReport,
+    run_differential_oracle,
+)
+
+
+def test_registered_scenarios_cover_the_paper_regimes():
+    assert len(ORACLE_SCENARIOS) >= 5
+    devices = {scenario.device.refresh_hz for scenario in ORACLE_SCENARIOS.values()}
+    assert {60, 90, 120} <= devices
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(ConfigurationError, match="unknown oracle scenario"):
+        run_differential_oracle(names=["nope"])
+
+
+def test_oracle_passes_on_one_scenario():
+    with Executor(jobs=1, cache=False) as executor:
+        report = run_differential_oracle(names=["droppy-60"], executor=executor)
+    assert report.passed, report.render()
+    claims = {outcome.claim for outcome in report.outcomes}
+    assert claims == {
+        "invariants-clean",
+        "drops-not-worse",
+        "content-order",
+        "latency-elastic",
+    }
+    # The jank regime actually has drops for decoupling to win back.
+    drops = next(o for o in report.outcomes if o.claim == "drops-not-worse")
+    assert "vsync 0" not in drops.detail
+
+
+def test_oracle_passes_on_every_registered_scenario():
+    with Executor(jobs=1, cache=False) as executor:
+        report = run_differential_oracle(executor=executor)
+    assert report.passed, report.render()
+    assert len(report.outcomes) == 4 * len(ORACLE_SCENARIOS)
+
+
+def test_report_render_flags_failures():
+    report = DifferentialReport(
+        outcomes=[
+            ClaimOutcome(
+                scenario="s", claim="drops-not-worse", passed=False, detail="d"
+            )
+        ]
+    )
+    assert not report.passed
+    assert "FAIL" in report.render()
+    assert "1 claim(s) FAILED" in report.render()
