@@ -66,3 +66,62 @@ def test_bench_warm_cache_rerun(benchmark, tmp_path):
 
     result = benchmark.pedantic(warm_run, rounds=1, iterations=1)
     assert len(result.frames) >= 50
+
+
+def test_bench_supervised_overhead():
+    """Supervision gate: < 3% happy-path overhead vs the bare execution path.
+
+    The control arm is what an unsupervised batch costs per spec — content
+    hash, :func:`execute_spec`, and the normalizing wire round-trip, exactly
+    the seed executor's in-process loop. The measured arm submits the same
+    specs through the supervised ``Executor.map`` (deadline bookkeeping,
+    retry/breaker state, failure classification). Rounds interleave the two
+    arms in alternating order and the gate compares per-arm *minimums* — the
+    floor is the honest cost estimate, robust to scheduling noise — with one
+    escalation retry to absorb pathological machine load.
+    """
+    import time
+
+    specs = [_spec(f"bench-sup#{index}") for index in range(4)]
+
+    def control_once() -> float:
+        started = time.perf_counter()
+        for spec in specs:
+            spec.content_hash()
+            result_from_wire(result_to_wire(execute_spec(spec)))
+        return time.perf_counter() - started
+
+    def measured_once() -> float:
+        with Executor(jobs=1) as executor:
+            started = time.perf_counter()
+            results = executor.map(specs)
+            elapsed = time.perf_counter() - started
+        assert len(results) == 4
+        return elapsed
+
+    def measure(rounds: int) -> tuple[float, float]:
+        control, measured = [], []
+        control_once()  # warm both paths
+        measured_once()
+        for index in range(rounds):
+            arms = [(control_once, control), (measured_once, measured)]
+            if index % 2:
+                arms.reverse()
+            for run, samples in arms:
+                samples.append(run())
+        return min(control), min(measured)
+
+    for attempt, rounds in enumerate((8, 16)):
+        control_floor, measured_floor = measure(rounds)
+        overhead = measured_floor / control_floor - 1.0
+        print(
+            f"\nsupervised-executor overhead (attempt {attempt}, {rounds} "
+            f"rounds): {overhead * 100:+.2f}% (control "
+            f"{control_floor * 1000:.2f} ms, measured "
+            f"{measured_floor * 1000:.2f} ms)"
+        )
+        if measured_floor < control_floor * 1.03:
+            return
+    raise AssertionError(
+        f"supervised happy path costs {overhead * 100:.2f}% (gate: < 3%)"
+    )

@@ -79,6 +79,48 @@ def main(argv: list[str] | None = None) -> int:
         help="disable the content-addressed result cache (.repro-cache/)",
     )
     parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-run wall-clock deadline; an overdue run fails with a "
+            "structured timeout record instead of hanging the batch"
+        ),
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "extra attempts for crashed or timed-out runs (default: 1), "
+            "with seeded-deterministic backoff; 0 disables retrying"
+        ),
+    )
+    policy_group = parser.add_mutually_exclusive_group()
+    policy_group.add_argument(
+        "--fail-fast",
+        dest="policy",
+        action="store_const",
+        const="fail-fast",
+        help=(
+            "abort on the first failed run after salvaging its batch "
+            "siblings (default)"
+        ),
+    )
+    policy_group.add_argument(
+        "--keep-going",
+        dest="policy",
+        action="store_const",
+        const="keep-going",
+        help=(
+            "run everything runnable; failed runs are dropped from "
+            "aggregates and reported as structured failure records"
+        ),
+    )
+    parser.set_defaults(policy="fail-fast")
+    parser.add_argument(
         "--cache-stats",
         action="store_true",
         help="print result-cache contents and exit",
@@ -139,8 +181,17 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.timeout is not None and not args.timeout > 0:
+        parser.error("--timeout must be > 0 seconds")
+    if args.retries is not None and args.retries < 0:
+        parser.error("--retries must be >= 0")
     executor = Executor(
-        jobs=args.jobs, cache=not args.no_cache, cache_dir=cache_dir
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        cache_dir=cache_dir,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        policy=args.policy,
     )
     set_default_executor(executor)
 
@@ -162,7 +213,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.faults is not None:
         try:
             drill = run_fault_drill(
-                args.faults, scenario=args.scenario, seed=args.fault_seed
+                args.faults,
+                scenario=args.scenario,
+                seed=args.fault_seed,
+                timeout_s=args.timeout,
             )
         except ConfigurationError as exc:
             parser.error(str(exc))  # exits 2 with a one-line message

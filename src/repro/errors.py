@@ -72,3 +72,41 @@ class FaultContainmentError(ReproError):
     gracefully but failing persistently, which should abort the run loudly
     rather than limp on forever.
     """
+
+
+class ExecutionError(ReproError):
+    """The supervised execution harness could not complete a run.
+
+    Base class for operational failures of the *harness* (worker crashes,
+    deadlines, unsalvageable batches) as opposed to failures of the simulated
+    system, which the fault-injection layer models deliberately.
+    """
+
+
+class WorkerCrashError(ExecutionError):
+    """A process-pool worker died while executing a spec (SIGKILL, OOM, ...)."""
+
+
+class DeadlineExceededError(ExecutionError):
+    """A run exceeded its per-spec or executor-level deadline."""
+
+
+class BatchExecutionError(ExecutionError):
+    """One or more specs in a batch failed under the fail-fast policy.
+
+    Carries the structured :class:`~repro.exec.supervisor.RunFailure` records
+    on ``failures`` and the number of sibling results that were still salvaged
+    on ``salvaged`` — the batch is not silently lost, the caller just asked to
+    be told loudly.
+    """
+
+    def __init__(self, failures, salvaged: int = 0) -> None:
+        self.failures = list(failures)
+        self.salvaged = salvaged
+        preview = "; ".join(f.describe() for f in self.failures[:3])
+        if len(self.failures) > 3:
+            preview += f"; ... {len(self.failures) - 3} more"
+        super().__init__(
+            f"{len(self.failures)} spec(s) failed "
+            f"({salvaged} sibling result(s) salvaged): {preview}"
+        )

@@ -13,6 +13,12 @@ a content-addressed on-disk cache under ``.repro-cache/`` keyed by RunSpec
 hash + code-version salt. Experiments *describe* their runs as specs and
 submit them in batches, so independent runs fan out across cores and repeat
 invocations are served from the cache without touching a scheduler.
+
+Batches run *supervised*: per-run deadlines, seeded-deterministic retries,
+worker-crash containment with pool respawn, a circuit breaker that degrades
+to in-process execution, and structured :class:`RunFailure` records so a
+batch returns partial results instead of losing everything to one bad spec
+(see :mod:`repro.exec.supervisor`).
 """
 
 from repro.exec.cache import CacheStats, ResultCache, code_salt
@@ -30,14 +36,26 @@ from repro.exec.serialize import (
     result_to_wire,
 )
 from repro.exec.spec import DriverSpec, RunSpec
+from repro.exec.supervisor import (
+    FAILURE_KINDS,
+    BatchOutcome,
+    CircuitBreaker,
+    RetryPolicy,
+    RunFailure,
+)
 
 __all__ = [
+    "BatchOutcome",
     "CacheStats",
+    "CircuitBreaker",
     "DriverSpec",
     "ExecStats",
     "Executor",
+    "FAILURE_KINDS",
     "RESULT_SCHEMA_VERSION",
     "ResultCache",
+    "RetryPolicy",
+    "RunFailure",
     "RunSpec",
     "code_salt",
     "execute_spec",

@@ -9,11 +9,20 @@ cover the common shapes every module shares.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import signal
+import time
+
+from repro.errors import ConfigurationError, WorkloadError
 from repro.pipeline.driver import ScenarioDriver
 from repro.units import ms
 from repro.workloads.distributions import params_for_target_fdps
 from repro.workloads.drivers import AnimationDriver
 from repro.workloads.scenarios import Scenario
+
+#: Misbehaviors :func:`chaos_driver` can stage (supervisor test harness).
+CHAOS_MODES = ("ok", "raise", "config", "sleep", "kill")
 
 
 def scenario_driver(run: int = 0, **fields) -> ScenarioDriver:
@@ -47,3 +56,45 @@ def burst_animation(
         bursts=bursts,
         burst_period_ns=ms(burst_period_ms) if burst_period_ms else None,
     )
+
+
+def chaos_driver(
+    name: str = "chaos",
+    mode: str = "ok",
+    delay_s: float = 0.0,
+    target_fdps: float = 10.0,
+    duration_ms: float = 50.0,
+) -> AnimationDriver:
+    """A driver that misbehaves on purpose — the supervisor's test subject.
+
+    Modes: ``ok`` builds a normal short animation; ``raise`` throws a
+    :class:`~repro.errors.WorkloadError` (a deterministic in-spec crash);
+    ``config`` throws a :class:`~repro.errors.ConfigurationError` (the
+    never-retried kind); ``sleep`` stalls for *delay_s* before building,
+    simulating a run that blows its deadline; ``kill`` SIGKILLs the worker
+    process mid-build — but only inside a pool worker (it refuses to kill a
+    process with no parent, so a mistargeted spec cannot take down the
+    harness itself).
+
+    Build-time misbehavior is the honest analogue of run-time misbehavior
+    here: :func:`~repro.exec.executor.execute_spec` runs builder and
+    scheduler under one supervision envelope, so where the fault fires is
+    indistinguishable to the supervisor.
+    """
+    if mode not in CHAOS_MODES:
+        raise ConfigurationError(
+            f"unknown chaos mode {mode!r}; known: {', '.join(CHAOS_MODES)}"
+        )
+    if mode == "raise":
+        raise WorkloadError(f"chaos driver {name!r} raised on request")
+    if mode == "config":
+        raise ConfigurationError(f"chaos driver {name!r} rejected on request")
+    if mode == "sleep" and delay_s > 0:
+        time.sleep(delay_s)
+    if mode == "kill":
+        if multiprocessing.parent_process() is None:
+            raise WorkloadError(
+                f"chaos driver {name!r} refuses kill mode outside a pool worker"
+            )
+        os.kill(os.getpid(), signal.SIGKILL)
+    return burst_animation(name, target_fdps=target_fdps, duration_ms=duration_ms)

@@ -63,6 +63,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    evictions: int = 0
 
 
 class ResultCache:
@@ -94,9 +95,11 @@ class ResultCache:
             self.stats.misses += 1
             return None
         except (ValueError, KeyError, TypeError, OSError):
-            # Corrupt or stale-layout entry: drop it and treat as a miss.
+            # Corrupt, truncated, or stale-layout entry: evict it and treat
+            # as a miss — the executor re-runs and re-stores, self-healing.
             path.unlink(missing_ok=True)
             self.stats.misses += 1
+            self.stats.evictions += 1
             return None
         self.stats.hits += 1
         return result
@@ -112,6 +115,10 @@ class ResultCache:
         try:
             with os.fdopen(fd, "w") as handle:
                 handle.write(payload)
+                handle.flush()
+                # Durability matters here: checkpointed batch results must
+                # survive the very crashes the supervisor is built to absorb.
+                os.fsync(handle.fileno())
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -139,7 +146,8 @@ class ResultCache:
         return (
             f"cache {self.root}: {len(entries)} entries, {size_mb:.1f} MB, "
             f"salt {self.salt} (session: {self.stats.hits} hits, "
-            f"{self.stats.misses} misses, {self.stats.stores} stores)"
+            f"{self.stats.misses} misses, {self.stats.stores} stores, "
+            f"{self.stats.evictions} evictions)"
         )
 
     def clear(self) -> int:

@@ -1,4 +1,4 @@
-"""The executor: RunSpecs in, RunResults out, in parallel and cached.
+"""The executor: RunSpecs in, RunResults out, in parallel, cached, supervised.
 
 :func:`execute_spec` is the single seam through which a spec becomes a
 scheduler invocation — the fault drill, every experiment module, and the
@@ -7,30 +7,66 @@ operational layer on top: batch submission with de-duplication, a process
 pool (``--jobs N``) or in-process backend, the content-addressed result
 cache, and per-run timing/cache observability.
 
+Batches run under *supervision*: every spec gets a wall-clock deadline
+(``RunSpec.timeout_s`` or the executor default), transient failures retry
+with seeded-deterministic exponential backoff, a dead worker
+(``BrokenProcessPool``) is contained — the pool respawns, survivors re-run,
+and the culprit is identified by isolation rather than guessed — and a
+circuit breaker degrades the executor to the in-process backend after
+repeated pool failures, mirroring the degradation watchdog's D-VSync→VSync
+fallback. Failed specs become structured
+:class:`~repro.exec.supervisor.RunFailure` records: :meth:`Executor.map_outcome`
+always returns partial results plus failures, and :meth:`Executor.map`
+applies the ``fail-fast`` (raise :class:`~repro.errors.BatchExecutionError`)
+or ``keep-going`` (return ``None`` holes) policy on top. Results checkpoint
+into the cache as they complete, so a killed batch resumes where it died.
+
 A module-level *default executor* carries the CLI's ``--jobs``/``--no-cache``
 choices down to the experiment modules without threading a parameter through
 every ``run()`` signature. Library and test use defaults to a hermetic
-executor: in-process, no cache. ``REPRO_JOBS``, ``REPRO_EXEC_BACKEND`` and
-``REPRO_CACHE=1`` configure the default from the environment (the CI tier-1
-job runs the suite under ``REPRO_JOBS=2 REPRO_EXEC_BACKEND=inprocess``).
+executor: in-process, no cache. ``REPRO_JOBS``, ``REPRO_EXEC_BACKEND``,
+``REPRO_CACHE=1``, ``REPRO_TIMEOUT`` and ``REPRO_RETRIES`` configure the
+default from the environment (the CI tier-1 job runs the suite under
+``REPRO_JOBS=2 REPRO_EXEC_BACKEND=inprocess``); an ``atexit`` hook shuts its
+pool down on interpreter exit so ``--jobs N`` runs never leak workers.
 """
 
 from __future__ import annotations
 
+import atexit
+import collections
 import concurrent.futures
 import contextlib
 import dataclasses
 import os
 import time
+import traceback
 
-from repro.errors import ConfigurationError
+from repro.errors import BatchExecutionError, ConfigurationError
 from repro.exec.cache import DEFAULT_CACHE_DIR, ResultCache
-from repro.exec.serialize import result_from_wire, result_to_wire
+from repro.exec.serialize import (
+    error_envelope,
+    ok_envelope,
+    result_from_wire,
+    result_to_wire,
+)
 from repro.exec.spec import RunSpec
+from repro.exec.supervisor import (
+    FAILURE_KINDS,
+    BatchOutcome,
+    CircuitBreaker,
+    RetryPolicy,
+    RunFailure,
+)
 from repro.pipeline.scheduler_base import RunResult
 from repro.telemetry import runtime as telemetry_runtime
 
 BACKENDS = ("inprocess", "process")
+
+#: Batch failure policies: ``fail-fast`` raises a BatchExecutionError that
+#: carries the failure records (siblings are still salvaged and cached);
+#: ``keep-going`` returns partial results with ``None`` holes.
+POLICIES = ("fail-fast", "keep-going")
 
 
 def execute_spec(spec: RunSpec) -> RunResult:
@@ -78,12 +114,26 @@ def execute_spec(spec: RunSpec) -> RunResult:
     return scheduler.run(start_time=spec.start_time, horizon=spec.horizon)
 
 
-def _pool_worker(wire_spec: dict) -> tuple[dict, float]:
-    """Process-pool entry point: wire spec in, (wire result, seconds) out."""
-    spec = RunSpec.from_wire(wire_spec)
+def _pool_worker(wire_spec: dict) -> dict:
+    """Process-pool entry point: wire spec in, tagged envelope out.
+
+    Exceptions never cross the pool boundary raw — a spec that raises comes
+    back as an error envelope with its taxonomy kind, so the supervisor can
+    classify and retry without the pool protocol ever seeing an unpicklable
+    exception. ``BaseException`` (SIGKILL, interpreter death) still breaks
+    the pool; that path is the supervisor's crash-containment job.
+    """
     started = time.perf_counter()
-    result = execute_spec(spec)
-    return result_to_wire(result), time.perf_counter() - started
+    try:
+        spec = RunSpec.from_wire(wire_spec)
+        result = execute_spec(spec)
+        return ok_envelope(result_to_wire(result), time.perf_counter() - started)
+    except ConfigurationError as exc:
+        return error_envelope("config", str(exc), traceback.format_exc())
+    except Exception as exc:
+        return error_envelope(
+            "crash", f"{type(exc).__name__}: {exc}", traceback.format_exc()
+        )
 
 
 @dataclasses.dataclass
@@ -96,6 +146,13 @@ class ExecStats:
     deduplicated: int = 0
     batches: int = 0
     run_seconds: float = 0.0
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    pool_respawns: int = 0
+    failures: int = 0
+    quarantined: int = 0
+    cache_evictions: int = 0
 
     def snapshot(self) -> "ExecStats":
         return dataclasses.replace(self)
@@ -103,12 +160,10 @@ class ExecStats:
     def since(self, earlier: "ExecStats") -> "ExecStats":
         """Counter deltas accumulated after *earlier* was snapshotted."""
         return ExecStats(
-            runs_executed=self.runs_executed - earlier.runs_executed,
-            cache_hits=self.cache_hits - earlier.cache_hits,
-            cache_misses=self.cache_misses - earlier.cache_misses,
-            deduplicated=self.deduplicated - earlier.deduplicated,
-            batches=self.batches - earlier.batches,
-            run_seconds=self.run_seconds - earlier.run_seconds,
+            **{
+                field.name: getattr(self, field.name) - getattr(earlier, field.name)
+                for field in dataclasses.fields(self)
+            }
         )
 
     @property
@@ -117,15 +172,49 @@ class ExecStats:
 
     def describe(self) -> str:
         """One-line summary for reports and the CLI."""
-        return (
+        line = (
             f"{self.total_requests} runs: {self.runs_executed} simulated "
             f"({self.run_seconds:.2f}s), {self.cache_hits} cache hits, "
             f"{self.deduplicated} deduplicated"
         )
+        if self.failures or self.retries or self.pool_respawns:
+            line += (
+                f"; supervision: {self.failures} failed, {self.retries} retries, "
+                f"{self.timeouts} timeouts, {self.crashes} crashes, "
+                f"{self.pool_respawns} pool respawns"
+            )
+        return line
+
+
+class _Task:
+    """Mutable per-spec supervision state for one batch."""
+
+    __slots__ = ("key", "spec", "wire", "timeout_s", "attempts", "suspect", "resume_at")
+
+    def __init__(self, key: str, spec: RunSpec, timeout_s: float | None) -> None:
+        self.key = key
+        self.spec = spec
+        self.wire = spec.to_wire()
+        self.timeout_s = timeout_s
+        self.attempts = 0
+        self.suspect = False  # was in flight when a pool broke
+        self.resume_at = 0.0  # monotonic instant the next attempt may start
+
+
+class _WaveOutcome:
+    """What one submission wave of the process backend produced."""
+
+    __slots__ = ("retry", "suspects", "broke", "stuck")
+
+    def __init__(self) -> None:
+        self.retry: list[_Task] = []
+        self.suspects: list[_Task] = []
+        self.broke = False  # the pool died mid-wave
+        self.stuck = False  # a timed-out worker is still occupying a slot
 
 
 class Executor:
-    """Maps batches of RunSpecs to RunResults, in parallel and cached.
+    """Maps batches of RunSpecs to RunResults, in parallel, cached, supervised.
 
     Args:
         jobs: Worker count for the process backend; defaults to
@@ -135,6 +224,21 @@ class Executor:
         cache: ``True`` for the default on-disk cache, ``False``/``None`` to
             disable, or a :class:`ResultCache` instance.
         cache_dir: Directory for the default cache (``.repro-cache/``).
+        timeout_s: Default per-run deadline in seconds (``None`` = no
+            deadline); an individual ``RunSpec.timeout_s`` overrides it.
+            Enforced preemptively on the process backend, post-hoc on the
+            in-process backend (a single-threaded run cannot be preempted,
+            but an overdue result is still discarded and recorded honestly).
+        retries: Retry budget for transient (crash/timeout) failures — an
+            int (extra attempts), a full :class:`RetryPolicy`, or ``None``
+            for the default policy (1 retry, seeded jittered backoff).
+        policy: ``"fail-fast"`` (default — :meth:`map` raises
+            :class:`~repro.errors.BatchExecutionError` when anything failed,
+            after salvaging and caching every healthy sibling) or
+            ``"keep-going"`` (:meth:`map` returns partial results with
+            ``None`` holes; failures accumulate on :attr:`last_failures`).
+        breaker_threshold: Consecutive pool-level failures before the
+            circuit breaker degrades this executor to in-process execution.
     """
 
     def __init__(
@@ -143,6 +247,10 @@ class Executor:
         backend: str | None = None,
         cache: bool | ResultCache | None = False,
         cache_dir: str | os.PathLike = DEFAULT_CACHE_DIR,
+        timeout_s: float | None = None,
+        retries: int | RetryPolicy | None = None,
+        policy: str = "fail-fast",
+        breaker_threshold: int = 3,
     ) -> None:
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
         if self.jobs < 1:
@@ -160,7 +268,29 @@ class Executor:
             self.cache = None
         else:
             self.cache = cache
+        if timeout_s is not None and not timeout_s > 0:
+            raise ConfigurationError(f"timeout_s must be > 0, got {timeout_s!r}")
+        self.timeout_s = timeout_s
+        if retries is None:
+            self.retry = RetryPolicy()
+        elif isinstance(retries, RetryPolicy):
+            self.retry = retries
+        elif isinstance(retries, int) and not isinstance(retries, bool):
+            self.retry = RetryPolicy(retries=retries)
+        else:
+            raise ConfigurationError(
+                f"retries must be an int, a RetryPolicy, or None; got {retries!r}"
+            )
+        if policy not in POLICIES:
+            raise ConfigurationError(
+                f"unknown batch policy {policy!r}; known: {', '.join(POLICIES)}"
+            )
+        self.policy = policy
+        self.breaker = CircuitBreaker(breaker_threshold)
         self.stats = ExecStats()
+        #: RunFailure records from the most recent map/map_outcome call.
+        self.last_failures: list[RunFailure] = []
+        self._quarantine: dict[str, RunFailure] = {}
         self._pool: concurrent.futures.ProcessPoolExecutor | None = None
 
     # ------------------------------------------------------------- lifecycle
@@ -171,11 +301,35 @@ class Executor:
             )
         return self._pool
 
+    def _respawn_pool(self, terminate: bool = False) -> None:
+        """Discard the current pool (terminating its workers if asked)."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if terminate:
+            # A timed-out or poisoned worker can occupy its slot arbitrarily
+            # long; terminate() reclaims it so the respawned pool starts
+            # clean. _processes is internal, hence the defensive getattr.
+            processes = getattr(pool, "_processes", None) or {}
+            for process in list(processes.values()):
+                with contextlib.suppress(Exception):
+                    process.terminate()
+        with contextlib.suppress(Exception):
+            pool.shutdown(wait=False, cancel_futures=True)
+        self.stats.pool_respawns += 1
+        self._note("pool_respawns")
+
     def close(self) -> None:
         """Shut down the worker pool (idempotent)."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+
+    def clear_quarantine(self) -> int:
+        """Forget quarantined specs so they may run again; returns the count."""
+        count = len(self._quarantine)
+        self._quarantine.clear()
+        return count
 
     def __enter__(self) -> "Executor":
         return self
@@ -185,101 +339,439 @@ class Executor:
 
     # ------------------------------------------------------------ submission
     def run(self, spec: RunSpec) -> RunResult:
-        """Execute (or fetch) a single spec."""
+        """Execute (or fetch) a single spec.
+
+        Under ``keep-going`` a failed spec yields ``None``; under
+        ``fail-fast`` (the default) it raises :class:`BatchExecutionError`.
+        """
         return self.map([spec])[0]
 
     def map(self, specs) -> list[RunResult]:
-        """Execute a batch of specs, preserving order.
+        """Execute a batch of specs, preserving order, applying the policy.
+
+        Healthy siblings of a failed spec are always salvaged (and cached);
+        the policy only controls how failures surface — as a raised
+        :class:`~repro.errors.BatchExecutionError` carrying the records
+        (``fail-fast``) or as ``None`` holes in the returned list
+        (``keep-going``).
+        """
+        outcome = self.map_outcome(specs)
+        if outcome.failures and self.policy == "fail-fast":
+            outcome.raise_for_failures()
+        return outcome.results
+
+    def map_outcome(self, specs) -> BatchOutcome:
+        """Supervised batch execution; never raises for per-spec failures.
 
         Cache hits are served without touching a scheduler; identical specs
         within the batch simulate once and fan the result out; the remainder
-        runs on the configured backend.
+        runs supervised on the configured backend. Each fresh result is
+        checkpointed into the cache the moment it completes, so an
+        interrupted batch resumes from where it died.
         """
         specs = list(specs)
         self.stats.batches += 1
         results: list[RunResult | None] = [None] * len(specs)
         wires: dict[str, dict] = {}
-        pending: dict[str, RunSpec] = {}
-        pending_indices: dict[str, list[int]] = {}
+        failures_by_key: dict[str, RunFailure] = {}
+        key_order: list[str] = []
+        key_indices: dict[str, list[int]] = {}
+        collected: set[str] = set()
+        tasks: list[_Task] = []
 
         for index, spec in enumerate(specs):
             key = spec.content_hash()
-            if key in wires or key in pending:
-                if key in pending:
-                    pending_indices[key].append(index)
-                    self.stats.deduplicated += 1
-                else:
-                    results[index] = result_from_wire(wires[key])
-                    self.stats.deduplicated += 1
+            if key in key_indices:
+                key_indices[key].append(index)
+                self.stats.deduplicated += 1
                 continue
-            cached = self.cache.get(spec) if self.cache is not None else None
+            key_indices[key] = [index]
+            key_order.append(key)
+            quarantined = self._quarantine.get(key)
+            if quarantined is not None:
+                failures_by_key[key] = quarantined
+                continue
+            cached = self._cache_get(spec)
             if cached is not None:
                 self.stats.cache_hits += 1
                 wires[key] = result_to_wire(cached)
-                results[index] = cached
                 telemetry_runtime.collect(cached.telemetry)
+                collected.add(key)
                 continue
             if self.cache is not None:
                 self.stats.cache_misses += 1
-            pending[key] = spec
-            pending_indices[key] = [index]
+            timeout_s = spec.timeout_s if spec.timeout_s is not None else self.timeout_s
+            tasks.append(_Task(key, spec, timeout_s))
 
-        if pending:
+        if tasks:
             batch_started = time.perf_counter()
-            executed = self._execute_batch(list(pending.values()))
+
+            def on_success(task: _Task, wire: dict, seconds: float) -> None:
+                self.stats.runs_executed += 1
+                self.stats.run_seconds += seconds
+                if self.cache is not None:
+                    # Checkpoint immediately: a later crash in this batch
+                    # (or of this process) never re-simulates this spec.
+                    self.cache.put(task.spec, result_from_wire(wire))
+                wires[task.key] = wire
+
+            failures_by_key.update(self._execute_batch(tasks, on_success))
             if telemetry_runtime.enabled():
                 telemetry_runtime.collector().note_batch(
                     time.perf_counter() - batch_started
                 )
-            for (key, spec), (wire, seconds) in zip(pending.items(), executed):
-                self.stats.runs_executed += 1
-                self.stats.run_seconds += seconds
-                if self.cache is not None:
-                    self.cache.put(spec, result_from_wire(wire))
-                wires[key] = wire
-                for index in pending_indices[key]:
-                    result = result_from_wire(wire)
-                    if index == pending_indices[key][0]:
-                        telemetry_runtime.collect(result.telemetry)
-                    results[index] = result
 
-        return results  # type: ignore[return-value]
+        index_failures: dict[int, RunFailure] = {}
+        failures: list[RunFailure] = []
+        for key in key_order:
+            indices = key_indices[key]
+            failure = failures_by_key.get(key)
+            if failure is not None:
+                failures.append(failure)
+                for index in indices:
+                    index_failures[index] = failure
+                continue
+            wire = wires.get(key)
+            if wire is None:  # pragma: no cover - every key resolves one way
+                continue
+            for position, index in enumerate(indices):
+                result = result_from_wire(wire)
+                if position == 0 and key not in collected:
+                    telemetry_runtime.collect(result.telemetry)
+                results[index] = result
 
-    def _execute_batch(self, specs: list[RunSpec]) -> list[tuple[dict, float]]:
-        if self.backend == "process" and len(specs) > 1 and self.jobs > 1:
-            pool = self._ensure_pool()
-            return list(pool.map(_pool_worker, [s.to_wire() for s in specs]))
-        executed = []
-        for spec in specs:
-            started = time.perf_counter()
-            result = execute_spec(spec)
-            executed.append(
-                (result_to_wire(result), time.perf_counter() - started)
+        self.last_failures = failures
+        return BatchOutcome(
+            results=results, failures=failures, index_failures=index_failures
+        )
+
+    # ----------------------------------------------------------- supervision
+    def _cache_get(self, spec: RunSpec) -> RunResult | None:
+        if self.cache is None:
+            return None
+        before = self.cache.stats.evictions
+        result = self.cache.get(spec)
+        evicted = self.cache.stats.evictions - before
+        if evicted:
+            self.stats.cache_evictions += evicted
+            self._note("cache_evictions", evicted)
+        return result
+
+    def _note(self, name: str, amount: float = 1.0) -> None:
+        if telemetry_runtime.enabled():
+            telemetry_runtime.note_exec(name, amount)
+
+    def _execute_batch(self, tasks, on_success) -> dict[str, RunFailure]:
+        failures: dict[str, RunFailure] = {}
+        if self.backend == "process" and self.jobs > 1 and not self.breaker.tripped:
+            self._process_supervised(tasks, failures, on_success)
+        else:
+            self._inprocess_supervised(tasks, failures, on_success)
+        return failures
+
+    def _settle_failure_or_retry(
+        self,
+        task: _Task,
+        kind: str,
+        message: str,
+        traceback_text: str | None,
+        failures: dict[str, RunFailure],
+    ) -> bool:
+        """Record a failed attempt; True schedules a retry, False quarantines."""
+        if kind == "timeout":
+            self.stats.timeouts += 1
+            self._note("timeouts")
+        elif kind == "crash":
+            self.stats.crashes += 1
+            self._note("crashes")
+        if self.retry.retryable(kind) and task.attempts < self.retry.max_attempts:
+            self.stats.retries += 1
+            self._note("retries")
+            task.resume_at = time.monotonic() + self.retry.delay_s(
+                task.key, task.attempts
             )
-        return executed
+            return True
+        failure = RunFailure(
+            spec_hash=task.key,
+            description=task.spec.describe(),
+            kind=kind,
+            attempts=max(1, task.attempts),
+            message=message,
+            traceback=traceback_text,
+        )
+        failures[task.key] = failure
+        self.stats.failures += 1
+        self._note("failures")
+        if task.key not in self._quarantine:
+            self._quarantine[task.key] = failure
+            self.stats.quarantined += 1
+            self._note("quarantined")
+        return False
+
+    def _settle_envelope(self, task, envelope, failures, on_success) -> bool:
+        """Classify one completed attempt; True means a retry is scheduled."""
+        task.attempts += 1
+        traceback_text = None
+        if isinstance(envelope, dict) and envelope.get("ok") is True:
+            try:
+                on_success(task, envelope["result"], envelope["seconds"])
+                return False
+            except (KeyError, TypeError, ValueError) as exc:
+                kind = "cache-corrupt"
+                message = f"result wire form rejected: {exc}"
+        elif isinstance(envelope, dict) and envelope.get("ok") is False:
+            kind = envelope.get("kind", "crash")
+            if kind not in FAILURE_KINDS:
+                kind = "crash"
+            message = envelope.get("message", "worker reported an error")
+            traceback_text = envelope.get("traceback")
+        else:
+            kind = "cache-corrupt"
+            message = f"malformed worker envelope: {envelope!r}"
+        return self._settle_failure_or_retry(
+            task, kind, message, traceback_text, failures
+        )
+
+    @staticmethod
+    def _sleep_until_resume(task: _Task) -> None:
+        delay = task.resume_at - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+
+    @staticmethod
+    def _timeout_message(task: _Task) -> str:
+        # Deliberately free of measured wall times: failure records must be
+        # byte-identical across reruns with the same retry seed.
+        return f"run exceeded its {task.timeout_s:g}s deadline"
+
+    # ----------------------------------------------- process-backend engine
+    def _process_supervised(self, tasks, failures, on_success) -> None:
+        pending: list[_Task] = list(tasks)
+        suspects: collections.deque[_Task] = collections.deque()
+        while pending or suspects:
+            if self.breaker.tripped:
+                # Degraded mode (the §4.5 fallback, applied to the harness):
+                # stop respawning pools. Unexonerated crash suspects are
+                # quarantined — re-running a potential worker-killer
+                # in-process would take the whole harness down with it.
+                for task in suspects:
+                    task.attempts = max(1, task.attempts)
+                    self._settle_failure_or_retry(
+                        task,
+                        "crash",
+                        "quarantined by the circuit breaker: the worker pool "
+                        "broke repeatedly with this spec in flight",
+                        None,
+                        failures,
+                    )
+                suspects.clear()
+                if pending:
+                    self._inprocess_supervised(pending, failures, on_success)
+                return
+            if pending:
+                wave, pending = pending, []
+            else:
+                # Crash suspects run one per pool so a broken pool
+                # attributes the crash to exactly one spec.
+                wave = [suspects.popleft()]
+            outcome = self._run_process_wave(wave, failures, on_success)
+            if outcome.broke:
+                self.breaker.record_failure()
+            else:
+                self.breaker.record_success()
+            if outcome.broke or outcome.stuck:
+                self._respawn_pool(terminate=True)
+            if outcome.broke and len(outcome.suspects) == 1:
+                # Exactly one spec was in flight when the pool died — that
+                # is the culprit; charge the crash to it.
+                task = outcome.suspects[0]
+                task.suspect = True
+                task.attempts += 1
+                if self._settle_failure_or_retry(
+                    task,
+                    "crash",
+                    "worker process died while executing this spec "
+                    "(killed or crashed outside Python)",
+                    None,
+                    failures,
+                ):
+                    suspects.append(task)
+            else:
+                for task in outcome.suspects:
+                    task.suspect = True
+                    suspects.append(task)
+            for task in outcome.retry:
+                if task.suspect:
+                    suspects.append(task)
+                else:
+                    pending.append(task)
+
+    def _run_process_wave(self, wave, failures, on_success) -> _WaveOutcome:
+        outcome = _WaveOutcome()
+        futures: dict[concurrent.futures.Future, _Task] = {}
+        deadlines: dict[concurrent.futures.Future, float] = {}
+        pool = self._ensure_pool()
+        for task in wave:
+            self._sleep_until_resume(task)
+            try:
+                future = pool.submit(_pool_worker, task.wire)
+            except Exception:
+                # The pool is already broken; everything unsubmitted is a
+                # (probably innocent) suspect to re-run after the respawn.
+                outcome.broke = True
+                outcome.suspects.append(task)
+                continue
+            futures[future] = task
+            if task.timeout_s is not None:
+                deadlines[future] = time.monotonic() + task.timeout_s
+        not_done = set(futures)
+        while not_done:
+            wait_s = None
+            active = [deadlines[f] for f in not_done if f in deadlines]
+            if active:
+                wait_s = max(0.0, min(active) - time.monotonic())
+            done, not_done = concurrent.futures.wait(
+                not_done, timeout=wait_s,
+                return_when=concurrent.futures.FIRST_COMPLETED,
+            )
+            for future in done:
+                task = futures[future]
+                try:
+                    envelope = future.result()
+                except concurrent.futures.BrokenExecutor:
+                    outcome.broke = True
+                    outcome.suspects.append(task)
+                    continue
+                except concurrent.futures.CancelledError:
+                    outcome.broke = True
+                    outcome.suspects.append(task)
+                    continue
+                if self._settle_envelope(task, envelope, failures, on_success):
+                    outcome.retry.append(task)
+            now = time.monotonic()
+            for future in [
+                f for f in not_done if f in deadlines and deadlines[f] <= now
+            ]:
+                not_done.discard(future)
+                task = futures[future]
+                if not future.cancel():
+                    # The worker is mid-run and cannot be preempted; the
+                    # caller terminates and respawns the pool to reclaim
+                    # the slot.
+                    outcome.stuck = True
+                task.attempts += 1
+                if self._settle_failure_or_retry(
+                    task, "timeout", self._timeout_message(task), None, failures
+                ):
+                    outcome.retry.append(task)
+        return outcome
+
+    # --------------------------------------------- in-process backend engine
+    def _inprocess_supervised(self, tasks, failures, on_success) -> None:
+        for task in tasks:
+            while True:
+                self._sleep_until_resume(task)
+                started = time.perf_counter()
+                envelope = None
+                try:
+                    result = execute_spec(task.spec)
+                    seconds = time.perf_counter() - started
+                    envelope = ok_envelope(result_to_wire(result), seconds)
+                except ConfigurationError as exc:
+                    envelope = error_envelope(
+                        "config", str(exc), traceback.format_exc()
+                    )
+                except Exception as exc:
+                    envelope = error_envelope(
+                        "crash",
+                        f"{type(exc).__name__}: {exc}",
+                        traceback.format_exc(),
+                    )
+                if (
+                    envelope.get("ok")
+                    and task.timeout_s is not None
+                    and envelope["seconds"] > task.timeout_s
+                ):
+                    # In-process runs cannot be preempted; enforce the
+                    # deadline post-hoc and discard the overdue result so
+                    # both backends report the same taxonomy.
+                    task.attempts += 1
+                    if self._settle_failure_or_retry(
+                        task, "timeout", self._timeout_message(task), None, failures
+                    ):
+                        continue
+                    break
+                if not self._settle_envelope(task, envelope, failures, on_success):
+                    break
 
 
 # ---------------------------------------------------------- default executor
 _default_executor: Executor | None = None
 
 
+def _env_int(name: str, default: int | None, minimum: int) -> int | None:
+    """Parse an integer environment knob, failing loudly at construction."""
+    text = os.environ.get(name, "")
+    if not text:
+        return default
+    try:
+        value = int(text)
+    except ValueError:
+        raise ConfigurationError(
+            f"{name} must be an integer, got {text!r}"
+        ) from None
+    if value < minimum:
+        raise ConfigurationError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def _env_float(name: str, default: float | None) -> float | None:
+    text = os.environ.get(name, "")
+    if not text:
+        return default
+    try:
+        value = float(text)
+    except ValueError:
+        raise ConfigurationError(
+            f"{name} must be a number of seconds, got {text!r}"
+        ) from None
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be > 0 seconds, got {value}")
+    return value
+
+
 def _executor_from_env() -> Executor:
-    jobs_text = os.environ.get("REPRO_JOBS", "")
-    jobs = int(jobs_text) if jobs_text else 1
+    jobs = _env_int("REPRO_JOBS", 1, minimum=1)
     backend = os.environ.get("REPRO_EXEC_BACKEND") or (
         "process" if jobs > 1 else "inprocess"
     )
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"REPRO_EXEC_BACKEND must be one of {', '.join(BACKENDS)}; "
+            f"got {backend!r}"
+        )
     cache = os.environ.get("REPRO_CACHE", "") == "1"
     cache_dir = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
-    return Executor(jobs=jobs, backend=backend, cache=cache, cache_dir=cache_dir)
+    timeout_s = _env_float("REPRO_TIMEOUT", None)
+    retries = _env_int("REPRO_RETRIES", None, minimum=0)
+    return Executor(
+        jobs=jobs,
+        backend=backend,
+        cache=cache,
+        cache_dir=cache_dir,
+        timeout_s=timeout_s,
+        retries=retries,
+    )
 
 
 def get_default_executor() -> Executor:
     """The process-wide executor experiments submit through.
 
     First use builds one from ``REPRO_JOBS`` / ``REPRO_EXEC_BACKEND`` /
-    ``REPRO_CACHE`` / ``REPRO_CACHE_DIR``; absent those, a hermetic
-    in-process executor with the cache disabled.
+    ``REPRO_CACHE`` / ``REPRO_CACHE_DIR`` / ``REPRO_TIMEOUT`` /
+    ``REPRO_RETRIES``; absent those, a hermetic in-process executor with the
+    cache disabled. Malformed values raise
+    :class:`~repro.errors.ConfigurationError` here, at construction time.
     """
     global _default_executor
     if _default_executor is None:
@@ -293,6 +785,15 @@ def set_default_executor(executor: Executor | None) -> Executor | None:
     previous = _default_executor
     _default_executor = executor
     return previous
+
+
+def _close_default_executor() -> None:
+    """atexit hook: never leak pool workers past interpreter exit."""
+    if _default_executor is not None:
+        _default_executor.close()
+
+
+atexit.register(_close_default_executor)
 
 
 @contextlib.contextmanager

@@ -161,6 +161,26 @@ def result_from_wire(wire: dict) -> RunResult:
     )
 
 
+def ok_envelope(result_wire: dict, seconds: float) -> dict:
+    """Wrap a worker's successful result wire for the pool boundary.
+
+    Workers never raise across the pool: success and failure both travel as
+    tagged envelopes, so a custom exception that does not pickle (or pickles
+    to something that re-raises on load) can never poison the pool protocol.
+    """
+    return {"ok": True, "result": result_wire, "seconds": seconds}
+
+
+def error_envelope(kind: str, message: str, traceback_text: str | None) -> dict:
+    """Wrap a worker-side failure (taxonomy kind + cause) for the pool wire."""
+    return {
+        "ok": False,
+        "kind": kind,
+        "message": message,
+        "traceback": traceback_text,
+    }
+
+
 def normalize_result(result: RunResult) -> RunResult:
     """Round-trip a result through the wire form.
 

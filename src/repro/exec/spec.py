@@ -166,6 +166,11 @@ class RunSpec:
             its structured verdict in ``RunResult.extra["invariants"]``. In
             the spec for the same reason as ``telemetry``: pool workers have
             their own process-wide verification switch.
+        timeout_s: Per-run wall-clock deadline (seconds) enforced by the
+            supervised executor; ``None`` defers to the executor's default.
+            Execution *policy*, not run content — it rides the wire but is
+            excluded from :meth:`content_hash`, so changing a deadline never
+            invalidates cached results.
     """
 
     driver: DriverSpec
@@ -180,6 +185,7 @@ class RunSpec:
     horizon: int | None = None
     telemetry: bool = False
     verify: bool = False
+    timeout_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.architecture not in ARCHITECTURES:
@@ -190,6 +196,10 @@ class RunSpec:
         if self.watchdog and self.architecture != "dvsync":
             raise ConfigurationError(
                 "the degradation watchdog only attaches to the dvsync architecture"
+            )
+        if self.timeout_s is not None and not self.timeout_s > 0:
+            raise ConfigurationError(
+                f"timeout_s must be > 0 seconds, got {self.timeout_s!r}"
             )
 
     def to_wire(self) -> dict:
@@ -206,6 +216,7 @@ class RunSpec:
             "horizon": self.horizon,
             "telemetry": self.telemetry,
             "verify": self.verify,
+            "timeout_s": self.timeout_s,
         }
 
     @classmethod
@@ -225,13 +236,19 @@ class RunSpec:
             horizon=wire["horizon"],
             telemetry=wire.get("telemetry", False),
             verify=wire.get("verify", False),
+            timeout_s=wire.get("timeout_s"),
         )
 
     def content_hash(self) -> str:
-        """SHA-256 content address of this spec (hex)."""
-        return hashlib.sha256(
-            canonical_json(self.to_wire()).encode("utf-8")
-        ).hexdigest()
+        """SHA-256 content address of this spec (hex).
+
+        Execution-policy fields (``timeout_s``) are excluded: a deadline
+        bounds *how long* the harness waits, not *what* the deterministic
+        run computes, so the same result stays addressable under any policy.
+        """
+        wire = self.to_wire()
+        del wire["timeout_s"]
+        return hashlib.sha256(canonical_json(wire).encode("utf-8")).hexdigest()
 
     def describe(self) -> str:
         """One-line human-readable summary (logs, observability)."""

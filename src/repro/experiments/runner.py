@@ -21,7 +21,7 @@ from typing import Callable, Iterable, Sequence
 from repro.core.config import DVSyncConfig
 from repro.core.dvsync import DVSyncScheduler
 from repro.display.device import DeviceProfile
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ExecutionError
 from repro.exec.executor import get_default_executor
 from repro.exec.spec import DriverSpec, RunSpec
 from repro.metrics.fdps import fdps
@@ -82,13 +82,16 @@ def scenario_spec(
     dvsync_config: DVSyncConfig | None = None,
     telemetry: bool | None = None,
     verify: bool | None = None,
+    timeout_s: float | None = None,
 ) -> RunSpec:
     """Describe one repetition of a scenario as a RunSpec.
 
     ``telemetry=None`` / ``verify=None`` read the process-wide switches at
     description time, so a ``--trace``/``--profile`` invocation records (and
     an enabled checker verifies) every run the experiments submit —
-    including runs that execute in pool workers.
+    including runs that execute in pool workers. ``timeout_s`` bounds the
+    run's wall clock under the supervised executor (``None`` defers to the
+    executor's default deadline).
     """
     if telemetry is None:
         telemetry = telemetry_runtime.enabled()
@@ -104,6 +107,7 @@ def scenario_spec(
         dvsync=dvsync_config,
         telemetry=telemetry,
         verify=verify,
+        timeout_s=timeout_s,
     )
 
 
@@ -211,4 +215,17 @@ def compare_scenario(
         for run in range(runs)
     ]
     results = execute_specs(specs)
-    return _comparison_from_results(scenario.name, results[:runs], results[runs:])
+    # Under the keep-going policy a failed repetition leaves a None hole;
+    # drop the whole *pair* so both arms still average identical workloads.
+    vsync_results = []
+    dvsync_results = []
+    for run in range(runs):
+        if results[run] is not None and results[runs + run] is not None:
+            vsync_results.append(results[run])
+            dvsync_results.append(results[runs + run])
+    if not vsync_results:
+        raise ExecutionError(
+            f"scenario {scenario.name!r}: every repetition pair failed "
+            f"({runs} requested); see the executor's failure records"
+        )
+    return _comparison_from_results(scenario.name, vsync_results, dvsync_results)

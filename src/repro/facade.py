@@ -73,6 +73,7 @@ def simulate(
     telemetry: "bool | Telemetry | NullTelemetry | None" = None,
     verify: "bool | InvariantChecker | None" = None,
     seed: int | None = None,
+    timeout_s: float | None = None,
 ) -> RunResult:
     """Run *scenario* on *device* under one architecture; return the result.
 
@@ -105,6 +106,9 @@ def simulate(
         seed: Repetition index for a :class:`Scenario` (its driver builder is
             seeded by name + run index). Must be ``None`` for a live driver,
             which is already constructed.
+        timeout_s: Per-run wall-clock deadline enforced by the supervised
+            executor (Scenario path only — a live in-process driver has no
+            supervisor above it). ``None`` defers to the executor's default.
 
     Returns:
         The normalized :class:`RunResult` for the run.
@@ -136,6 +140,7 @@ def simulate(
                 dvsync_config=dvsync_config,
                 telemetry=telemetry,
                 verify=verify,
+                timeout_s=timeout_s,
             )
         )
 
@@ -144,6 +149,12 @@ def simulate(
             raise ConfigurationError(
                 "seed only applies to a declarative Scenario; a live driver "
                 "is already constructed (seed its builder instead)"
+            )
+        if timeout_s is not None:
+            raise ConfigurationError(
+                "timeout_s only applies to a declarative Scenario, which runs "
+                "under the supervised executor; a live driver runs in-process "
+                "with nothing above it to enforce a deadline"
             )
         return run_driver(
             scenario,

@@ -13,7 +13,7 @@ from __future__ import annotations
 from repro.core.config import DVSyncConfig
 from repro.core.dvsync import DVSyncScheduler
 from repro.display.device import PIXEL_5, DeviceProfile
-from repro.errors import WorkloadError
+from repro.errors import ExecutionError, WorkloadError
 from repro.exec.executor import get_default_executor
 from repro.exec.spec import DriverSpec, RunSpec
 from repro.experiments.base import ExperimentResult
@@ -83,6 +83,7 @@ def run_drill_pair(
     seed: int = 0,
     device: DeviceProfile = PIXEL_5,
     thresholds: WatchdogThresholds | None = None,
+    timeout_s: float | None = None,
 ) -> tuple[RunResult, RunResult]:
     """Run *scenario* under *schedule* on both architectures.
 
@@ -91,9 +92,13 @@ def run_drill_pair(
     fault rngs, so this compares architectures, not one shared fault trace.
 
     The pair is described as RunSpecs and submitted as one executor batch
-    (parallel under ``--jobs``, individually cached). Custom watchdog
-    *thresholds* are live objects the spec layer does not name, so that case
-    runs inline.
+    (parallel under ``--jobs``, individually cached, supervised under
+    *timeout_s* when given). Custom watchdog *thresholds* are live objects
+    the spec layer does not name, so that case runs inline.
+
+    Raises :class:`~repro.errors.ExecutionError` if either arm produced no
+    result under a keep-going executor — the drill's side-by-side comparison
+    is meaningless with one arm missing.
     """
     if thresholds is not None:
         baseline = VSyncScheduler(drill_driver(scenario), device, buffer_count=3)
@@ -118,6 +123,7 @@ def run_drill_pair(
                 buffer_count=3,
                 faults=faults,
                 fault_seed=seed,
+                timeout_s=timeout_s,
             ),
             RunSpec(
                 driver=driver,
@@ -127,9 +133,16 @@ def run_drill_pair(
                 faults=faults,
                 fault_seed=seed,
                 watchdog=True,
+                timeout_s=timeout_s,
             ),
         ]
     )
+    if vsync_result is None or dvsync_result is None:
+        missing = "vsync" if vsync_result is None else "dvsync"
+        raise ExecutionError(
+            f"fault drill lost its {missing} arm (run failed under the "
+            "keep-going policy); the side-by-side comparison needs both"
+        )
     return vsync_result, dvsync_result
 
 
@@ -138,13 +151,14 @@ def run_fault_drill(
     scenario: str = "composite",
     seed: int = 0,
     device: DeviceProfile = PIXEL_5,
+    timeout_s: float | None = None,
 ) -> ExperimentResult:
     """Execute the drill and package the comparison as a printable report."""
     schedule = (
         faults if isinstance(faults, FaultSchedule) else FaultSchedule.parse(faults)
     )
     vsync_result, dvsync_result = run_drill_pair(
-        schedule, scenario=scenario, seed=seed, device=device
+        schedule, scenario=scenario, seed=seed, device=device, timeout_s=timeout_s
     )
 
     rows = []

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.session import NULL_TELEMETRY, NullTelemetry, Telemetry, TelemetrySnapshot
 
 _enabled = False
@@ -64,6 +65,9 @@ class Collector:
         self.experiments: list[ExperimentProfile] = []
         self.batch_seconds = 0.0
         self.batches = 0
+        #: Supervision counters (``exec.retries``, ``exec.timeouts``,
+        #: ``exec.pool_respawns``, ...) published by the executor.
+        self.exec_metrics = MetricsRegistry()
 
     def add_snapshot(self, snapshot: TelemetrySnapshot) -> None:
         self.snapshots.append(snapshot)
@@ -97,6 +101,7 @@ class Collector:
         self.experiments.clear()
         self.batch_seconds = 0.0
         self.batches = 0
+        self.exec_metrics = MetricsRegistry()
 
 
 _collector = Collector()
@@ -117,6 +122,17 @@ def collect(snapshot: TelemetrySnapshot | None) -> None:
     """
     if snapshot is not None and _enabled:
         _collector.add_snapshot(snapshot)
+
+
+def note_exec(name: str, amount: float = 1.0) -> None:
+    """Increment the ``exec.<name>`` supervision counter.
+
+    Like :func:`collect`, a no-op unless the process opted in — the executor
+    keeps its own :class:`~repro.exec.executor.ExecStats` unconditionally;
+    these counters are the telemetry-facing view of the same events.
+    """
+    if _enabled:
+        _collector.exec_metrics.counter(f"exec.{name}").inc(amount)
 
 
 def reset() -> None:

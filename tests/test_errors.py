@@ -3,14 +3,18 @@
 import pytest
 
 from repro.errors import (
+    BatchExecutionError,
     BufferQueueError,
     ConfigurationError,
+    DeadlineExceededError,
+    ExecutionError,
     FaultContainmentError,
     InjectedFaultError,
     PipelineError,
     PredictionError,
     ReproError,
     SimulationError,
+    WorkerCrashError,
     WorkloadError,
 )
 
@@ -26,10 +30,40 @@ from repro.errors import (
         PredictionError,
         InjectedFaultError,
         FaultContainmentError,
+        ExecutionError,
+        WorkerCrashError,
+        DeadlineExceededError,
+        BatchExecutionError,
     ],
 )
 def test_all_errors_derive_from_repro_error(exc):
     assert issubclass(exc, ReproError)
+
+
+def test_execution_errors_derive_from_execution_error():
+    for exc in (WorkerCrashError, DeadlineExceededError, BatchExecutionError):
+        assert issubclass(exc, ExecutionError)
+
+
+def test_batch_execution_error_previews_failures():
+    from repro.exec.supervisor import RunFailure
+
+    failures = [
+        RunFailure(
+            spec_hash=f"{i:064x}",
+            description=f"spec {i}",
+            kind="crash",
+            attempts=2,
+            message="boom",
+        )
+        for i in range(5)
+    ]
+    error = BatchExecutionError(failures, salvaged=3)
+    assert error.failures == failures
+    assert error.salvaged == 3
+    assert "5 spec(s) failed" in str(error)
+    assert "3 sibling result(s) salvaged" in str(error)
+    assert "... 2 more" in str(error)
 
 
 def test_catching_base_catches_all():
