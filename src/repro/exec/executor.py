@@ -153,6 +153,7 @@ class ExecStats:
     failures: int = 0
     quarantined: int = 0
     cache_evictions: int = 0
+    cache_write_errors: int = 0
 
     def snapshot(self) -> "ExecStats":
         return dataclasses.replace(self)
@@ -226,9 +227,13 @@ class Executor:
         cache_dir: Directory for the default cache (``.repro-cache/``).
         timeout_s: Default per-run deadline in seconds (``None`` = no
             deadline); an individual ``RunSpec.timeout_s`` overrides it.
-            Enforced preemptively on the process backend, post-hoc on the
-            in-process backend (a single-threaded run cannot be preempted,
-            but an overdue result is still discarded and recorded honestly).
+            The deadline covers execution only, on both backends: the
+            process backend caps in-flight submissions at the pool width so
+            a task's clock starts when it holds a worker slot (time queued
+            behind batch siblings never counts), and enforces preemptively;
+            the in-process backend enforces post-hoc (a single-threaded run
+            cannot be preempted, but an overdue result is still discarded
+            and recorded honestly).
         retries: Retry budget for transient (crash/timeout) failures — an
             int (extra attempts), a full :class:`RetryPolicy`, or ``None``
             for the default policy (1 retry, seeded jittered backoff).
@@ -410,9 +415,15 @@ class Executor:
                 self.stats.runs_executed += 1
                 self.stats.run_seconds += seconds
                 if self.cache is not None:
-                    # Checkpoint immediately: a later crash in this batch
-                    # (or of this process) never re-simulates this spec.
-                    self.cache.put(task.spec, result_from_wire(wire))
+                    try:
+                        # Checkpoint immediately: a later crash in this batch
+                        # (or of this process) never re-simulates this spec.
+                        self.cache.put(task.spec, result_from_wire(wire))
+                    except OSError:
+                        # A full disk or permission flip must not abort the
+                        # batch mid-wave: the result stands, merely uncached.
+                        self.stats.cache_write_errors += 1
+                        self._note("cache_write_errors")
                 wires[task.key] = wire
 
             failures_by_key.update(self._execute_batch(tasks, on_success))
@@ -476,15 +487,26 @@ class Executor:
         message: str,
         traceback_text: str | None,
         failures: dict[str, RunFailure],
+        allow_retry: bool = True,
     ) -> bool:
-        """Record a failed attempt; True schedules a retry, False quarantines."""
+        """Record a failed attempt; True schedules a retry, False settles it.
+
+        ``allow_retry=False`` forces the failure to settle into a record
+        even when the task's retry budget is not exhausted (the breaker-trip
+        path: there is no pool left to retry on, and dropping the task would
+        lose it without a result *or* a failure).
+        """
         if kind == "timeout":
             self.stats.timeouts += 1
             self._note("timeouts")
         elif kind == "crash":
             self.stats.crashes += 1
             self._note("crashes")
-        if self.retry.retryable(kind) and task.attempts < self.retry.max_attempts:
+        if (
+            allow_retry
+            and self.retry.retryable(kind)
+            and task.attempts < self.retry.max_attempts
+        ):
             self.stats.retries += 1
             self._note("retries")
             task.resume_at = time.monotonic() + self.retry.delay_s(
@@ -502,7 +524,12 @@ class Executor:
         failures[task.key] = failure
         self.stats.failures += 1
         self._note("failures")
-        if task.key not in self._quarantine:
+        # Timeouts never quarantine: the quarantine key (content_hash) is
+        # deliberately blind to timeout_s, so a deadline failure must not
+        # outlive the deadline that produced it — the same spec resubmitted
+        # under a larger timeout_s deserves a fresh run. The deterministic
+        # kinds (crash/config/cache-corrupt) do quarantine.
+        if kind != "timeout" and task.key not in self._quarantine:
             self._quarantine[task.key] = failure
             self.stats.quarantined += 1
             self._note("quarantined")
@@ -556,6 +583,9 @@ class Executor:
                 # in-process would take the whole harness down with it.
                 for task in suspects:
                     task.attempts = max(1, task.attempts)
+                    # allow_retry=False: there is no pool left to retry on,
+                    # and a scheduled-then-dropped retry would lose the spec
+                    # without a result or a failure record.
                     self._settle_failure_or_retry(
                         task,
                         "crash",
@@ -563,6 +593,7 @@ class Executor:
                         "broke repeatedly with this spec in flight",
                         None,
                         failures,
+                        allow_retry=False,
                     )
                 suspects.clear()
                 if pending:
@@ -611,20 +642,39 @@ class Executor:
         futures: dict[concurrent.futures.Future, _Task] = {}
         deadlines: dict[concurrent.futures.Future, float] = {}
         pool = self._ensure_pool()
-        for task in wave:
-            self._sleep_until_resume(task)
-            try:
-                future = pool.submit(_pool_worker, task.wire)
-            except Exception:
-                # The pool is already broken; everything unsubmitted is a
-                # (probably innocent) suspect to re-run after the respawn.
-                outcome.broke = True
-                outcome.suspects.append(task)
-                continue
-            futures[future] = task
-            if task.timeout_s is not None:
-                deadlines[future] = time.monotonic() + task.timeout_s
-        not_done = set(futures)
+        queue: collections.deque[_Task] = collections.deque(wave)
+        not_done: set[concurrent.futures.Future] = set()
+
+        def dispatch() -> None:
+            # In-flight submissions are capped at the pool width, so a
+            # submitted task holds a worker slot immediately: its deadline
+            # clock starts when it can actually execute, never while queued
+            # behind wave siblings — the same semantics as the in-process
+            # backend, which measures only execution time.
+            while queue and len(not_done) < self.jobs:
+                if outcome.broke or outcome.stuck:
+                    # The pool needs a respawn; hand unsubmitted tasks back
+                    # untouched (no attempt charged) rather than queue them
+                    # behind a dead or occupied slot.
+                    outcome.retry.append(queue.popleft())
+                    continue
+                task = queue.popleft()
+                self._sleep_until_resume(task)
+                try:
+                    future = pool.submit(_pool_worker, task.wire)
+                except Exception:
+                    # The pool broke before this task ever ran: it is
+                    # innocent — requeue it and let the in-flight futures
+                    # identify the culprit.
+                    outcome.broke = True
+                    outcome.retry.append(task)
+                    continue
+                futures[future] = task
+                not_done.add(future)
+                if task.timeout_s is not None:
+                    deadlines[future] = time.monotonic() + task.timeout_s
+
+        dispatch()
         while not_done:
             wait_s = None
             active = [deadlines[f] for f in not_done if f in deadlines]
@@ -664,6 +714,7 @@ class Executor:
                     task, "timeout", self._timeout_message(task), None, failures
                 ):
                     outcome.retry.append(task)
+            dispatch()
         return outcome
 
     # --------------------------------------------- in-process backend engine

@@ -139,6 +139,92 @@ def test_circuit_breaker_degrades_to_inprocess():
         assert executor.stats.pool_respawns == respawns
 
 
+def test_breaker_trip_settles_all_suspects_with_retry_budget_left():
+    """Every spec in flight at breaker trip yields a failure, never a hole.
+
+    Regression: with ``retries >= 1``, a tripped breaker used to *schedule*
+    a retry for each unexonerated suspect and then drop the suspect list —
+    the spec produced neither a result nor a RunFailure, and under
+    fail-fast the batch returned silently with results missing.
+    """
+    specs = [
+        _chaos("trip-kill-1", mode="kill"),
+        _chaos("trip-kill-2", mode="kill"),
+        _chaos("trip-healthy"),
+    ]
+    with Executor(
+        jobs=2,
+        backend="process",
+        policy="keep-going",
+        retries=FAST_RETRY,
+        breaker_threshold=1,
+    ) as executor:
+        outcome = executor.map_outcome(specs)
+        assert executor.breaker.tripped
+    for index in range(len(specs)):
+        assert (
+            outcome.results[index] is not None or index in outcome.index_failures
+        ), f"spec {index} vanished: no result and no failure record"
+    assert outcome.results[2] is not None  # healthy sibling still salvaged
+    assert all(
+        outcome.index_failures[index].kind == "crash" for index in (0, 1)
+    )
+    assert len(outcome.failures) == 2
+
+
+def test_timeout_failure_is_not_quarantined():
+    """A blown deadline must not outlive the deadline that produced it."""
+    slow = _chaos("deadline-retry", mode="sleep", delay_s=0.2, timeout_s=0.05)
+    relaxed = _chaos("deadline-retry", mode="sleep", delay_s=0.2, timeout_s=5.0)
+    assert slow.content_hash() == relaxed.content_hash()
+    with Executor(jobs=1, policy="keep-going", retries=0) as executor:
+        first = executor.map_outcome([slow])
+        assert first.failures[0].kind == "timeout"
+        assert executor.stats.quarantined == 0
+        # Same content, bigger budget: the spec really runs (and succeeds)
+        # instead of being served the stale timeout record.
+        second = executor.map_outcome([relaxed])
+        assert second.results[0] is not None
+        # only the relaxed run completed; the timed-out attempt's result
+        # was discarded before it could count as executed
+        assert executor.stats.runs_executed == 1
+
+
+def test_process_deadline_excludes_queue_time():
+    """A healthy spec queued behind wave siblings keeps its full deadline.
+
+    Six 0.3s runs share two workers, so the last pair waits ~0.6s before a
+    slot frees up — longer than the 0.5s deadline. The deadline clock must
+    start at dispatch to a worker, so every run finishes with zero timeout
+    attempts (and zero retry budget burned).
+    """
+    with Executor(jobs=2, backend="process", policy="keep-going") as executor:
+        executor.map_outcome([_chaos("warm-1"), _chaos("warm-2")])  # spawn workers
+        specs = [
+            _chaos(f"queued-{index}", mode="sleep", delay_s=0.3, timeout_s=0.5)
+            for index in range(6)
+        ]
+        outcome = executor.map_outcome(specs)
+    assert all(result is not None for result in outcome.results)
+    assert executor.stats.timeouts == 0
+    assert executor.stats.retries == 0
+
+
+def test_cache_write_failure_degrades_to_uncached(tmp_path):
+    """A failing checkpoint write (full disk) never aborts the batch."""
+
+    class DiskFullCache(ResultCache):
+        def put(self, spec, result):
+            raise OSError(28, "No space left on device")
+
+    with Executor(jobs=1, cache=DiskFullCache(tmp_path)) as executor:
+        result = executor.run(_chaos("full-disk"))  # fail-fast would raise
+        assert result is not None
+        assert executor.stats.cache_write_errors == 1
+        assert executor.stats.failures == 0
+        assert executor.stats.runs_executed == 1
+
+
 def test_quarantined_spec_is_not_rerun():
     spec = _chaos("repeat-offender", mode="raise")
     with Executor(jobs=1, policy="keep-going", retries=0) as executor:
