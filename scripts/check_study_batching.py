@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""CI gate: the study layer must batch whole matrices, and the batch must pay.
+
+Three claims, checked against a live run:
+
+1. ``run_all(quick=True)`` — the CLI's ``--all --quick`` — submits exactly
+   **one** executor batch for the union of every experiment's matrix.
+2. Each experiment on its own submits at most one batch (zero for the pure,
+   spec-free artifacts; never the serial mini-batch trickle the study layer
+   replaced).
+3. The unioned batch beats the old serial per-cell path on wall clock at
+   ``REPRO_JOBS >= 2``, and the comparison is written to BENCH_study.json.
+
+The serial path is reproduced faithfully: the same spec cells, submitted one
+spec per batch in declaration order against an identically-configured
+executor (so it still enjoys the result cache, as the pre-study code did —
+within a single cold pass that means no savings either way).
+
+Usage: PYTHONPATH=src python scripts/check_study_batching.py
+Environment: REPRO_JOBS (worker count, default 2), REPRO_EXEC_BACKEND.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import time
+
+BENCH_PATH = "BENCH_study.json"
+
+
+def _executor(jobs: int, cache_dir: str):
+    from repro.exec.executor import Executor
+
+    backend = os.environ.get("REPRO_EXEC_BACKEND") or None
+    return Executor(jobs=jobs, backend=backend, cache=True, cache_dir=cache_dir)
+
+
+def main() -> int:
+    from repro.exec.executor import set_default_executor
+    from repro.experiments import registry
+
+    jobs = int(os.environ.get("REPRO_JOBS", "2"))
+    quick = True
+
+    # ---- serial baseline: the same cells, one spec per submission --------
+    studies = [build(quick=quick) for build in registry.STUDIES.values()]
+    flat_specs = [
+        cell.spec for study in studies for cell in study.cells if cell.spec is not None
+    ]
+    with tempfile.TemporaryDirectory(prefix="repro-study-serial-") as cache_dir:
+        executor = _executor(jobs, cache_dir)
+        started = time.perf_counter()
+        for spec in flat_specs:
+            executor.map([spec])
+        serial_s = time.perf_counter() - started
+        serial_batches = executor.stats.batches
+        executor.close()
+
+    # ---- batched path: the same specs as one submission ------------------
+    with tempfile.TemporaryDirectory(prefix="repro-study-batched-") as cache_dir:
+        executor = _executor(jobs, cache_dir)
+        started = time.perf_counter()
+        executor.map_outcome(flat_specs)
+        batched_s = time.perf_counter() - started
+
+        # ---- the real --all global submission, against the warm cache ----
+        # (timed phases above isolate executor shape; this phase checks the
+        # CLI path's batching and runs the live cells + analyses.)
+        set_default_executor(executor)
+        before_batches = executor.stats.batches
+        results = registry.run_all(quick=quick)
+        union_batches = executor.stats.batches - before_batches
+        union_stats = registry.last_union_stats
+
+        # ---- per-experiment batching, same warm cache ---------------------
+        per_experiment = {}
+        for key, build in registry.STUDIES.items():
+            before = executor.stats.batches
+            build(quick=quick).run(executor=executor)
+            per_experiment[key] = executor.stats.batches - before
+        set_default_executor(None)
+        executor.close()
+
+    speedup = serial_s / batched_s if batched_s > 0 else float("inf")
+    bench = {
+        "jobs": jobs,
+        "quick": quick,
+        "serial_s": round(serial_s, 3),
+        "batched_s": round(batched_s, 3),
+        "speedup": round(speedup, 2),
+        "serial_batches": serial_batches,
+        "union_batches": union_batches,
+        "experiments": len(results),
+        "cells": union_stats.cells,
+        "spec_cells": union_stats.spec_cells,
+        "live_cells": union_stats.live_cells,
+        "unique_specs": union_stats.unique_specs,
+        "dedup_hits": union_stats.dedup_hits,
+        "per_experiment_batches": per_experiment,
+    }
+    with open(BENCH_PATH, "w") as handle:
+        json.dump(bench, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(bench, indent=2))
+    print(f"bench written: {BENCH_PATH}")
+
+    failed = False
+    if union_batches != 1:
+        print(
+            f"FAIL: --all submitted {union_batches} batches, expected 1",
+            file=sys.stderr,
+        )
+        failed = True
+    offenders = {key: n for key, n in per_experiment.items() if n > 1}
+    if offenders:
+        print(
+            f"FAIL: experiments submitting more than one batch: {offenders}",
+            file=sys.stderr,
+        )
+        failed = True
+    if serial_batches != len(flat_specs):
+        print(
+            f"FAIL: serial baseline submitted {serial_batches} batches for "
+            f"{len(flat_specs)} specs (harness bug)",
+            file=sys.stderr,
+        )
+        failed = True
+    cores = os.cpu_count() or 1
+    if jobs >= 2 and batched_s >= serial_s:
+        message = (
+            f"batched path ({batched_s:.2f}s) not faster than the serial "
+            f"per-cell path ({serial_s:.2f}s) at {jobs} jobs"
+        )
+        if cores >= 2:
+            print(f"FAIL: {message}", file=sys.stderr)
+            failed = True
+        else:
+            # One-core machines cannot demonstrate the parallel win; the
+            # bench is still recorded, but wall clock is advisory there.
+            print(f"NOTE ({cores} core): {message}")
+    if failed:
+        return 1
+    print(
+        f"OK: one global batch ({union_stats.describe()}), "
+        f"{speedup:.2f}x over serial at {jobs} jobs"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,6 +31,7 @@ import os
 from repro.errors import ConfigurationError
 from repro.exec.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.exec.executor import Executor, set_default_executor
+from repro.experiments import registry
 from repro.experiments.registry import EXPERIMENTS, run_all, run_experiment
 from repro.experiments.runner import DEFAULT_RUNS
 from repro.faults.drill import DRILL_SCENARIOS, run_fault_drill
@@ -123,7 +124,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--cache-stats",
         action="store_true",
-        help="print result-cache contents and exit",
+        help=(
+            "print result-cache contents; combined with experiment ids or "
+            "--all, runs them first and also reports how many specs the "
+            "batch collapsed by content hash (deduped)"
+        ),
     )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     parser.add_argument(
@@ -176,7 +181,7 @@ def main(argv: list[str] | None = None) -> int:
         telemetry_runtime.set_enabled(True)
 
     cache_dir = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
-    if args.cache_stats:
+    if args.cache_stats and not (args.all or args.ids):
         print(ResultCache(cache_dir).describe())
         return 0
     if args.jobs is not None and args.jobs < 1:
@@ -247,6 +252,13 @@ def main(argv: list[str] | None = None) -> int:
             print(result.render())
             print()
         print(f"executor: {executor.stats.describe()}")
+        if args.all and registry.last_union_stats is not None:
+            print(f"study: {registry.last_union_stats.describe()}")
+        if args.cache_stats:
+            print(
+                f"dedup: {executor.stats.deduped} specs collapsed by "
+                f"content hash within batches"
+            )
         if executor.cache is not None:
             print(executor.cache.describe())
         if recording:

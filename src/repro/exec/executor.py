@@ -171,6 +171,17 @@ class ExecStats:
     def total_requests(self) -> int:
         return self.runs_executed + self.cache_hits + self.deduplicated
 
+    @property
+    def deduped(self) -> int:
+        """Specs collapsed by content hash within a batch before execution.
+
+        An alias of :attr:`deduplicated` — the name the study layer and
+        ``--cache-stats`` report, counting every submission whose identical
+        twin (same content hash, across any cells of any studies in the
+        batch) already ran or was already queued in the same batch.
+        """
+        return self.deduplicated
+
     def describe(self) -> str:
         """One-line summary for reports and the CLI."""
         line = (

@@ -3,19 +3,25 @@
 from repro.experiments.runner import (
     DEFAULT_RUNS,
     ScenarioComparison,
+    add_comparison_arms,
     compare_scenario,
+    comparison_from_study,
     execute_specs,
     run_driver,
     run_spec,
     scenario_spec,
+    scenario_study,
 )
 
 __all__ = [
     "DEFAULT_RUNS",
     "ScenarioComparison",
+    "add_comparison_arms",
     "compare_scenario",
+    "comparison_from_study",
     "execute_specs",
     "run_driver",
     "run_spec",
     "scenario_spec",
+    "scenario_study",
 ]

@@ -15,10 +15,11 @@ Four studies isolate why each component exists:
   behaviour on light loads, with the OH flavor exhibiting edge-alignment
   slips when UI logic crosses the VSync-rs offset.
 
-The DTV and limit-sweep studies describe their runs as RunSpecs through the
-executor (parallel + cached); the IPL/LTPO/flavor studies attach live objects
-to the scheduler (predictors, the co-design bridge) and stay on direct
-instantiation by design.
+The five parts form one :class:`~repro.study.CompositeStudy`: the DTV and
+limit-sweep matrices describe their runs as RunSpecs (batched through the
+executor, parallel + cached), while the IPL/LTPO/flavor parts attach live
+objects to the scheduler (predictors, the co-design bridge) and run as live
+cells by design.
 """
 
 from __future__ import annotations
@@ -36,12 +37,24 @@ from repro.display.device import MATE_60_PRO, PIXEL_5
 from repro.display.ltpo import LTPOController
 from repro.exec.spec import DriverSpec, RunSpec
 from repro.experiments.base import ExperimentResult, mean
-from repro.experiments.runner import execute_specs
 from repro.metrics.fdps import fdps
+from repro.study import CompositeStudy, Study, StudyResult
 from repro.units import ms
 from repro.workloads.distributions import params_for_target_fdps
 from repro.workloads.drivers import AnimationDriver, InteractionDriver
 from repro.workloads.touch import SwipeGesture
+
+DTV_ARMS = (
+    ("vsync", {"architecture": "vsync", "buffer_count": 3}),
+    ("dvsync+dtv", {"architecture": "dvsync", "dvsync": DVSyncConfig(buffer_count=4)}),
+    (
+        "dvsync-no-dtv",
+        {
+            "architecture": "dvsync",
+            "dvsync": DVSyncConfig(buffer_count=4, dtv_enabled=False),
+        },
+    ),
+)
 
 
 def build_ablation_animation(name: str, run_index: int, bursts: int) -> AnimationDriver:
@@ -85,34 +98,35 @@ def _pacing_error(result, driver, period_ns: int, depth: int = 2) -> float:
     return mean(errors)
 
 
-def run_dtv_ablation(runs: int = 3, quick: bool = False) -> ExperimentResult:
+# --------------------------------------------------------------------- DTV
+def dtv_study(runs: int = 3, quick: bool = False) -> Study:
     """Pre-rendering with and without the Display Time Virtualizer."""
     effective_runs = 2 if quick else runs
-    period = PIXEL_5.vsync_period
-    arms = (
-        ("vsync", {"architecture": "vsync", "buffer_count": 3}),
-        ("dvsync+dtv", {"architecture": "dvsync", "dvsync": DVSyncConfig(buffer_count=4)}),
-        (
-            "dvsync-no-dtv",
-            {
-                "architecture": "dvsync",
-                "dvsync": DVSyncConfig(buffer_count=4, dtv_enabled=False),
-            },
-        ),
+    matrix = Study(
+        "ablation-dtv", analyze=lambda result: _analyze_dtv(result, effective_runs)
     )
-    specs = [
-        _animation_spec("abl-dtv", repetition, 8, **kwargs)
-        for repetition in range(effective_runs)
-        for _label, kwargs in arms
-    ]
-    results = iter(execute_specs(specs))
-    errors = {"vsync": [], "dvsync+dtv": [], "dvsync-no-dtv": []}
+    for repetition in range(effective_runs):
+        for label, kwargs in DTV_ARMS:
+            matrix.add(
+                _animation_spec("abl-dtv", repetition, 8, **kwargs),
+                arm=label,
+                rep=repetition,
+            )
+    return matrix
+
+
+def _analyze_dtv(result: StudyResult, effective_runs: int) -> ExperimentResult:
+    period = PIXEL_5.vsync_period
+    errors = {label: [] for label, _kwargs in DTV_ARMS}
     for repetition in range(effective_runs):
         # The pacing check compares drawn content against the motion curve;
         # rebuild the (deterministic) driver the specs described.
         driver = build_ablation_animation("abl-dtv", repetition, 8)
-        for label, _kwargs in arms:
-            errors[label].append(_pacing_error(next(results), driver, period))
+        for label, _kwargs in DTV_ARMS:
+            run_result = result.get(arm=label, rep=repetition)
+            if run_result is None:
+                continue
+            errors[label].append(_pacing_error(run_result, driver, period))
     rows = [[arm, round(mean(vals), 4)] for arm, vals in errors.items()]
     return ExperimentResult(
         experiment_id="ablation-dtv",
@@ -131,8 +145,20 @@ def run_dtv_ablation(runs: int = 3, quick: bool = False) -> ExperimentResult:
     )
 
 
-def run_ipl_ablation(runs: int = 3, quick: bool = False) -> ExperimentResult:
-    """Interactive content error under different IPL predictors."""
+def run_dtv_ablation(runs: int = 3, quick: bool = False) -> ExperimentResult:
+    """Pre-rendering with and without the Display Time Virtualizer."""
+    return dtv_study(runs, quick).run()
+
+
+# --------------------------------------------------------------------- IPL
+def ipl_study(runs: int = 3, quick: bool = False) -> Study:
+    """Interactive content error under different IPL predictors.
+
+    The predictors are live objects registered with the scheduler (and some
+    keep state across repetitions), so every cell is a live thunk executed
+    in insertion order — label-major, repetition-minor, exactly the loop the
+    serial implementation ran.
+    """
     effective_runs = 2 if quick else runs
     predictors = {
         "hold-last-value": LastValuePredictor(),
@@ -140,27 +166,48 @@ def run_ipl_ablation(runs: int = 3, quick: bool = False) -> ExperimentResult:
         "quadratic": QuadraticPredictor(),
         "alpha-beta": AlphaBetaPredictor(),
     }
+    matrix = Study(
+        "ablation-ipl",
+        analyze=lambda result: _analyze_ipl(result, list(predictors)),
+    )
     params = params_for_target_fdps(2.0, PIXEL_5.refresh_hz)
+
+    def one_rep(predictor, repetition: int) -> float:
+        name = f"abl-ipl#{repetition}"
+
+        def factory(start: int, _n=name):
+            return SwipeGesture(start, ms(800), name=_n)
+
+        driver = InteractionDriver(name, params, factory)
+        scheduler = DVSyncScheduler(driver, PIXEL_5, DVSyncConfig(buffer_count=4))
+        scheduler.api.register_input_predictor(predictor)
+        result = scheduler.run()
+        frame_errors = [
+            abs(driver.true_value(f.present_time) - f.content_value)
+            for f in result.presented_frames
+            if f.content_value is not None
+        ]
+        return mean(frame_errors)
+
+    for label, predictor in predictors.items():
+        for repetition in range(effective_runs):
+            matrix.add_live(
+                lambda predictor=predictor, repetition=repetition: (
+                    one_rep(predictor, repetition)
+                ),
+                predictor=label,
+                rep=repetition,
+            )
+    return matrix
+
+
+def _analyze_ipl(result: StudyResult, labels: list[str]) -> ExperimentResult:
     rows = []
     results = {}
-    for label, predictor in predictors.items():
-        errors = []
-        for repetition in range(effective_runs):
-            name = f"abl-ipl#{repetition}"
-
-            def factory(start: int, _n=name):
-                return SwipeGesture(start, ms(800), name=_n)
-
-            driver = InteractionDriver(name, params, factory)
-            scheduler = DVSyncScheduler(driver, PIXEL_5, DVSyncConfig(buffer_count=4))
-            scheduler.api.register_input_predictor(predictor)
-            result = scheduler.run()
-            frame_errors = [
-                abs(driver.true_value(f.present_time) - f.content_value)
-                for f in result.presented_frames
-                if f.content_value is not None
-            ]
-            errors.append(mean(frame_errors))
+    for label in labels:
+        errors = [
+            value for value in result.select(predictor=label) if value is not None
+        ]
         results[label] = mean(errors)
         rows.append([label, round(results[label], 4)])
     return ExperimentResult(
@@ -178,26 +225,40 @@ def run_ipl_ablation(runs: int = 3, quick: bool = False) -> ExperimentResult:
     )
 
 
-def run_limit_sweep(runs: int = 3, quick: bool = False) -> ExperimentResult:
+def run_ipl_ablation(runs: int = 3, quick: bool = False) -> ExperimentResult:
+    """Interactive content error under different IPL predictors."""
+    return ipl_study(runs, quick).run()
+
+
+# ------------------------------------------------------------- limit sweep
+def limit_study(runs: int = 3, quick: bool = False) -> Study:
     """FDPS as a function of the pre-rendering limit (7-buffer queue)."""
     effective_runs = 2 if quick else runs
     limits = (1, 2, 3, 4, 6) if quick else (1, 2, 3, 4, 5, 6)
+    matrix = Study(
+        "ablation-limit", analyze=lambda result: _analyze_limit(result, limits)
+    )
+    for limit in limits:
+        for repetition in range(effective_runs):
+            matrix.add(
+                _animation_spec(
+                    "abl-limit",
+                    repetition,
+                    12,
+                    architecture="dvsync",
+                    dvsync=DVSyncConfig(buffer_count=7, prerender_limit=limit),
+                ),
+                limit=limit,
+                rep=repetition,
+            )
+    return matrix
+
+
+def _analyze_limit(result: StudyResult, limits) -> ExperimentResult:
     rows = []
     values_by_limit = {}
-    specs = [
-        _animation_spec(
-            "abl-limit",
-            repetition,
-            12,
-            architecture="dvsync",
-            dvsync=DVSyncConfig(buffer_count=7, prerender_limit=limit),
-        )
-        for limit in limits
-        for repetition in range(effective_runs)
-    ]
-    results = iter(execute_specs(specs))
     for limit in limits:
-        values = [fdps(next(results)) for _ in range(effective_runs)]
+        values = [fdps(r) for r in result.select(limit=limit) if r is not None]
         values_by_limit[limit] = mean(values)
         rows.append([limit, round(values_by_limit[limit], 2)])
     return ExperimentResult(
@@ -217,28 +278,52 @@ def run_limit_sweep(runs: int = 3, quick: bool = False) -> ExperimentResult:
     )
 
 
-def run_ltpo_ablation(runs: int = 3, quick: bool = False) -> ExperimentResult:
+def run_limit_sweep(runs: int = 3, quick: bool = False) -> ExperimentResult:
+    """FDPS as a function of the pre-rendering limit (7-buffer queue)."""
+    return limit_study(runs, quick).run()
+
+
+# -------------------------------------------------------------------- LTPO
+def ltpo_study(runs: int = 3, quick: bool = False) -> Study:
     """Rate-mismatched presents with and without the drain rule (§5.3)."""
     effective_runs = 2 if quick else runs
-    mismatches = {"co-design": [], "no-co-design": []}
+    matrix = Study("ablation-ltpo", analyze=_analyze_ltpo)
+
+    def one_rep(enforce: bool, repetition: int) -> int:
+        params = params_for_target_fdps(2.0, MATE_60_PRO.refresh_hz)
+        driver = AnimationDriver(
+            f"abl-ltpo#{repetition}",
+            params,
+            duration_ns=ms(1500),
+            curve=None,  # default ease-in-out: speed sweeps tiers
+            bursts=4 if quick else 8,
+            burst_period_ns=ms(1700),
+        )
+        scheduler = DVSyncScheduler(
+            driver, MATE_60_PRO, DVSyncConfig(buffer_count=4)
+        )
+        ltpo = LTPOController(scheduler.hw_vsync, max_hz=MATE_60_PRO.refresh_hz)
+        bridge = LTPOCoDesign(scheduler, ltpo, enforce_drain=enforce)
+        scheduler.run()
+        return bridge.rate_mismatched_presents
+
     for enforce, label in ((True, "co-design"), (False, "no-co-design")):
         for repetition in range(effective_runs):
-            params = params_for_target_fdps(2.0, MATE_60_PRO.refresh_hz)
-            driver = AnimationDriver(
-                f"abl-ltpo#{repetition}",
-                params,
-                duration_ns=ms(1500),
-                curve=None,  # default ease-in-out: speed sweeps tiers
-                bursts=4 if quick else 8,
-                burst_period_ns=ms(1700),
+            matrix.add_live(
+                lambda enforce=enforce, repetition=repetition: (
+                    one_rep(enforce, repetition)
+                ),
+                arm=label,
+                rep=repetition,
             )
-            scheduler = DVSyncScheduler(
-                driver, MATE_60_PRO, DVSyncConfig(buffer_count=4)
-            )
-            ltpo = LTPOController(scheduler.hw_vsync, max_hz=MATE_60_PRO.refresh_hz)
-            bridge = LTPOCoDesign(scheduler, ltpo, enforce_drain=enforce)
-            scheduler.run()
-            mismatches[label].append(bridge.rate_mismatched_presents)
+    return matrix
+
+
+def _analyze_ltpo(result: StudyResult) -> ExperimentResult:
+    mismatches = {
+        label: [v for v in result.select(arm=label) if v is not None]
+        for label in ("co-design", "no-co-design")
+    }
     rows = [[label, round(mean(vals), 1)] for label, vals in mismatches.items()]
     return ExperimentResult(
         experiment_id="ablation-ltpo",
@@ -256,43 +341,71 @@ def run_ltpo_ablation(runs: int = 3, quick: bool = False) -> ExperimentResult:
     )
 
 
-def run_pipeline_flavor(runs: int = 3, quick: bool = False) -> ExperimentResult:
+def run_ltpo_ablation(runs: int = 3, quick: bool = False) -> ExperimentResult:
+    """Rate-mismatched presents with and without the drain rule (§5.3)."""
+    return ltpo_study(runs, quick).run()
+
+
+# ------------------------------------------------------------------ flavor
+def flavor_study(runs: int = 3, quick: bool = False) -> Study:
     """Android-chained vs OpenHarmony VSync-rs render triggering (§2)."""
     from repro.metrics.latency import latency_summary
     from repro.vsync.oh_scheduler import OpenHarmonyVSyncScheduler
     from repro.vsync.scheduler import VSyncScheduler
 
     effective_runs = 2 if quick else runs
-    stats = {"android": {"fdps": [], "latency": []}, "openharmony": {"fdps": [], "latency": []}}
-    slips = []
+    matrix = Study("ablation-flavor", analyze=_analyze_flavor)
+
+    def one_rep(flavor: str, repetition: int):
+        params = params_for_target_fdps(4.0, MATE_60_PRO.refresh_hz)
+        driver = AnimationDriver(
+            f"abl-flavor#{repetition}",
+            params,
+            duration_ns=ms(400),
+            bursts=8 if quick else 14,
+            burst_period_ns=ms(600),
+        )
+        # Sprinkle UI-heavy frames (layout storms) that cross the
+        # VSync-rs offset — the records that slip an edge under OH.
+        import dataclasses as _dc
+
+        for index in range(6, len(driver._workloads), 24):
+            workload = driver._workloads[index]
+            driver._workloads[index] = _dc.replace(
+                workload, ui_ns=round(MATE_60_PRO.vsync_period * 0.6)
+            )
+        if flavor == "android":
+            scheduler = VSyncScheduler(driver, MATE_60_PRO, buffer_count=4)
+        else:
+            scheduler = OpenHarmonyVSyncScheduler(driver, MATE_60_PRO)
+        result = scheduler.run()
+        slips = scheduler.rs_slips if flavor == "openharmony" else None
+        return fdps(result), latency_summary(result).mean_ms, slips
+
     for repetition in range(effective_runs):
         for flavor in ("android", "openharmony"):
-            params = params_for_target_fdps(4.0, MATE_60_PRO.refresh_hz)
-            driver = AnimationDriver(
-                f"abl-flavor#{repetition}",
-                params,
-                duration_ns=ms(400),
-                bursts=8 if quick else 14,
-                burst_period_ns=ms(600),
+            matrix.add_live(
+                lambda flavor=flavor, repetition=repetition: (
+                    one_rep(flavor, repetition)
+                ),
+                flavor=flavor,
+                rep=repetition,
             )
-            # Sprinkle UI-heavy frames (layout storms) that cross the
-            # VSync-rs offset — the records that slip an edge under OH.
-            import dataclasses as _dc
+    return matrix
 
-            for index in range(6, len(driver._workloads), 24):
-                workload = driver._workloads[index]
-                driver._workloads[index] = _dc.replace(
-                    workload, ui_ns=round(MATE_60_PRO.vsync_period * 0.6)
-                )
-            if flavor == "android":
-                scheduler = VSyncScheduler(driver, MATE_60_PRO, buffer_count=4)
-            else:
-                scheduler = OpenHarmonyVSyncScheduler(driver, MATE_60_PRO)
-            result = scheduler.run()
-            stats[flavor]["fdps"].append(fdps(result))
-            stats[flavor]["latency"].append(latency_summary(result).mean_ms)
-            if flavor == "openharmony":
-                slips.append(scheduler.rs_slips)
+
+def _analyze_flavor(result: StudyResult) -> ExperimentResult:
+    stats = {"android": {"fdps": [], "latency": []}, "openharmony": {"fdps": [], "latency": []}}
+    slips = []
+    for flavor in ("android", "openharmony"):
+        for payload in result.select(flavor=flavor):
+            if payload is None:
+                continue
+            fdps_value, latency_value, slip_count = payload
+            stats[flavor]["fdps"].append(fdps_value)
+            stats[flavor]["latency"].append(latency_value)
+            if slip_count is not None:
+                slips.append(slip_count)
     rows = [
         [flavor, round(mean(values["fdps"]), 2), round(mean(values["latency"]), 1)]
         for flavor, values in stats.items()
@@ -310,15 +423,13 @@ def run_pipeline_flavor(runs: int = 3, quick: bool = False) -> ExperimentResult:
     )
 
 
-def run(runs: int = 3, quick: bool = False) -> ExperimentResult:
-    """Run all five ablations and merge their reports."""
-    parts = [
-        run_dtv_ablation(runs, quick),
-        run_ipl_ablation(runs, quick),
-        run_limit_sweep(runs, quick),
-        run_ltpo_ablation(runs, quick),
-        run_pipeline_flavor(runs, quick),
-    ]
+def run_pipeline_flavor(runs: int = 3, quick: bool = False) -> ExperimentResult:
+    """Android-chained vs OpenHarmony VSync-rs render triggering (§2)."""
+    return flavor_study(runs, quick).run()
+
+
+# --------------------------------------------------------------- composite
+def _merge(parts: list[ExperimentResult]) -> ExperimentResult:
     rows = []
     comparisons = []
     for part in parts:
@@ -332,3 +443,23 @@ def run(runs: int = 3, quick: bool = False) -> ExperimentResult:
         rows=rows,
         comparisons=comparisons,
     )
+
+
+def study(runs: int = 3, quick: bool = False) -> CompositeStudy:
+    """All five ablations as one composite matrix (one executor batch)."""
+    return CompositeStudy(
+        "ablations",
+        parts=[
+            dtv_study(runs, quick),
+            ipl_study(runs, quick),
+            limit_study(runs, quick),
+            ltpo_study(runs, quick),
+            flavor_study(runs, quick),
+        ],
+        combine=_merge,
+    )
+
+
+def run(runs: int = 3, quick: bool = False) -> ExperimentResult:
+    """Run all five ablations and merge their reports."""
+    return study(runs=runs, quick=quick).run()

@@ -12,49 +12,74 @@ from __future__ import annotations
 from repro.core.config import DVSyncConfig
 from repro.display.device import MATE_60_PRO
 from repro.experiments.base import ExperimentResult, mean, pct_reduction
-from repro.experiments.runner import execute_specs, scenario_spec
+from repro.experiments.runner import scenario_spec
 from repro.metrics.fdps import fdps
+from repro.study import Study, StudyResult
 from repro.workloads.os_cases import os_case_scenarios, use_case
 
 
-def run(runs: int = 2, quick: bool = False) -> ExperimentResult:
-    """Regenerate the Appendix A reference benchmark."""
+def study(runs: int = 2, quick: bool = False) -> Study:
+    """The Appendix A matrix: the whole 75-case × 2-arm × runs sweep.
+
+    The benchmark the appendix positions for follow-up research is exactly
+    the embarrassingly-parallel shape the study layer exists for — every
+    cell fans out in one supervised batch.
+    """
     scenarios = os_case_scenarios("mate60-gles", drop_prone_only=False)
     if quick:
         scenarios = scenarios[::6]
     effective_runs = 1 if quick else runs
-    rows = []
-    vsync_values, dvsync_values = [], []
-    clean_cases = 0
-    # The whole 75-case × runs × 2-arm sweep goes out as one executor batch —
-    # the benchmark the appendix positions for follow-up research is exactly
-    # the embarrassingly-parallel shape the execution layer exists for.
+    matrix = Study("appendix", analyze=lambda result: _analyze(result, scenarios))
     pairs = [
         (scenario, repetition)
         for scenario in scenarios
         for repetition in range(effective_runs)
     ]
-    specs = [
-        scenario_spec(scenario, MATE_60_PRO, "vsync", run=repetition, buffer_count=4)
-        for scenario, repetition in pairs
-    ] + [
-        scenario_spec(
-            scenario,
-            MATE_60_PRO,
-            "dvsync",
-            run=repetition,
-            dvsync_config=DVSyncConfig(buffer_count=4),
+    for scenario, repetition in pairs:
+        matrix.add(
+            scenario_spec(
+                scenario, MATE_60_PRO, "vsync", run=repetition, buffer_count=4
+            ),
+            scenario=scenario.name,
+            architecture="vsync",
+            rep=repetition,
         )
-        for scenario, repetition in pairs
-    ]
-    results = execute_specs(specs)
-    vsync_results = results[: len(pairs)]
-    dvsync_results = results[len(pairs) :]
-    for index, scenario in enumerate(scenarios):
+    for scenario, repetition in pairs:
+        matrix.add(
+            scenario_spec(
+                scenario,
+                MATE_60_PRO,
+                "dvsync",
+                run=repetition,
+                dvsync_config=DVSyncConfig(buffer_count=4),
+            ),
+            scenario=scenario.name,
+            architecture="dvsync",
+            rep=repetition,
+        )
+    return matrix
+
+
+def _analyze(result: StudyResult, scenarios) -> ExperimentResult:
+    rows = []
+    vsync_values, dvsync_values = [], []
+    clean_cases = 0
+    for scenario in scenarios:
         case = use_case(scenario.name)
-        chunk = slice(index * effective_runs, (index + 1) * effective_runs)
-        vsync_case = mean([fdps(r) for r in vsync_results[chunk]])
-        dvsync_case = mean([fdps(r) for r in dvsync_results[chunk]])
+        vsync_case = mean(
+            [
+                fdps(r)
+                for r in result.select(scenario=scenario.name, architecture="vsync")
+                if r is not None
+            ]
+        )
+        dvsync_case = mean(
+            [
+                fdps(r)
+                for r in result.select(scenario=scenario.name, architecture="dvsync")
+                if r is not None
+            ]
+        )
         vsync_values.append(vsync_case)
         dvsync_values.append(dvsync_case)
         if vsync_case == 0:
@@ -86,3 +111,8 @@ def run(runs: int = 2, quick: bool = False) -> ExperimentResult:
             "generators carry a zero key-frame rate and verify as clean here."
         ),
     )
+
+
+def run(runs: int = 2, quick: bool = False) -> ExperimentResult:
+    """Regenerate the Appendix A reference benchmark."""
+    return study(runs=runs, quick=quick).run()

@@ -24,7 +24,10 @@ class ExperimentResult:
     title: str
     headers: list[str]
     rows: list[list]
-    comparisons: list[tuple[str, object, object]]
+    #: ``(metric, paper, measured)`` triples, optionally extended to
+    #: ``(metric, paper, measured, stdev)`` — the sample stdev across the
+    #: repetitions behind the measured mean, so tables report spread.
+    comparisons: list[tuple]
     notes: str = ""
 
     def render(self) -> str:
@@ -35,12 +38,12 @@ class ExperimentResult:
         if self.comparisons:
             parts.append("")
             parts.append("paper vs measured:")
-            parts.append(
-                format_table(
-                    ["metric", "paper", "measured"],
-                    [list(c) for c in self.comparisons],
-                )
-            )
+            headers = ["metric", "paper", "measured"]
+            cells = [list(c) for c in self.comparisons]
+            if any(len(c) > 3 for c in cells):
+                headers.append("± sd")
+                cells = [c + [""] * (4 - len(c)) for c in cells]
+            parts.append(format_table(headers, cells))
         if self.notes:
             parts.append("")
             parts.append(self.notes)
@@ -48,9 +51,16 @@ class ExperimentResult:
 
     def measured(self, metric: str):
         """Look up one measured value from the comparisons block."""
-        for name, _, value in self.comparisons:
-            if name == metric:
-                return value
+        for comparison in self.comparisons:
+            if comparison[0] == metric:
+                return comparison[2]
+        raise KeyError(f"no comparison metric {metric!r} in {self.experiment_id}")
+
+    def spread(self, metric: str):
+        """The per-cell sample stdev of a comparison, or ``None`` if absent."""
+        for comparison in self.comparisons:
+            if comparison[0] == metric:
+                return comparison[3] if len(comparison) > 3 else None
         raise KeyError(f"no comparison metric {metric!r} in {self.experiment_id}")
 
 
@@ -58,6 +68,15 @@ def mean(values: Sequence[float]) -> float:
     """Arithmetic mean with an explicit zero for empty input."""
     values = list(values)
     return statistics.fmean(values) if values else 0.0
+
+
+def mean_sd(values: Sequence[float]) -> tuple[float, float]:
+    """(mean, sample stdev) of a slice; stdev is 0.0 below two samples."""
+    values = list(values)
+    if not values:
+        return 0.0, 0.0
+    sd = statistics.stdev(values) if len(values) >= 2 else 0.0
+    return statistics.fmean(values), sd
 
 
 def pct_reduction(baseline: float, improved: float) -> float:

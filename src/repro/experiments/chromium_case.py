@@ -2,7 +2,8 @@
 
 The decoupled scheme applied to the browser compositor pre-renders frames
 during fling animations. Paper: average FDPS over the Sina, Weather, and
-AI Life pages falls from 1.47 to 0.08 (−94.3 %).
+AI Life pages falls from 1.47 to 0.08 (−94.3 %). The page × architecture ×
+repetition grid batches as one :class:`~repro.study.Study` matrix.
 """
 
 from __future__ import annotations
@@ -14,35 +15,71 @@ from repro.apps.chromium import (
     ChromiumFlingDriver,
 )
 from repro.core.config import DVSyncConfig
-from repro.core.dvsync import DVSyncScheduler
 from repro.display.device import MATE_60_PRO
+from repro.errors import WorkloadError
+from repro.exec.spec import DriverSpec, RunSpec
 from repro.experiments.base import ExperimentResult, mean, pct_reduction
 from repro.metrics.fdps import fdps
-from repro.vsync.scheduler import VSyncScheduler
+from repro.study import Study, StudyResult
 
 PAPER_REDUCTION = 94.3
 
 
-def run(runs: int = 3, quick: bool = False) -> ExperimentResult:
-    """Regenerate the §6.6 numbers."""
+def build_fling_driver(page: str, repetition: int) -> ChromiumFlingDriver:
+    """RunSpec builder: one fling repetition over a recorded page."""
+    for candidate in PAGES:
+        if candidate.name == page:
+            return ChromiumFlingDriver(candidate, MATE_60_PRO.refresh_hz, repetition)
+    raise WorkloadError(f"unknown Chromium page {page!r}")
+
+
+def study(runs: int = 3, quick: bool = False) -> Study:
+    """The §6.6 matrix: page × architecture × repetition, one batch."""
     effective_runs = 2 if quick else runs
+    matrix = Study(
+        "chromium", analyze=lambda result: _analyze(result, effective_runs)
+    )
+    for page in PAGES:
+        for repetition in range(effective_runs):
+            driver = DriverSpec.of(
+                "repro.experiments.chromium_case:build_fling_driver",
+                page=page.name,
+                repetition=repetition,
+            )
+            matrix.add(
+                RunSpec(
+                    driver=driver,
+                    device=MATE_60_PRO,
+                    architecture="vsync",
+                    buffer_count=4,
+                ),
+                page=page.name,
+                architecture="vsync",
+                rep=repetition,
+            )
+            matrix.add(
+                RunSpec(
+                    driver=driver,
+                    device=MATE_60_PRO,
+                    architecture="dvsync",
+                    dvsync=DVSyncConfig(buffer_count=5),
+                ),
+                page=page.name,
+                architecture="dvsync",
+                rep=repetition,
+            )
+    return matrix
+
+
+def _analyze(result: StudyResult, effective_runs: int) -> ExperimentResult:
     rows = []
     vsync_all, dvsync_all = [], []
     for page in PAGES:
-        vsync_values, dvsync_values = [], []
-        for repetition in range(effective_runs):
-            baseline = VSyncScheduler(
-                ChromiumFlingDriver(page, MATE_60_PRO.refresh_hz, repetition),
-                MATE_60_PRO,
-                buffer_count=4,
-            ).run()
-            improved = DVSyncScheduler(
-                ChromiumFlingDriver(page, MATE_60_PRO.refresh_hz, repetition),
-                MATE_60_PRO,
-                DVSyncConfig(buffer_count=5),
-            ).run()
-            vsync_values.append(fdps(baseline))
-            dvsync_values.append(fdps(improved))
+        pairs = result.pairs(
+            {"architecture": "vsync"}, {"architecture": "dvsync"}, page=page.name
+        )
+        vsync_values = [fdps(baseline) for baseline, _ in pairs]
+        dvsync_values = [fdps(improved) for _, improved in pairs]
         vsync_all.extend(vsync_values)
         dvsync_all.extend(dvsync_values)
         rows.append(
@@ -60,3 +97,8 @@ def run(runs: int = 3, quick: bool = False) -> ExperimentResult:
             ("FDPS reduction (%)", PAPER_REDUCTION, round(pct_reduction(avg_v, avg_d), 1)),
         ],
     )
+
+
+def run(runs: int = 3, quick: bool = False) -> ExperimentResult:
+    """Regenerate the §6.6 numbers."""
+    return study(runs=runs, quick=quick).run()

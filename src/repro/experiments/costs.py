@@ -12,10 +12,10 @@ from repro.core.config import DVSyncConfig
 from repro.display.device import MATE_40_PRO, MATE_60_PRO, PIXEL_5
 from repro.exec.spec import DriverSpec, RunSpec
 from repro.experiments.base import ExperimentResult
-from repro.experiments.runner import run_spec
 from repro.metrics.memory import MODULE_STATE_BYTES, extra_memory_mb, queue_footprint
 from repro.metrics.power import scheduler_overhead_per_frame_us
 from repro.pipeline.frame import FrameCategory
+from repro.study import Study, StudyResult
 from repro.units import to_ms
 from repro.workloads.distributions import params_for_target_fdps
 from repro.workloads.drivers import AnimationDriver
@@ -43,9 +43,10 @@ def build_costs_driver(bursts: int) -> AnimationDriver:
     )
 
 
-def run(runs: int = 1, quick: bool = False) -> ExperimentResult:
-    """Regenerate the §6.4 cost accounting."""
-    result = run_spec(
+def study(runs: int = 1, quick: bool = False) -> Study:
+    """The §6.4 matrix: a single D-VSync reference run."""
+    matrix = Study("cost", analyze=_analyze)
+    matrix.add(
         RunSpec(
             driver=DriverSpec.of(
                 "repro.experiments.costs:build_costs_driver",
@@ -54,8 +55,14 @@ def run(runs: int = 1, quick: bool = False) -> ExperimentResult:
             device=MATE_60_PRO,
             architecture="dvsync",
             dvsync=DVSyncConfig(buffer_count=4),
-        )
+        ),
+        architecture="dvsync",
     )
+    return matrix
+
+
+def _analyze(study_result: StudyResult) -> ExperimentResult:
+    result = study_result.get(architecture="dvsync")
     decoupled_frames = max(1, result.extra.get("routed_dvsync", len(result.frames)))
     overhead_us = result.scheduler_overhead_ns / decoupled_frames / 1000
     period_share = overhead_us / (to_ms(MATE_60_PRO.vsync_period) * 1000) * 100
@@ -97,3 +104,8 @@ def run(runs: int = 1, quick: bool = False) -> ExperimentResult:
             ),
         ],
     )
+
+
+def run(runs: int = 1, quick: bool = False) -> ExperimentResult:
+    """Regenerate the §6.4 cost accounting."""
+    return study(runs=runs, quick=quick).run()

@@ -6,6 +6,11 @@ D-VSync, which "gives a bigger time window for frame execution". This
 experiment quantifies that claim: the same prediction-guided governor runs
 with a 1-period budget under VSync and with the pre-render window under
 D-VSync, reporting drops, mean clock level, and dynamic-energy savings.
+
+The governor is a live object wrapped around the driver (its stats are read
+back after the run), so the arm × repetition grid runs as live thunks on the
+study layer, each returning the ``(fdps, level, saving)`` payload the
+analysis aggregates.
 """
 
 from __future__ import annotations
@@ -16,9 +21,17 @@ from repro.experiments.base import ExperimentResult, mean
 from repro.experiments.runner import run_driver
 from repro.extensions.dvfs import FrequencyGovernor, GovernedDriver
 from repro.metrics.fdps import fdps
+from repro.study import Study, StudyResult
 from repro.units import ms
 from repro.workloads.distributions import SCATTERED, params_for_target_fdps
 from repro.workloads.drivers import AnimationDriver
+
+ARMS = {
+    # (architecture, governor window in periods)
+    "vsync, no DVFS": ("vsync", None),
+    "vsync + DVFS (1-period window)": ("vsync", 1.0),
+    "dvsync + DVFS (3-period window)": ("dvsync", 3.0),
+}
 
 
 def _base_driver(repetition: int, bursts: int) -> AnimationDriver:
@@ -32,38 +45,59 @@ def _base_driver(repetition: int, bursts: int) -> AnimationDriver:
     )
 
 
-def run(runs: int = 3, quick: bool = False) -> ExperimentResult:
-    """Run the governor under both architectures' deadline budgets."""
+def _run_arm(architecture: str, window: float | None, repetition: int, bursts: int):
+    """One governed repetition; returns (fdps, mean level, energy saving)."""
+    period = PIXEL_5.vsync_period
+    driver = _base_driver(repetition, bursts)
+    governor = None
+    if window is not None:
+        governor = FrequencyGovernor(window_periods=window, period_ns=period)
+        driver = GovernedDriver(driver, governor)
+    if architecture == "vsync":
+        result = run_driver(driver, PIXEL_5, "vsync", buffer_count=3)
+    else:
+        result = run_driver(
+            driver, PIXEL_5, "dvsync",
+            dvsync_config=DVSyncConfig(buffer_count=4),
+        )
+    if governor is None:
+        return fdps(result), None, None
+    return fdps(result), governor.stats.mean_level, governor.stats.energy_saving_percent
+
+
+def study(runs: int = 3, quick: bool = False) -> Study:
+    """The §8 matrix: arm × repetition as live (governed) cells."""
     effective_runs = 2 if quick else runs
     bursts = 8 if quick else 16
-    period = PIXEL_5.vsync_period
-    arms = {
-        # (architecture, governor window in periods)
-        "vsync, no DVFS": ("vsync", None),
-        "vsync + DVFS (1-period window)": ("vsync", 1.0),
-        "dvsync + DVFS (3-period window)": ("dvsync", 3.0),
-    }
+    matrix = Study(
+        "dvfs", analyze=lambda result: _analyze(result, effective_runs)
+    )
+    for label, (architecture, window) in ARMS.items():
+        for repetition in range(effective_runs):
+            matrix.add_live(
+                lambda architecture=architecture, window=window, repetition=repetition: (
+                    _run_arm(architecture, window, repetition, bursts)
+                ),
+                arm=label,
+                rep=repetition,
+            )
+    return matrix
+
+
+def _analyze(result: StudyResult, effective_runs: int) -> ExperimentResult:
     rows = []
     results = {}
-    for label, (architecture, window) in arms.items():
+    for label in ARMS:
         fdps_values, levels, savings = [], [], []
         for repetition in range(effective_runs):
-            driver = _base_driver(repetition, bursts)
-            governor = None
-            if window is not None:
-                governor = FrequencyGovernor(window_periods=window, period_ns=period)
-                driver = GovernedDriver(driver, governor)
-            if architecture == "vsync":
-                result = run_driver(driver, PIXEL_5, "vsync", buffer_count=3)
-            else:
-                result = run_driver(
-                    driver, PIXEL_5, "dvsync",
-                    dvsync_config=DVSyncConfig(buffer_count=4),
-                )
-            fdps_values.append(fdps(result))
-            if governor is not None:
-                levels.append(governor.stats.mean_level)
-                savings.append(governor.stats.energy_saving_percent)
+            payload = result.get(arm=label, rep=repetition)
+            if payload is None:
+                continue
+            fdps_value, level, saving = payload
+            fdps_values.append(fdps_value)
+            if level is not None:
+                levels.append(level)
+                savings.append(saving)
         results[label] = {
             "fdps": mean(fdps_values),
             "level": mean(levels) if levels else 1.0,
@@ -106,3 +140,8 @@ def run(runs: int = 3, quick: bool = False) -> ExperimentResult:
             "absorbs the stretched frames."
         ),
     )
+
+
+def run(runs: int = 3, quick: bool = False) -> ExperimentResult:
+    """Run the governor under both architectures' deadline budgets."""
+    return study(runs=runs, quick=quick).run()

@@ -9,6 +9,7 @@ save.
 from __future__ import annotations
 
 from repro.experiments.base import ExperimentResult
+from repro.study import Study
 from repro.units import to_ms
 from repro.workloads.distributions import fig1_model
 
@@ -18,9 +19,14 @@ SAMPLE_COUNT = 40_000
 PERIOD_MS = 1000 / 60
 
 
-def run(runs: int = 1, quick: bool = False) -> ExperimentResult:
-    """Regenerate the Fig 1 CDF."""
+def study(runs: int = 1, quick: bool = False) -> Study:
+    """Fig 1 is pure computation: a zero-cell study whose analysis samples
+    the frame-time model directly."""
     count = 5_000 if quick else SAMPLE_COUNT
+    return Study("fig01", analyze=lambda _result: _build(count))
+
+
+def _build(count: int) -> ExperimentResult:
     model = fig1_model()
     times_ms = sorted(to_ms(w.total_ns) for w in model.generate(count))
 
@@ -47,3 +53,8 @@ def run(runs: int = 1, quick: bool = False) -> ExperimentResult:
             "frames that cause stutters despite triple buffering."
         ),
     )
+
+
+def run(runs: int = 1, quick: bool = False) -> ExperimentResult:
+    """Regenerate the Fig 1 CDF."""
+    return study(runs=runs, quick=quick).run()

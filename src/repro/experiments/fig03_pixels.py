@@ -8,12 +8,17 @@ from __future__ import annotations
 
 from repro.display.trend import growth_factor, pixels_per_second_series
 from repro.experiments.base import ExperimentResult
+from repro.study import Study
 
 PAPER_GROWTH_FACTOR = 25.0
 
 
-def run(runs: int = 1, quick: bool = False) -> ExperimentResult:
-    """Regenerate the Fig 3 series."""
+def study(runs: int = 1, quick: bool = False) -> Study:
+    """Fig 3 is static data: a zero-cell study."""
+    return Study("fig03", analyze=lambda _result: _build())
+
+
+def _build() -> ExperimentResult:
     rows = [
         [year, model, f"{pixels / 1e6:.1f} M"]
         for year, model, pixels in pixels_per_second_series()
@@ -27,3 +32,8 @@ def run(runs: int = 1, quick: bool = False) -> ExperimentResult:
             ("growth factor since 2010", f"~{PAPER_GROWTH_FACTOR:.0f}x", f"{growth_factor():.1f}x"),
         ],
     )
+
+
+def run(runs: int = 1, quick: bool = False) -> ExperimentResult:
+    """Regenerate the Fig 3 series."""
+    return study(runs=runs, quick=quick).run()

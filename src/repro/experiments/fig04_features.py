@@ -29,15 +29,21 @@ MODERN_STACK = [
 ]
 
 
-def run(runs: int = 1, quick: bool = False) -> ExperimentResult:
-    """Regenerate the Fig 4 trend."""
+def study(runs: int = 1, quick: bool = False) -> "Study":
+    """Fig 4 is pure computation: a zero-cell study."""
+    from repro.study import Study
+
+    samples = 50 if quick else 400
+    return Study("fig04", analyze=lambda _result: _build(samples))
+
+
+def _build(samples: int) -> ExperimentResult:
     rows = [
         [generation, new, cumulative_heavy]
         for generation, new, cumulative_heavy in cumulative_feature_count()
     ]
     legacy = EffectComposer(ANDROID4_STACK)
     modern = EffectComposer(MODERN_STACK)
-    samples = 50 if quick else 400
     legacy_cost = sum(legacy.key_frame_cost_ns() for _ in range(samples)) / samples
     modern_cost = sum(modern.key_frame_cost_ns() for _ in range(samples)) / samples
     heavy_total = sum(1 for f in FEATURES if f.cost is CostClass.HEAVY)
@@ -61,3 +67,8 @@ def run(runs: int = 1, quick: bool = False) -> ExperimentResult:
             "growth §3.1 blames for VSync's struggles."
         ),
     )
+
+
+def run(runs: int = 1, quick: bool = False) -> ExperimentResult:
+    """Regenerate the Fig 4 trend."""
+    return study(runs=runs, quick=quick).run()

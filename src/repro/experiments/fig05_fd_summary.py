@@ -3,15 +3,17 @@
 Summarizes drops as a fraction of total display time across the four
 evaluated configurations: Pixel 5 (AOSP 60 Hz GLES, avg 3.4 %), Mate 40 Pro
 (OH 90 Hz GLES, 3.5 %), Mate 60 Pro GLES (6.3 %) and Vulkan (7.0 %), with the
-per-case maxima (20.8 %, 7.4 %, 27.5 %, 7.8 % — the starred bars).
+per-case maxima (20.8 %, 7.4 %, 27.5 %, 7.8 % — the starred bars). All four
+configurations batch as one :class:`~repro.study.Study` matrix.
 """
 
 from __future__ import annotations
 
 from repro.display.device import MATE_40_PRO, MATE_60_PRO, MATE_60_PRO_VULKAN, PIXEL_5
-from repro.experiments.base import ExperimentResult, mean
-from repro.experiments.runner import execute_specs, scenario_spec
+from repro.experiments.base import ExperimentResult, mean, mean_sd
+from repro.experiments.runner import scenario_spec
 from repro.metrics.fdps import drop_fraction
+from repro.study import Study, StudyResult
 from repro.workloads.android_apps import app_scenarios
 from repro.workloads.os_cases import os_case_scenarios
 
@@ -24,30 +26,47 @@ _CONFIGS = [
 ]
 
 
-def run(runs: int = 2, quick: bool = False) -> ExperimentResult:
-    """Regenerate the Fig 5 summary."""
-    rows = []
-    comparisons = []
+def study(runs: int = 2, quick: bool = False) -> Study:
+    """The Fig 5 matrix: configuration × scenario × repetition, one batch."""
+    configs = []
     for label, device, build, buffers, paper_avg, paper_max in _CONFIGS:
         scenarios = build()
         if quick:
             scenarios = scenarios[::4]
         effective_runs = 1 if quick else runs
-        # One executor batch per configuration: every scenario × repetition
-        # fans out in parallel and caches individually.
-        specs = [
-            scenario_spec(scenario, device, "vsync", run=r, buffer_count=buffers)
-            for scenario in scenarios
-            for r in range(effective_runs)
-        ]
-        results = execute_specs(specs)
+        configs.append((label, device, scenarios, buffers, paper_avg, paper_max, effective_runs))
+    matrix = Study("fig05", analyze=lambda result: _analyze(result, configs))
+    for label, device, scenarios, buffers, _pa, _pm, effective_runs in configs:
+        for scenario in scenarios:
+            for repetition in range(effective_runs):
+                matrix.add(
+                    scenario_spec(
+                        scenario, device, "vsync", run=repetition, buffer_count=buffers
+                    ),
+                    config=label,
+                    scenario=scenario.name,
+                    rep=repetition,
+                )
+    return matrix
+
+
+def _analyze(result: StudyResult, configs) -> ExperimentResult:
+    rows = []
+    comparisons: list[tuple] = []
+    for label, _device, scenarios, _buffers, paper_avg, paper_max, _runs in configs:
         per_case = []
-        for index, scenario in enumerate(scenarios):
-            chunk = results[index * effective_runs : (index + 1) * effective_runs]
+        for scenario in scenarios:
+            chunk = [
+                r
+                for r in result.select(config=label, scenario=scenario.name)
+                if r is not None
+            ]
             per_case.append(mean([drop_fraction(r) * 100 for r in chunk]))
-        avg_pct, max_pct = mean(per_case), max(per_case, default=0.0)
+        (avg_pct, sd_pct), max_pct = mean_sd(per_case), max(per_case, default=0.0)
         rows.append([label, round(avg_pct, 1), round(max_pct, 1)])
-        comparisons.append((f"{label}: avg FD %", paper_avg, round(avg_pct, 1)))
+        comparisons.append(
+            (f"{label}: avg FD %", paper_avg, round(avg_pct, 1), round(sd_pct, 1))
+        )
         comparisons.append((f"{label}: max FD %", paper_max, round(max_pct, 1)))
     return ExperimentResult(
         experiment_id="fig05",
@@ -60,3 +79,8 @@ def run(runs: int = 2, quick: bool = False) -> ExperimentResult:
             "over total display slots."
         ),
     )
+
+
+def run(runs: int = 2, quick: bool = False) -> ExperimentResult:
+    """Regenerate the Fig 5 summary."""
+    return study(runs=runs, quick=quick).run()

@@ -2,36 +2,48 @@
 
 Under triple-buffered VSync, most frames wait in the queue behind older
 buffers after drops occur — the buffer-stuffing latency tax. Regenerates the
-per-app stacked percentages for the 25 Pixel 5 apps.
+per-app stacked percentages for the 25 Pixel 5 apps, batched as one
+:class:`~repro.study.Study` matrix.
 """
 
 from __future__ import annotations
 
 from repro.display.device import PIXEL_5
-from repro.experiments.base import ExperimentResult, mean
-from repro.experiments.runner import execute_specs, scenario_spec
+from repro.experiments.base import ExperimentResult, mean, mean_sd
+from repro.experiments.runner import scenario_spec
 from repro.metrics.frames import FrameOutcome, frame_distribution
+from repro.study import Study, StudyResult
 from repro.workloads.android_apps import app_scenarios
 
 
-def run(runs: int = 2, quick: bool = False) -> ExperimentResult:
-    """Regenerate the Fig 6 stacked bars."""
+def study(runs: int = 2, quick: bool = False) -> Study:
+    """The Fig 6 matrix: app × repetition under VSync, one batch."""
     scenarios = app_scenarios()
     if quick:
         scenarios = scenarios[::4]
         runs = 1
+    matrix = Study("fig06", analyze=lambda result: _analyze(result, scenarios))
+    for scenario in scenarios:
+        for repetition in range(runs):
+            matrix.add(
+                scenario_spec(
+                    scenario, PIXEL_5, "vsync", run=repetition, buffer_count=3
+                ),
+                scenario=scenario.name,
+                rep=repetition,
+            )
+    return matrix
+
+
+def _analyze(result: StudyResult, scenarios) -> ExperimentResult:
     rows = []
     stuffed_fracs, direct_fracs, drop_fracs = [], [], []
-    specs = [
-        scenario_spec(scenario, PIXEL_5, "vsync", run=repetition, buffer_count=3)
-        for scenario in scenarios
-        for repetition in range(runs)
-    ]
-    results = execute_specs(specs)
-    for index, scenario in enumerate(scenarios):
+    for scenario in scenarios:
         fractions = {outcome: [] for outcome in FrameOutcome}
-        for result in results[index * runs : (index + 1) * runs]:
-            distribution = frame_distribution(result)
+        for run_result in result.select(scenario=scenario.name):
+            if run_result is None:
+                continue
+            distribution = frame_distribution(run_result)
             for outcome in FrameOutcome:
                 fractions[outcome].append(distribution.fraction(outcome))
         drop = mean(fractions[FrameOutcome.DROP]) * 100
@@ -53,7 +65,18 @@ def run(runs: int = 2, quick: bool = False) -> ExperimentResult:
                 "stuffed frames dominate (avg %, paper: 'most frames')",
                 ">50",
                 round(mean(stuffed_fracs), 1),
+                round(mean_sd(stuffed_fracs)[1], 1),
             ),
-            ("avg frame-drop share (%)", 3.4, round(mean(drop_fracs), 1)),
+            (
+                "avg frame-drop share (%)",
+                3.4,
+                round(mean(drop_fracs), 1),
+                round(mean_sd(drop_fracs)[1], 1),
+            ),
         ],
     )
+
+
+def run(runs: int = 2, quick: bool = False) -> ExperimentResult:
+    """Regenerate the Fig 6 stacked bars."""
+    return study(runs=runs, quick=quick).run()

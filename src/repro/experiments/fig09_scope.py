@@ -13,8 +13,8 @@ from repro.core.config import DVSyncConfig
 from repro.display.device import PIXEL_5
 from repro.exec.spec import DriverSpec, RunSpec
 from repro.experiments.base import ExperimentResult
-from repro.experiments.runner import execute_specs
 from repro.pipeline.frame import FrameCategory
+from repro.study import Study, StudyResult
 from repro.units import ms
 from repro.workloads.distributions import params_for_target_fdps
 from repro.workloads.drivers import AnimationDriver
@@ -43,28 +43,36 @@ def build_daymix_driver(repetition: int, bursts: int) -> AnimationDriver:
     )
 
 
-def run(runs: int = 3, quick: bool = False) -> ExperimentResult:
-    """Regenerate the Fig 9 coverage measurement."""
+def study(runs: int = 3, quick: bool = False) -> Study:
+    """The Fig 9 matrix: one D-VSync cell per repetition."""
     effective_runs = 2 if quick else runs
     bursts = 8 if quick else 24
+    matrix = Study("fig09", analyze=_analyze)
+    for repetition in range(effective_runs):
+        matrix.add(
+            RunSpec(
+                driver=DriverSpec.of(
+                    "repro.experiments.fig09_scope:build_daymix_driver",
+                    repetition=repetition,
+                    bursts=bursts,
+                ),
+                device=PIXEL_5,
+                architecture="dvsync",
+                dvsync=DVSyncConfig(buffer_count=4),
+            ),
+            rep=repetition,
+        )
+    return matrix
+
+
+def _analyze(result: StudyResult) -> ExperimentResult:
     totals = {category: 0 for category in FrameCategory}
     decoupled_frames = 0
     total_frames = 0
-    specs = [
-        RunSpec(
-            driver=DriverSpec.of(
-                "repro.experiments.fig09_scope:build_daymix_driver",
-                repetition=repetition,
-                bursts=bursts,
-            ),
-            device=PIXEL_5,
-            architecture="dvsync",
-            dvsync=DVSyncConfig(buffer_count=4),
-        )
-        for repetition in range(effective_runs)
-    ]
-    for result in execute_specs(specs):
-        for frame in result.frames:
+    for run_result in result.select():
+        if run_result is None:
+            continue
+        for frame in run_result.frames:
             totals[frame.workload.category] += 1
             total_frames += 1
             if frame.decoupled:
@@ -95,3 +103,8 @@ def run(runs: int = 3, quick: bool = False) -> ExperimentResult:
             "runtime controller; everything else rides the decoupled channel."
         ),
     )
+
+
+def run(runs: int = 3, quick: bool = False) -> ExperimentResult:
+    """Regenerate the Fig 9 coverage measurement."""
+    return study(runs=runs, quick=quick).run()

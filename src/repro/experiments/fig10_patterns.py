@@ -14,7 +14,7 @@ from repro.core.config import DVSyncConfig
 from repro.display.device import PIXEL_5
 from repro.exec.spec import DriverSpec, RunSpec
 from repro.experiments.base import ExperimentResult
-from repro.experiments.runner import execute_specs
+from repro.study import Study, StudyResult
 from repro.testing import light_params, make_animation
 from repro.trace.record import record_run
 from repro.trace.render_ascii import render_queue_depth, render_timeline
@@ -36,23 +36,32 @@ def build_pattern_driver():
 _DRIVER = DriverSpec.of("repro.experiments.fig10_patterns:build_pattern_driver")
 
 
-def run(runs: int = 1, quick: bool = False) -> ExperimentResult:
-    """Regenerate the Fig 10 runtime-trace comparison."""
-    baseline, improved = execute_specs(
-        [
-            RunSpec(driver=_DRIVER, device=PIXEL_5, architecture="vsync", buffer_count=3),
-            RunSpec(
-                driver=_DRIVER,
-                device=PIXEL_5,
-                architecture="dvsync",
-                dvsync=DVSyncConfig(buffer_count=5),
-            ),
-        ]
+def study(runs: int = 1, quick: bool = False) -> Study:
+    """The Fig 10 matrix: the same workload under both architectures."""
+    matrix = Study("fig10", analyze=_analyze)
+    matrix.add(
+        RunSpec(driver=_DRIVER, device=PIXEL_5, architecture="vsync", buffer_count=3),
+        architecture="vsync",
     )
+    matrix.add(
+        RunSpec(
+            driver=_DRIVER,
+            device=PIXEL_5,
+            architecture="dvsync",
+            dvsync=DVSyncConfig(buffer_count=5),
+        ),
+        architecture="dvsync",
+    )
+    return matrix
+
+
+def _analyze(result: StudyResult) -> ExperimentResult:
+    baseline = result.get(architecture="vsync")
+    improved = result.get(architecture="dvsync")
     rows = []
-    for label, result in (("(a) VSync", baseline), ("(b) D-VSync", improved)):
-        trace = record_run(result)
-        rows.append([f"--- {label}: {len(result.effective_drops)} janks ---", ""])
+    for label, run_result in (("(a) VSync", baseline), ("(b) D-VSync", improved)):
+        trace = record_run(run_result)
+        rows.append([f"--- {label}: {len(run_result.effective_drops)} janks ---", ""])
         for line in render_timeline(trace, width=90).splitlines():
             rows.append([line, ""])
         rows.append([f"queue depth: {render_queue_depth(trace, width=90)}", ""])
@@ -72,3 +81,8 @@ def run(runs: int = 1, quick: bool = False) -> ExperimentResult:
             "the pre-rendered buffers."
         ),
     )
+
+
+def run(runs: int = 1, quick: bool = False) -> ExperimentResult:
+    """Regenerate the Fig 10 runtime-trace comparison."""
+    return study(runs=runs, quick=quick).run()

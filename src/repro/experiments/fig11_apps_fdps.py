@@ -5,41 +5,58 @@ frames of swiping at 60 Hz. Paper averages: 2.04 → 0.58 (4 buf, −71.6 %),
 0.25 (5 buf, −87.7 %), 0.06 (7 buf). The per-app contrast the paper calls
 out: Walmart's scattered drops vanish, QQMusic's skewed distribution resists
 even 7 buffers.
+
+The whole app × buffer-sweep matrix (25 apps × 4 arms × runs) is one
+:class:`~repro.study.Study`: the VSync arm is identical across the three
+buffer sweeps, so dedup collapses it to a single run per app repetition.
 """
 
 from __future__ import annotations
 
 from repro.core.config import DVSyncConfig
 from repro.display.device import PIXEL_5
-from repro.experiments.base import ExperimentResult, mean, pct_reduction
-from repro.experiments.runner import compare_scenario
-from repro.metrics.fdps import fdps
+from repro.experiments.base import ExperimentResult, mean_sd, pct_reduction
+from repro.experiments.runner import add_comparison_arms, comparison_from_study
+from repro.study import Study, StudyResult
 from repro.workloads.android_apps import app_scenarios
 
 PAPER = {"vsync": 2.04, 4: 0.58, 5: 0.25, 7: 0.06}
 BUFFER_SWEEP = (4, 5, 7)
 
 
-def run(runs: int = 3, quick: bool = False) -> ExperimentResult:
-    """Regenerate the Fig 11 bars."""
+def study(runs: int = 3, quick: bool = False) -> Study:
+    """The Fig 11 matrix: app × buffer sweep × repetition, one batch."""
     scenarios = app_scenarios()
     if quick:
         # Keep the analysis anchors (Walmart/QQMusic) plus a light spread.
         keep = {"Walmart", "QQMusic", "Facebook", "Reddit", "Bilibili", "Pinterest"}
         scenarios = [s for s in scenarios if s.name in keep]
         runs = min(runs, 2)
+    matrix = Study("fig11", analyze=lambda result: _analyze(result, scenarios))
+    for scenario in scenarios:
+        for buffers in BUFFER_SWEEP:
+            add_comparison_arms(
+                matrix,
+                scenario,
+                PIXEL_5,
+                vsync_buffers=3,
+                dvsync_config=DVSyncConfig(buffer_count=buffers),
+                runs=runs,
+                scenario=scenario.name,
+                buffers=buffers,
+            )
+    return matrix
+
+
+def _analyze(result: StudyResult, scenarios) -> ExperimentResult:
     rows = []
     averages: dict[object, list[float]] = {"vsync": [], 4: [], 5: [], 7: []}
     for scenario in scenarios:
         row = [scenario.name]
         vsync_values = None
         for buffers in BUFFER_SWEEP:
-            comparison = compare_scenario(
-                scenario,
-                PIXEL_5,
-                vsync_buffers=3,
-                dvsync_config=DVSyncConfig(buffer_count=buffers),
-                runs=runs,
+            comparison = comparison_from_study(
+                result, scenario.name, scenario=scenario.name, buffers=buffers
             )
             if vsync_values is None:
                 vsync_values = comparison.vsync_fdps
@@ -48,13 +65,24 @@ def run(runs: int = 3, quick: bool = False) -> ExperimentResult:
             row.append(round(comparison.dvsync_fdps, 2))
             averages[buffers].append(comparison.dvsync_fdps)
         rows.append(row)
-    avg = {key: mean(vals) for key, vals in averages.items()}
-    comparisons = [
-        ("avg FDPS, VSync 3 bufs", PAPER["vsync"], round(avg["vsync"], 2)),
+    stats = {key: mean_sd(vals) for key, vals in averages.items()}
+    avg = {key: pair[0] for key, pair in stats.items()}
+    comparisons: list[tuple] = [
+        (
+            "avg FDPS, VSync 3 bufs",
+            PAPER["vsync"],
+            round(avg["vsync"], 2),
+            round(stats["vsync"][1], 2),
+        ),
     ]
     for buffers in BUFFER_SWEEP:
         comparisons.append(
-            (f"avg FDPS, D-VSync {buffers} bufs", PAPER[buffers], round(avg[buffers], 2))
+            (
+                f"avg FDPS, D-VSync {buffers} bufs",
+                PAPER[buffers],
+                round(avg[buffers], 2),
+                round(stats[buffers][1], 2),
+            )
         )
         paper_red = pct_reduction(PAPER["vsync"], PAPER[buffers])
         measured_red = pct_reduction(avg["vsync"], avg[buffers])
@@ -77,3 +105,8 @@ def run(runs: int = 3, quick: bool = False) -> ExperimentResult:
             "matching the paper's analysis."
         ),
     )
+
+
+def run(runs: int = 3, quick: bool = False) -> ExperimentResult:
+    """Regenerate the Fig 11 bars."""
+    return study(runs=runs, quick=quick).run()

@@ -3,6 +3,11 @@
 Aggregates the figure experiments into the three numbers the abstract leads
 with: frame drops −72.7 %, user-perceptible stutters −72.3 %, rendering
 latency −31.1 %.
+
+The six source experiments form one :class:`~repro.study.CompositeStudy`:
+their matrices union into a single executor batch, and any spec a source
+figure shares with another (or that ``--all`` already ran) collapses by
+content hash instead of simulating again.
 """
 
 from __future__ import annotations
@@ -16,21 +21,31 @@ from repro.experiments import (
     tab02_stutters,
 )
 from repro.experiments.base import ExperimentResult, mean
+from repro.study import CompositeStudy
 
 PAPER_FD_REDUCTION = 72.7
 PAPER_STUTTER_REDUCTION = 72.3
 PAPER_LATENCY_REDUCTION = 31.1
 
 
-def run(runs: int = 2, quick: bool = False) -> ExperimentResult:
-    """Regenerate the headline averages from the underlying experiments."""
-    fig11 = fig11_apps_fdps.run(runs=runs, quick=quick)
-    fig12 = fig12_oscases_vulkan.run(runs=runs, quick=quick)
-    fig13 = fig13_oscases_gles.run(runs=runs, quick=quick)
-    fig14 = fig14_games.run(runs=runs, quick=quick)
-    fig15 = fig15_latency.run(runs=runs, quick=quick)
-    tab02 = tab02_stutters.run(runs=runs, quick=quick)
+def study(runs: int = 2, quick: bool = False) -> CompositeStudy:
+    """The headline matrix: every source figure's cells, one batch."""
+    return CompositeStudy(
+        "headline",
+        parts=[
+            fig11_apps_fdps.study(runs=runs, quick=quick),
+            fig12_oscases_vulkan.study(runs=runs, quick=quick),
+            fig13_oscases_gles.study(runs=runs, quick=quick),
+            fig14_games.study(runs=runs, quick=quick),
+            fig15_latency.study(runs=runs, quick=quick),
+            tab02_stutters.study(runs=runs, quick=quick),
+        ],
+        combine=_combine,
+    )
 
+
+def _combine(parts: list[ExperimentResult]) -> ExperimentResult:
+    fig11, fig12, fig13, fig14, fig15, tab02 = parts
     fd_reductions = [
         fig11.measured("FDPS reduction, 4 bufs (%)"),
         fig12.measured("FDPS reduction (%)"),
@@ -58,3 +73,8 @@ def run(runs: int = 2, quick: bool = False) -> ExperimentResult:
             ("latency reduction (%)", PAPER_LATENCY_REDUCTION, round(latency_reduction, 1)),
         ],
     )
+
+
+def run(runs: int = 2, quick: bool = False) -> ExperimentResult:
+    """Regenerate the headline averages from the underlying experiments."""
+    return study(runs=runs, quick=quick).run()

@@ -11,11 +11,11 @@ from __future__ import annotations
 
 from repro.core.config import DVSyncConfig
 from repro.core.ipl import ZoomingDistancePredictor
-from repro.display.device import MATE_60_PRO, PIXEL_5
+from repro.display.device import PIXEL_5
 from repro.exec.spec import DriverSpec, RunSpec
 from repro.experiments.base import ExperimentResult, mean
-from repro.experiments.runner import execute_specs
 from repro.metrics.power import instructions_per_frame, power_increase_percent
+from repro.study import Study, StudyResult
 from repro.units import ms
 from repro.workloads.distributions import params_for_target_fdps
 from repro.workloads.drivers import AnimationDriver
@@ -43,12 +43,13 @@ def build_power_driver(run_index: int, bursts: int) -> AnimationDriver:
     )
 
 
-def run(runs: int = 3, quick: bool = False) -> ExperimentResult:
-    """Regenerate the §6.7 power/instruction accounting."""
+def study(runs: int = 3, quick: bool = False) -> Study:
+    """The §6.7 matrix: architecture × repetition, one batch."""
     effective_runs = 2 if quick else runs
     bursts = 6 if quick else 20
-    increases, increases_zdp = [], []
-    instr_vsync, instr_dvsync = [], []
+    matrix = Study(
+        "power", analyze=lambda result: _analyze(result, effective_runs)
+    )
     drivers = [
         DriverSpec.of(
             "repro.experiments.power_case:build_power_driver",
@@ -57,24 +58,32 @@ def run(runs: int = 3, quick: bool = False) -> ExperimentResult:
         )
         for repetition in range(effective_runs)
     ]
-    results = execute_specs(
-        [
-            RunSpec(driver=d, device=PIXEL_5, architecture="vsync", buffer_count=3)
-            for d in drivers
-        ]
-        + [
+    for repetition, driver in enumerate(drivers):
+        matrix.add(
+            RunSpec(driver=driver, device=PIXEL_5, architecture="vsync", buffer_count=3),
+            architecture="vsync",
+            rep=repetition,
+        )
+    for repetition, driver in enumerate(drivers):
+        matrix.add(
             RunSpec(
-                driver=d,
+                driver=driver,
                 device=PIXEL_5,
                 architecture="dvsync",
                 dvsync=DVSyncConfig(buffer_count=4),
-            )
-            for d in drivers
-        ]
-    )
-    for repetition in range(effective_runs):
-        baseline = results[repetition]
-        improved = results[effective_runs + repetition]
+            ),
+            architecture="dvsync",
+            rep=repetition,
+        )
+    return matrix
+
+
+def _analyze(result: StudyResult, effective_runs: int) -> ExperimentResult:
+    increases, increases_zdp = [], []
+    instr_vsync, instr_dvsync = [], []
+    for baseline, improved in result.pairs(
+        {"architecture": "vsync"}, {"architecture": "dvsync"}
+    ):
         increases.append(power_increase_percent(baseline, improved))
         # ZDP arm: 10 % of frames additionally run the curve fitting (§6.7).
         zdp_frames = round(0.10 * len(improved.frames))
@@ -115,3 +124,8 @@ def run(runs: int = 3, quick: bool = False) -> ExperimentResult:
             "the little-core scheduler overhead, against the device baseline."
         ),
     )
+
+
+def run(runs: int = 3, quick: bool = False) -> ExperimentResult:
+    """Regenerate the §6.7 power/instruction accounting."""
+    return study(runs=runs, quick=quick).run()

@@ -1,8 +1,10 @@
 """Experiment registry: every paper artifact, addressable by id.
 
-``run_experiment("fig11")`` regenerates one artifact;
-``run_all()`` produces the full paper-vs-measured report that EXPERIMENTS.md
-records.
+``run_experiment("fig11")`` regenerates one artifact (its whole matrix goes
+out as one supervised executor batch); ``run_all()`` unions **every**
+experiment's study into a single global batch before analysing each, so the
+full paper-vs-measured report that EXPERIMENTS.md records fans out at full
+executor width with cross-experiment content-hash dedup.
 """
 
 from __future__ import annotations
@@ -39,33 +41,48 @@ from repro.experiments import (
 )
 from repro.experiments.base import ExperimentResult
 from repro.experiments.runner import DEFAULT_RUNS
+from repro.study import Study, StudyStats, execute_studies
 from repro.telemetry import runtime as telemetry_runtime
 
-EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
-    "fig01": fig01_cdf.run,
-    "fig03": fig03_pixels.run,
-    "fig04": fig04_features.run,
-    "fig05": fig05_fd_summary.run,
-    "fig06": fig06_frame_distribution.run,
-    "fig07": fig07_touch_latency.run,
-    "fig09": fig09_scope.run,
-    "fig10": fig10_patterns.run,
-    "fig11": fig11_apps_fdps.run,
-    "fig12": fig12_oscases_vulkan.run,
-    "fig13": fig13_oscases_gles.run,
-    "fig14": fig14_games.run,
-    "fig15": fig15_latency.run,
-    "fig16": fig16_map_case.run,
-    "tab01": tab01_platforms.run,
-    "tab02": tab02_stutters.run,
-    "cost": costs.run,
-    "power": power_case.run,
-    "chromium": chromium_case.run,
-    "appendix": appendix_a.run,
-    "dvfs": dvfs_case.run,
-    "ablations": ablations.run,
-    "headline": headline.run,
+_MODULES = {
+    "fig01": fig01_cdf,
+    "fig03": fig03_pixels,
+    "fig04": fig04_features,
+    "fig05": fig05_fd_summary,
+    "fig06": fig06_frame_distribution,
+    "fig07": fig07_touch_latency,
+    "fig09": fig09_scope,
+    "fig10": fig10_patterns,
+    "fig11": fig11_apps_fdps,
+    "fig12": fig12_oscases_vulkan,
+    "fig13": fig13_oscases_gles,
+    "fig14": fig14_games,
+    "fig15": fig15_latency,
+    "fig16": fig16_map_case,
+    "tab01": tab01_platforms,
+    "tab02": tab02_stutters,
+    "cost": costs,
+    "power": power_case,
+    "chromium": chromium_case,
+    "appendix": appendix_a,
+    "dvfs": dvfs_case,
+    "ablations": ablations,
+    "headline": headline,
 }
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    key: module.run for key, module in _MODULES.items()
+}
+
+#: ``experiment id -> study(runs=, quick=)`` — the declarative matrices
+#: :func:`run_all` unions into one global batch.
+STUDIES: dict[str, Callable[..., Study]] = {
+    key: module.study for key, module in _MODULES.items()
+}
+
+#: Stats of the most recent :func:`run_all` union submission (observability;
+#: the CLI's study progress line reads this).
+last_union_stats: StudyStats | None = None
 
 
 def run_experiment(
@@ -73,10 +90,11 @@ def run_experiment(
 ) -> ExperimentResult:
     """Regenerate one paper artifact by id.
 
-    Executor activity (simulated runs, cache hits, wall time) accumulated
-    while the experiment ran is appended to the result's notes as an
-    ``exec:`` line — observability, not data, so table/comparison content is
-    unaffected by cache state or parallelism.
+    The experiment's whole matrix is submitted as a single supervised
+    executor batch. Executor activity (simulated runs, cache hits, wall
+    time) accumulated while the experiment ran is appended to the result's
+    notes as an ``exec:`` line — observability, not data, so
+    table/comparison content is unaffected by cache state or parallelism.
     """
     try:
         runner = EXPERIMENTS[experiment_id]
@@ -108,10 +126,45 @@ def run_experiment(
 def run_all(
     runs: int = DEFAULT_RUNS, quick: bool = False, skip: set[str] | None = None
 ) -> list[ExperimentResult]:
-    """Regenerate every artifact (headline last, since it reruns others)."""
+    """Regenerate every artifact from **one** global executor batch.
+
+    Every experiment's study is built first (headline last, since it reuses
+    the figure matrices), the union of all their spec cells goes out as a
+    single ``map_outcome`` submission — identical specs across experiments
+    (headline vs its source figures, shared baselines) collapse by content
+    hash — and each study's analysis then runs over its keyed slice.
+    """
+    global last_union_stats
     skip = skip or set()
     order = [key for key in EXPERIMENTS if key not in skip and key != "headline"]
-    results = [run_experiment(key, runs=runs, quick=quick) for key in order]
     if "headline" not in skip:
-        results.append(run_experiment("headline", runs=runs, quick=quick))
+        order.append("headline")
+    studies = [STUDIES[key](runs=runs, quick=quick) for key in order]
+
+    executor = get_default_executor()
+    before = executor.stats.snapshot()
+    started = time.perf_counter()
+    study_results, stats = execute_studies(studies, executor=executor)
+    last_union_stats = stats
+
+    results = []
+    for key, study_result in zip(order, study_results):
+        analysis_started = time.perf_counter()
+        result = study_result.analyze()
+        if telemetry_runtime.enabled():
+            telemetry_runtime.collector().note_experiment(
+                experiment_id=key,
+                wall_seconds=time.perf_counter() - analysis_started,
+            )
+        results.append(result)
+
+    elapsed = time.perf_counter() - started
+    delta = executor.stats.since(before)
+    if delta.total_requests and results:
+        line = (
+            f"exec (union of {len(order)} experiments): {delta.describe()}; "
+            f"study: {stats.describe()}; wall time {elapsed:.2f}s"
+        )
+        last = results[-1]
+        last.notes = f"{last.notes}\n{line}" if last.notes else line
     return results

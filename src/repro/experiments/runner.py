@@ -10,6 +10,14 @@ averaging over repetitions the way the paper averages over five runs
 :func:`run_driver` remains for callers that already hold a live driver
 instance (tests, ad-hoc exploration); experiment modules should prefer the
 spec-based path so their runs parallelize and cache.
+
+Since the study refactor, the paired comparison is itself a
+:class:`~repro.study.Study`: :func:`add_comparison_arms` lays the
+``2 × runs`` arms of one scenario into any study's grid (so a whole
+figure's scenarios batch together), :func:`comparison_from_study` extracts
+a :class:`ScenarioComparison` from the keyed result with pair-drop
+semantics, and :func:`compare_scenario` is the one-scenario convenience
+wrapper (a 2-arm study executed on the spot).
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from repro.metrics.fdps import fdps
 from repro.metrics.latency import latency_summary
 from repro.pipeline.driver import ScenarioDriver
 from repro.pipeline.scheduler_base import RunResult
+from repro.study import Study, StudyResult
 from repro.telemetry import runtime as telemetry_runtime
 from repro.vsync.scheduler import VSyncScheduler
 from repro.workloads.scenarios import Scenario
@@ -170,6 +179,89 @@ def _comparison_from_results(
     )
 
 
+def add_comparison_arms(
+    matrix: Study,
+    workload: Scenario,
+    device: DeviceProfile,
+    vsync_buffers: int | None = None,
+    dvsync_config: DVSyncConfig | None = None,
+    runs: int = DEFAULT_RUNS,
+    **coords,
+) -> Study:
+    """Lay one scenario's paired ``2 × runs`` arms into *matrix*'s grid.
+
+    Each repetition describes two specs from the same seed, so both arms see
+    the exact same series of workloads (Fig 10's premise). Extra *coords*
+    (``scenario=...``, ``buffers=...``) distinguish this comparison's cells
+    from the study's other comparisons — a whole figure's scenarios batch
+    into one matrix and fan out together. (The positional parameters are
+    deliberately not named after common axis names, so coordinates like
+    ``scenario=...`` pass through ``**coords`` unobstructed.)
+    """
+    for run in range(runs):
+        matrix.add(
+            scenario_spec(
+                workload, device, "vsync", run=run, buffer_count=vsync_buffers
+            ),
+            architecture="vsync",
+            rep=run,
+            **coords,
+        )
+    for run in range(runs):
+        matrix.add(
+            scenario_spec(
+                workload, device, "dvsync", run=run, dvsync_config=dvsync_config
+            ),
+            architecture="dvsync",
+            rep=run,
+            **coords,
+        )
+    return matrix
+
+
+def comparison_from_study(
+    result: StudyResult, scenario_name: str, **coords
+) -> ScenarioComparison:
+    """Extract one scenario's paired comparison from a keyed study result.
+
+    Repetitions pair positionally across the two architecture slices
+    (within *coords*). Under the keep-going policy a failed repetition
+    leaves a hole; the whole *pair* is dropped so both arms still average
+    identical workloads.
+    """
+    requested = len(result.cells(architecture="vsync", **coords))
+    pairs = result.pairs(
+        {"architecture": "vsync"}, {"architecture": "dvsync"}, **coords
+    )
+    if not pairs:
+        raise ExecutionError(
+            f"scenario {scenario_name!r}: every repetition pair failed "
+            f"({requested} requested); see the executor's failure records"
+        )
+    return _comparison_from_results(
+        scenario_name,
+        [vsync for vsync, _ in pairs],
+        [dvsync for _, dvsync in pairs],
+    )
+
+
+def scenario_study(
+    scenario: Scenario,
+    device: DeviceProfile,
+    vsync_buffers: int | None = None,
+    dvsync_config: DVSyncConfig | None = None,
+    runs: int = DEFAULT_RUNS,
+) -> Study:
+    """A single scenario's comparison as a self-contained 2-arm study."""
+    study = Study(
+        f"compare:{scenario.name}",
+        analyze=lambda result: comparison_from_study(result, scenario.name),
+    )
+    return add_comparison_arms(
+        study, scenario, device, vsync_buffers, dvsync_config, runs
+    )
+
+
 def compare_scenario(
     scenario: Scenario,
     device: DeviceProfile,
@@ -180,12 +272,10 @@ def compare_scenario(
 ) -> ScenarioComparison:
     """Run a scenario under both architectures, averaged over *runs* seeds.
 
-    Each repetition builds two drivers from the same seed, so both arms see
-    the exact same series of workloads (Fig 10's premise). Without a custom
-    ``driver_factory`` the ``2 × runs`` arms are described as RunSpecs and
-    submitted as one executor batch — they fan out across workers and cache
-    individually. A custom factory (an in-memory driver the spec layer cannot
-    name) falls back to serial in-process execution.
+    Without a custom ``driver_factory`` this is :func:`scenario_study`
+    executed on the spot: the ``2 × runs`` arms go out as one supervised
+    executor batch. A custom factory (an in-memory driver the spec layer
+    cannot name) falls back to serial in-process execution.
     """
     if driver_factory is not None:
         vsync_results = []
@@ -203,29 +293,6 @@ def compare_scenario(
             )
         return _comparison_from_results(scenario.name, vsync_results, dvsync_results)
 
-    specs = [
-        scenario_spec(
-            scenario, device, "vsync", run=run, buffer_count=vsync_buffers
-        )
-        for run in range(runs)
-    ] + [
-        scenario_spec(
-            scenario, device, "dvsync", run=run, dvsync_config=dvsync_config
-        )
-        for run in range(runs)
-    ]
-    results = execute_specs(specs)
-    # Under the keep-going policy a failed repetition leaves a None hole;
-    # drop the whole *pair* so both arms still average identical workloads.
-    vsync_results = []
-    dvsync_results = []
-    for run in range(runs):
-        if results[run] is not None and results[runs + run] is not None:
-            vsync_results.append(results[run])
-            dvsync_results.append(results[runs + run])
-    if not vsync_results:
-        raise ExecutionError(
-            f"scenario {scenario.name!r}: every repetition pair failed "
-            f"({runs} requested); see the executor's failure records"
-        )
-    return _comparison_from_results(scenario.name, vsync_results, dvsync_results)
+    return scenario_study(
+        scenario, device, vsync_buffers, dvsync_config, runs
+    ).run()

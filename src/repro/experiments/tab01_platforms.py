@@ -8,11 +8,16 @@ from __future__ import annotations
 
 from repro.display.device import ALL_DEVICES
 from repro.experiments.base import ExperimentResult
+from repro.study import Study
 from repro.units import to_ms
 
 
-def run(runs: int = 1, quick: bool = False) -> ExperimentResult:
-    """Regenerate Table 1."""
+def study(runs: int = 1, quick: bool = False) -> Study:
+    """Table 1 is static data: a zero-cell study."""
+    return Study("tab01", analyze=lambda _result: _build())
+
+
+def _build() -> ExperimentResult:
     rows = []
     for device in ALL_DEVICES:
         rows.append(
@@ -36,3 +41,8 @@ def run(runs: int = 1, quick: bool = False) -> ExperimentResult:
             ("Mate 60 Pro period (ms)", 8.3, round(to_ms(ALL_DEVICES[2].vsync_period), 1)),
         ],
     )
+
+
+def run(runs: int = 1, quick: bool = False) -> ExperimentResult:
+    """Regenerate Table 1."""
+    return study(runs=runs, quick=quick).run()

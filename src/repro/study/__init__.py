@@ -1,0 +1,40 @@
+"""Declarative study engine: whole-matrix batching for experiments.
+
+See :mod:`repro.study.core` for the model. Quick sketch::
+
+    from repro.study import Study
+    from repro.experiments.runner import scenario_spec
+
+    study = Study("buffer-sweep", analyze=my_analysis)
+    study.grid(
+        lambda scenario, buffers, rep: scenario_spec(
+            SCENARIOS[scenario], "dvsync", buffer_count=buffers, run=rep
+        ),
+        scenario=["genshin", "maps"],
+        buffers=[3, 4, 5],
+        rep=range(5),
+    )
+    result = study.run()          # one supervised batch for all 30 cells
+"""
+
+from repro.study.core import (
+    Cell,
+    CompositeStudy,
+    Key,
+    Study,
+    StudyResult,
+    StudyStats,
+    cell_key,
+    execute_studies,
+)
+
+__all__ = [
+    "Cell",
+    "CompositeStudy",
+    "Key",
+    "Study",
+    "StudyResult",
+    "StudyStats",
+    "cell_key",
+    "execute_studies",
+]

@@ -135,6 +135,18 @@ def note_exec(name: str, amount: float = 1.0) -> None:
         _collector.exec_metrics.counter(f"exec.{name}").inc(amount)
 
 
+def note_study(name: str, amount: float = 1.0) -> None:
+    """Increment the ``study.<name>`` sweep counter.
+
+    Published by :func:`repro.study.execute_studies` when a matrix goes out:
+    ``study.cells`` (grid points executed), ``study.dedup_hits`` (spec cells
+    collapsed by content hash before submission), ``study.holes`` (keep-going
+    failure holes). A no-op unless the process opted in.
+    """
+    if _enabled:
+        _collector.exec_metrics.counter(f"study.{name}").inc(amount)
+
+
 def reset() -> None:
     """Disable telemetry and drop everything collected (tests, CLI re-runs)."""
     set_enabled(False)
