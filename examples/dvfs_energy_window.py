@@ -11,6 +11,7 @@ Run:  python examples/dvfs_energy_window.py
 from repro import (
     PIXEL_5,
     AnimationDriver,
+    SimConfig,
     fdps,
     params_for_target_fdps,
     simulate,
@@ -40,7 +41,10 @@ def main() -> None:
         driver = GovernedDriver(build_driver(0), governor)
         buffers = 3 if architecture == "vsync" else 4
         result = simulate(
-            driver, PIXEL_5, architecture=architecture, config=buffers
+            driver,
+            PIXEL_5,
+            architecture=architecture,
+            config=SimConfig(buffer_count=buffers),
         )
         print(
             f"{label:34s}{fdps(result):>6.2f}{governor.stats.mean_level:>8.2f}"

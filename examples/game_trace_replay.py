@@ -7,7 +7,7 @@ both schedulers at the game's rendering rate, sweeping D-VSync buffer counts.
 Run:  python examples/game_trace_replay.py
 """
 
-from repro import MATE_60_PRO, TraceDriver, fdps, simulate
+from repro import MATE_60_PRO, Arch, SimConfig, TraceDriver, fdps, simulate
 from repro.trace import schema
 from repro.workloads.games import GAME_SPECS, record_game_trace
 
@@ -30,13 +30,18 @@ def main() -> None:
     print(f"trace round-tripped through {path}\n")
 
     baseline = simulate(
-        TraceDriver(trace), device, architecture="vsync", config=3
+        TraceDriver(trace),
+        device,
+        architecture=Arch.VSYNC,
+        config=SimConfig(buffer_count=3),
     )
     print(f"VSync 3 bufs : FDPS {fdps(baseline):.2f} "
           f"({len(baseline.effective_drops)} drops)")
     for buffers in (4, 5):
         result = simulate(
-            TraceDriver(schema.load(path)), device, config=buffers
+            TraceDriver(schema.load(path)),
+            device,
+            config=SimConfig(buffer_count=buffers),
         )
         reduction = (1 - fdps(result) / max(fdps(baseline), 1e-9)) * 100
         print(f"D-VSync {buffers} bufs: FDPS {fdps(result):.2f} "

@@ -15,6 +15,7 @@ from repro import (
     LTPOCoDesign,
     LTPOController,
     MATE_60_PRO,
+    SimConfig,
     simulate,
 )
 from repro.units import ms, to_ms
@@ -46,7 +47,9 @@ def run_fling(enforce_drain: bool):
 
 
 def main() -> None:
-    pinned = simulate(build_fling(), MATE_60_PRO, config=4)
+    pinned = simulate(
+        build_fling(), MATE_60_PRO, config=SimConfig(buffer_count=4)
+    )
     print("== fling with the panel pinned at 120 Hz (no LTPO) ==")
     print(f"  frame drops            : {len(pinned.effective_drops)}\n")
     for enforce in (True, False):

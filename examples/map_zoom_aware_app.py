@@ -8,7 +8,7 @@ and the runtime VSync/D-VSync switch.
 Run:  python examples/map_zoom_aware_app.py
 """
 
-from repro import simulate
+from repro import Arch, SimConfig, simulate
 from repro.apps.map_app import MapApp
 from repro.display.device import PIXEL_5
 from repro.units import to_ms
@@ -19,7 +19,12 @@ def main() -> None:
 
     print("== zooming under VSync (baseline) ==")
     driver = app.build_zoom_driver()
-    result = simulate(driver, PIXEL_5, architecture="vsync", config=3)
+    result = simulate(
+        driver,
+        PIXEL_5,
+        architecture=Arch.VSYNC,
+        config=SimConfig(buffer_count=3),
+    )
     report = app.report(result, driver)
     print(f"  FDPS               {report.fdps:6.2f}")
     print(f"  mean latency       {report.mean_latency_ms:6.1f} ms")

@@ -8,7 +8,7 @@ distribution, and dumps a perfetto-lite trace of each run for inspection.
 Run:  python examples/notification_center.py
 """
 
-from repro import MATE_60_PRO_VULKAN, fdps, simulate
+from repro import MATE_60_PRO_VULKAN, SimConfig, fdps, simulate
 from repro.metrics.frames import FrameOutcome, frame_distribution
 from repro.metrics.latency import latency_summary
 from repro.trace import schema
@@ -33,7 +33,10 @@ def main() -> None:
         # The declarative Scenario routes through the executor (cached,
         # parallelizable); both arms use 4 buffers like Table 3.
         result = simulate(
-            scenario, MATE_60_PRO_VULKAN, architecture=label, config=4
+            scenario,
+            MATE_60_PRO_VULKAN,
+            architecture=label,
+            config=SimConfig(buffer_count=4),
         )
         runs[label] = result
         distribution = frame_distribution(result)

@@ -10,7 +10,8 @@ Run:  python examples/quickstart.py
 from repro import (
     PIXEL_5,
     AnimationDriver,
-    DVSyncConfig,
+    Arch,
+    SimConfig,
     fdps,
     latency_summary,
     params_for_target_fdps,
@@ -33,9 +34,14 @@ def build_driver() -> AnimationDriver:
 
 
 def main() -> None:
-    baseline = simulate(build_driver(), PIXEL_5, architecture="vsync", config=3)
+    baseline = simulate(
+        build_driver(),
+        PIXEL_5,
+        architecture=Arch.VSYNC,
+        config=SimConfig(buffer_count=3),
+    )
     improved = simulate(
-        build_driver(), PIXEL_5, config=DVSyncConfig(buffer_count=4)
+        build_driver(), PIXEL_5, config=SimConfig(buffer_count=4)
     )
 
     print(f"workload: {baseline.scenario} on {PIXEL_5.name} ({PIXEL_5.refresh_hz} Hz)")

@@ -11,6 +11,7 @@ Run:  python examples/ux_task_session.py
 from repro import (
     MATE_60_PRO,
     AnimationDriver,
+    SimConfig,
     fdps,
     params_for_target_fdps,
     simulate,
@@ -45,7 +46,12 @@ def main() -> None:
         ("dvsync 4buf", "dvsync"),
     ):
         driver = build_session(0)
-        result = simulate(driver, MATE_60_PRO, architecture=architecture, config=4)
+        result = simulate(
+            driver,
+            MATE_60_PRO,
+            architecture=architecture,
+            config=SimConfig(buffer_count=4),
+        )
         stutters = count_perceived_stutters(result, speed_at=driver.animation_speed)
         print(f"[{label}]")
         print(f"  frames: {len(result.frames)}  drops: {len(result.effective_drops)}"

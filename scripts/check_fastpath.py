@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""CI gate: the fastpath replay engine must be exact and must pay.
+
+Two claims, checked against the live quick matrix (the union of every
+registered experiment's study cells — the same specs ``--all --quick``
+submits):
+
+1. **Parity.** Every fastpath-eligible spec produces a byte-identical
+   wire-form result under ``engine="fastpath"`` and ``engine="event"``.
+2. **Speedup.** Replaying those specs is at least ``MIN_SPEEDUP`` times
+   faster per spec than stepping the discrete-event simulator, measured as
+   (total event time / total fastpath time) over the deduplicated eligible
+   specs. The comparison is written to BENCH_fastpath.json.
+
+The fastpath pass starts from a cold profile cache, so its total includes
+every driver build the replay layer pays; the event pass builds each spec's
+driver itself, exactly as a worker process would.
+
+Usage: PYTHONPATH=src python scripts/check_fastpath.py
+Environment: REPRO_FASTPATH_MIN_SPEEDUP overrides the gate (default 5).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import sys
+import time
+
+BENCH_PATH = "BENCH_fastpath.json"
+MIN_SPEEDUP = float(os.environ.get("REPRO_FASTPATH_MIN_SPEEDUP", "5"))
+
+
+def _quick_matrix_specs():
+    """The deduplicated spec cells of every registered quick study."""
+    from repro.experiments import registry
+
+    specs, seen = [], set()
+    for build in registry.STUDIES.values():
+        for cell in build(quick=True).cells:
+            if cell.spec is None:
+                continue
+            key = cell.spec.content_hash()
+            if key in seen:
+                continue
+            seen.add(key)
+            specs.append(cell.spec)
+    return specs
+
+
+def main() -> int:
+    from repro.exec.executor import execute_spec
+    from repro.exec.serialize import result_to_wire
+    from repro.exec.spec import canonical_json
+    from repro.fastpath.engine import spec_ineligibility
+    from repro.fastpath.profile import clear_profile_cache, load_compiled
+
+    specs = _quick_matrix_specs()
+
+    eligible, reasons = [], {}
+    for spec in specs:
+        reason = spec_ineligibility(spec)
+        if reason is None:
+            _, compiled = load_compiled(spec.driver)
+            if compiled is None:
+                reason = "driver not trace-pure (no replay profile)"
+        if reason is None:
+            eligible.append(spec)
+        else:
+            reasons[reason] = reasons.get(reason, 0) + 1
+
+    if not eligible:
+        print("FAIL: no fastpath-eligible specs in the quick matrix", file=sys.stderr)
+        return 1
+
+    # ---- event pass: the full discrete-event simulator, per spec ---------
+    event_wires, event_s = [], 0.0
+    for spec in eligible:
+        case = dataclasses.replace(spec, engine="event")
+        started = time.perf_counter()
+        result = execute_spec(case)
+        event_s += time.perf_counter() - started
+        event_wires.append(canonical_json(result_to_wire(result)))
+
+    # ---- fastpath pass: cold cache, so driver builds are paid here too ---
+    clear_profile_cache()
+    fast_wires, fast_s = [], 0.0
+    for spec in eligible:
+        case = dataclasses.replace(spec, engine="fastpath")
+        started = time.perf_counter()
+        result = execute_spec(case)
+        fast_s += time.perf_counter() - started
+        fast_wires.append(canonical_json(result_to_wire(result)))
+
+    mismatches = sum(1 for a, b in zip(event_wires, fast_wires) if a != b)
+    speedup = event_s / fast_s if fast_s > 0 else float("inf")
+    bench = {
+        "quick": True,
+        "specs_total": len(specs),
+        "specs_eligible": len(eligible),
+        "ineligible_reasons": reasons,
+        "event_s": round(event_s, 3),
+        "fastpath_s": round(fast_s, 3),
+        "event_per_spec_ms": round(event_s / len(eligible) * 1000, 3),
+        "fastpath_per_spec_ms": round(fast_s / len(eligible) * 1000, 3),
+        "mean_per_spec_speedup": round(speedup, 2),
+        "min_speedup_gate": MIN_SPEEDUP,
+        "parity_mismatches": mismatches,
+    }
+    with open(BENCH_PATH, "w") as handle:
+        json.dump(bench, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(bench, indent=2))
+    print(f"bench written: {BENCH_PATH}")
+
+    failed = False
+    if mismatches:
+        print(
+            f"FAIL: {mismatches}/{len(eligible)} specs differ between "
+            f"engines (parity is a hard gate everywhere)",
+            file=sys.stderr,
+        )
+        failed = True
+    if speedup < MIN_SPEEDUP:
+        message = (
+            f"fastpath speedup {speedup:.2f}x below the {MIN_SPEEDUP:.0f}x "
+            f"gate (event {event_s:.2f}s vs fastpath {fast_s:.2f}s over "
+            f"{len(eligible)} specs)"
+        )
+        cores = os.cpu_count() or 1
+        if cores >= 2:
+            print(f"FAIL: {message}", file=sys.stderr)
+            failed = True
+        else:
+            # Wall clock on one-core (often oversubscribed) hosts is noisy;
+            # the bench is still recorded, but the gate is advisory there.
+            print(f"NOTE ({cores} core): {message}")
+    if failed:
+        return 1
+    print(
+        f"OK: {len(eligible)}/{len(specs)} specs replayed byte-identically, "
+        f"{speedup:.2f}x mean per-spec speedup"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,8 +28,10 @@ the golden-trace comparator over the registered scenarios.
 
 from repro.core import (
     AlphaBetaPredictor,
+    Arch,
     DecouplingAPI,
     DVSyncConfig,
+    SimConfig,
     DVSyncScheduler,
     FPEStage,
     InputPredictor,
@@ -82,6 +84,7 @@ from repro.verify import (
     run_differential_oracle,
 )
 from repro.sim import SeededRng, Simulator
+from repro.study import Study, StudyResult, execute_studies
 from repro.vsync import VSyncScheduler
 from repro.workloads import (
     AnimationDriver,
@@ -98,8 +101,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AlphaBetaPredictor",
+    "Arch",
     "DecouplingAPI",
     "DVSyncConfig",
+    "SimConfig",
     "DVSyncScheduler",
     "FPEStage",
     "InputPredictor",
@@ -141,6 +146,9 @@ __all__ = [
     "ScenarioDriver",
     "SeededRng",
     "Simulator",
+    "Study",
+    "StudyResult",
+    "execute_studies",
     "VSyncScheduler",
     "AnimationDriver",
     "FrameTimeParams",

@@ -75,6 +75,18 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--engine",
+        choices=("auto", "event", "fastpath"),
+        default=None,
+        help=(
+            "simulation engine for engine='auto' specs: 'auto' (default) "
+            "replays trace-pure runs through the vectorized fastpath and "
+            "falls back to the event loop, 'event' forces the full "
+            "discrete-event simulator, 'fastpath' forces replay (errors on "
+            "specs that cannot be replayed)"
+        ),
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="disable the content-addressed result cache (.repro-cache/)",
@@ -190,6 +202,13 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--timeout must be > 0 seconds")
     if args.retries is not None and args.retries < 0:
         parser.error("--retries must be >= 0")
+    if args.engine is not None:
+        from repro.fastpath.engine import set_default_engine
+
+        # The env var makes process-pool workers inherit the choice; the
+        # setter covers this process, whose default may already be cached.
+        os.environ["REPRO_ENGINE"] = args.engine
+        set_default_engine(args.engine)
     executor = Executor(
         jobs=args.jobs,
         cache=not args.no_cache,

@@ -83,10 +83,16 @@ class MapApp:
     # ------------------------------------------------------------------ runs
     def run_vsync(self, run: int = 0) -> tuple[RunResult, InteractionDriver]:
         """Baseline arm: zooming under the traditional VSync architecture."""
+        from repro.core.api import Arch, SimConfig
         from repro.facade import simulate
 
         driver = self.build_zoom_driver(run)
-        result = simulate(driver, self.device, architecture="vsync", config=3)
+        result = simulate(
+            driver,
+            self.device,
+            architecture=Arch.VSYNC,
+            config=SimConfig(buffer_count=3),
+        )
         return result, driver
 
     def run_dvsync(self, run: int = 0) -> tuple[RunResult, InteractionDriver]:

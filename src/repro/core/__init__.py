@@ -5,7 +5,7 @@ Display Time Virtualizer, runtime controller, dual-channel APIs, Input
 Prediction Layer, and the LTPO co-design bridge.
 """
 
-from repro.core.api import DecouplingAPI
+from repro.core.api import Arch, DecouplingAPI, SimConfig
 from repro.core.config import DVSyncConfig
 from repro.core.controller import RuntimeController, TimingMode
 from repro.core.dtv import DisplayPrediction, DisplayTimeVirtualizer
@@ -23,7 +23,9 @@ from repro.core.ipl import (
 from repro.core.ltpo_codesign import LTPOCoDesign
 
 __all__ = [
+    "Arch",
     "DecouplingAPI",
+    "SimConfig",
     "DVSyncConfig",
     "RuntimeController",
     "TimingMode",

@@ -1,27 +1,201 @@
-"""Dual-channel decoupling APIs (§4.5).
+"""Typed simulation API and the dual-channel decoupling surface (§4.5).
 
-Decoupling-*oblivious* apps need nothing from this module: the scheduler
-applies pre-rendering to their deterministic animations automatically.
-Decoupling-*aware* apps (custom rendering engines, interactive scenarios)
-receive a :class:`DecouplingAPI` exposing the four capabilities the paper
-enumerates:
+Two layers live here:
 
-1. registering an Input Prediction Layer curve;
-2. configuring the pre-rendering limit (performance vs. memory);
-3. retrieving the frame display time for app-defined animations;
-4. a runtime switch between D-VSync and VSync.
+* the **front-door types** — :class:`Arch` names the architecture under test
+  and :class:`SimConfig` collects every per-run knob (buffers, pre-render
+  limit, engine, seed, timeout) that used to be scattered across an
+  ``architecture: str`` + ``config: int | DVSyncConfig`` split in
+  :func:`repro.simulate`, :class:`~repro.exec.spec.RunSpec`,
+  ``compare_scenario`` and the scheduler constructors. Old string/int
+  spellings keep working (``Arch`` is a ``str`` enum; legacy ``config=``
+  values are coerced behind a :class:`DeprecationWarning`), and
+  :meth:`SimConfig.normalize` is the one place that splits a config into the
+  ``(buffer_count, dvsync_config)`` pair the runner layer consumes;
+
+* the **aware-channel surface** — decoupling-*oblivious* apps need nothing
+  from this module: the scheduler applies pre-rendering to their
+  deterministic animations automatically. Decoupling-*aware* apps (custom
+  rendering engines, interactive scenarios) receive a :class:`DecouplingAPI`
+  exposing the four capabilities the paper enumerates:
+
+  1. registering an Input Prediction Layer curve;
+  2. configuring the pre-rendering limit (performance vs. memory);
+  3. retrieving the frame display time for app-defined animations;
+  4. a runtime switch between D-VSync and VSync.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import enum
+import warnings
 from typing import TYPE_CHECKING
 
+from repro.core.config import DVSyncConfig
 from repro.core.fpe import FPEStage
 from repro.core.ipl import InputPredictor
 from repro.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.dvsync import DVSyncScheduler
+
+
+class Arch(str, enum.Enum):
+    """The rendering architecture under test.
+
+    A ``str`` enum so members compare and hash equal to the wire spellings
+    (``Arch.DVSYNC == "dvsync"``): passing either form to :func:`repro.simulate`
+    or :class:`~repro.exec.spec.RunSpec` produces byte-identical specs and
+    content hashes.
+    """
+
+    VSYNC = "vsync"
+    DVSYNC = "dvsync"
+
+    @classmethod
+    def coerce(cls, value: "Arch | str") -> "Arch":
+        """Normalize a member or wire string into an :class:`Arch` member."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            known = ", ".join(member.value for member in cls)
+            raise ConfigurationError(
+                f"unknown architecture {value!r}; known: {known}"
+            ) from None
+
+    def __str__(self) -> str:  # keep f-strings on the wire spelling
+        return self.value
+
+
+@dataclasses.dataclass(frozen=True, kw_only=True)
+class SimConfig:
+    """One typed bundle of per-run simulation knobs.
+
+    All options are keyword-only and every field defaults to "defer to the
+    architecture's defaults", so ``SimConfig()`` is the neutral config.
+
+    Attributes:
+        buffer_count: Buffer-queue slots. Under :attr:`Arch.VSYNC` this is
+            the queue depth directly; under :attr:`Arch.DVSYNC` it seeds a
+            :class:`DVSyncConfig` (mutually exclusive with ``dvsync``).
+        prerender_limit: D-VSync pre-rendering window in frames
+            (:attr:`Arch.DVSYNC` only; mutually exclusive with ``dvsync``).
+        dvsync: A full :class:`DVSyncConfig` for knobs beyond the two above
+            (ablation switches, per-frame overhead, pipeline depth).
+        engine: Execution engine — ``"auto"`` (fastpath when the run is
+            trace-pure, event loop otherwise), ``"event"``, or ``"fastpath"``.
+            Excluded from spec content hashes: both engines are byte-exact.
+        seed: Repetition index for declarative scenarios (drivers are seeded
+            by scenario name + run index).
+        timeout_s: Wall-clock deadline under the supervised executor.
+    """
+
+    buffer_count: int | None = None
+    prerender_limit: int | None = None
+    dvsync: DVSyncConfig | None = None
+    engine: str = "auto"
+    seed: int | None = None
+    timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.buffer_count is not None and not (
+            isinstance(self.buffer_count, int)
+            and not isinstance(self.buffer_count, bool)
+        ):
+            raise ConfigurationError(
+                f"buffer_count must be an int or None, got {self.buffer_count!r}"
+            )
+        if self.dvsync is not None and not isinstance(self.dvsync, DVSyncConfig):
+            raise ConfigurationError(
+                f"dvsync must be a DVSyncConfig or None, got {self.dvsync!r}"
+            )
+        if self.dvsync is not None and (
+            self.buffer_count is not None or self.prerender_limit is not None
+        ):
+            raise ConfigurationError(
+                "pass either a full dvsync=DVSyncConfig(...) or the "
+                "buffer_count/prerender_limit shorthands, not both"
+            )
+        from repro.exec.spec import ENGINES  # lazy: avoids an import cycle
+
+        engine = getattr(self.engine, "value", self.engine)
+        if engine is not self.engine:
+            object.__setattr__(self, "engine", engine)
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; known: {', '.join(ENGINES)}"
+            )
+
+    @classmethod
+    def coerce(cls, config: "SimConfig | DVSyncConfig | int | None") -> "SimConfig":
+        """Normalize legacy ``config=`` spellings into a :class:`SimConfig`.
+
+        ``None`` and :class:`SimConfig` pass through; an int buffer count or
+        a bare :class:`DVSyncConfig` still works but emits a
+        :class:`DeprecationWarning` naming the typed replacement.
+        """
+        if config is None:
+            return cls()
+        if isinstance(config, cls):
+            return config
+        if isinstance(config, DVSyncConfig):
+            warnings.warn(
+                "passing a bare DVSyncConfig as config= is deprecated; "
+                "wrap it as SimConfig(dvsync=...)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            return cls(dvsync=config)
+        if isinstance(config, int) and not isinstance(config, bool):
+            warnings.warn(
+                "passing an int buffer count as config= is deprecated; "
+                "use SimConfig(buffer_count=...)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            return cls(buffer_count=config)
+        raise ConfigurationError(
+            f"config must be a SimConfig, a DVSyncConfig, an int buffer "
+            f"count, or None; got {config!r}"
+        )
+
+    def normalize(
+        self, architecture: "Arch | str"
+    ) -> tuple[int | None, DVSyncConfig | None]:
+        """Split this config into ``(buffer_count, dvsync_config)``.
+
+        This is the single successor of the ``_split_config`` helpers that
+        every front door used to duplicate: under :attr:`Arch.DVSYNC` the
+        buffer/pre-render shorthands become a :class:`DVSyncConfig`; under
+        :attr:`Arch.VSYNC` any D-VSync-only knob is a
+        :class:`~repro.errors.ConfigurationError`.
+        """
+        arch = Arch.coerce(architecture)
+        if arch is Arch.DVSYNC:
+            if self.dvsync is not None:
+                return None, self.dvsync
+            if self.buffer_count is None and self.prerender_limit is None:
+                return None, None
+            kwargs: dict = {}
+            if self.buffer_count is not None:
+                kwargs["buffer_count"] = self.buffer_count
+            if self.prerender_limit is not None:
+                kwargs["prerender_limit"] = self.prerender_limit
+            return None, DVSyncConfig(**kwargs)
+        if self.dvsync is not None:
+            raise ConfigurationError(
+                "a DVSyncConfig only applies to Arch.DVSYNC; "
+                "pass buffer_count for the vsync baseline"
+            )
+        if self.prerender_limit is not None:
+            raise ConfigurationError(
+                "prerender_limit only applies to Arch.DVSYNC "
+                "(the vsync baseline never pre-renders)"
+            )
+        return self.buffer_count, None
 
 
 class DecouplingAPI:

@@ -80,12 +80,24 @@ def execute_spec(spec: RunSpec) -> RunResult:
     """
     from repro.core.config import DVSyncConfig
     from repro.core.dvsync import DVSyncScheduler
+    from repro.fastpath.engine import fastpath_attempt, resolve_requested_engine
     from repro.faults.injector import FaultInjector
     from repro.faults.schedule import FaultSchedule
     from repro.faults.watchdog import DegradationWatchdog
     from repro.vsync.scheduler import VSyncScheduler
 
-    driver = spec.driver.build()
+    driver = None
+    requested = resolve_requested_engine(spec)
+    if requested != "event":
+        result, driver, reason = fastpath_attempt(spec)
+        if result is not None:
+            return result
+        if requested == "fastpath":
+            raise ConfigurationError(
+                f"engine='fastpath' cannot replay this spec: {reason}"
+            )
+    if driver is None:
+        driver = spec.driver.build()
     # spec.telemetry / spec.verify force a session or checker even when this
     # process (a pool worker, say) never flipped the corresponding
     # process-wide switch; False defers to it.

@@ -29,6 +29,11 @@ from repro.pipeline.driver import ScenarioDriver
 #: Architectures :func:`repro.exec.executor.execute_spec` can instantiate.
 ARCHITECTURES = ("vsync", "dvsync")
 
+#: Engines :func:`repro.exec.executor.execute_spec` can dispatch to.
+#: ``"auto"`` resolves to the process default (``--engine`` / ``REPRO_ENGINE``)
+#: and falls back to the event engine when the spec is not trace-pure.
+ENGINES = ("auto", "event", "fastpath")
+
 
 def canonical_json(value: Any) -> str:
     """Deterministic JSON text: sorted keys, no whitespace, no NaN."""
@@ -171,6 +176,14 @@ class RunSpec:
             Execution *policy*, not run content — it rides the wire but is
             excluded from :meth:`content_hash`, so changing a deadline never
             invalidates cached results.
+        engine: ``"auto"`` (fastpath when the spec is trace-pure, event
+            otherwise), ``"event"`` (always the full discrete-event
+            simulator), or ``"fastpath"`` (replay, or raise when the spec is
+            ineligible). Like ``timeout_s`` this is execution policy: both
+            engines compute byte-identical results, so ``engine`` rides the
+            wire (pool workers must honor it) but is excluded from
+            :meth:`content_hash` and cached results are shared across
+            engines.
     """
 
     driver: DriverSpec
@@ -186,8 +199,19 @@ class RunSpec:
     telemetry: bool = False
     verify: bool = False
     timeout_s: float | None = None
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
+        architecture = getattr(self.architecture, "value", self.architecture)
+        if architecture is not self.architecture:
+            object.__setattr__(self, "architecture", architecture)
+        engine = getattr(self.engine, "value", self.engine)
+        if engine is not self.engine:
+            object.__setattr__(self, "engine", engine)
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; known: {', '.join(ENGINES)}"
+            )
         if self.architecture not in ARCHITECTURES:
             raise ConfigurationError(
                 f"unknown architecture {self.architecture!r}; "
@@ -217,6 +241,7 @@ class RunSpec:
             "telemetry": self.telemetry,
             "verify": self.verify,
             "timeout_s": self.timeout_s,
+            "engine": self.engine,
         }
 
     @classmethod
@@ -237,17 +262,20 @@ class RunSpec:
             telemetry=wire.get("telemetry", False),
             verify=wire.get("verify", False),
             timeout_s=wire.get("timeout_s"),
+            engine=wire.get("engine", "auto"),
         )
 
     def content_hash(self) -> str:
         """SHA-256 content address of this spec (hex).
 
-        Execution-policy fields (``timeout_s``) are excluded: a deadline
-        bounds *how long* the harness waits, not *what* the deterministic
-        run computes, so the same result stays addressable under any policy.
+        Execution-policy fields (``timeout_s``, ``engine``) are excluded: a
+        deadline bounds *how long* the harness waits and the engine picks
+        *how* the deterministic result is computed, not *what* it is, so the
+        same result stays addressable under any policy.
         """
         wire = self.to_wire()
         del wire["timeout_s"]
+        del wire["engine"]
         return hashlib.sha256(canonical_json(wire).encode("utf-8")).hexdigest()
 
     def describe(self) -> str:

@@ -55,13 +55,33 @@ def run_driver(
     dvsync_config: DVSyncConfig | None = None,
     telemetry=None,
     verify=None,
+    engine: str = "auto",
 ) -> RunResult:
     """Run one live driver to completion under the requested architecture.
 
     ``telemetry=None`` / ``verify=None`` defer to the process-wide switches;
     the resulting snapshot (if any) is published to the telemetry collector
-    like executor-path runs are.
+    like executor-path runs are. ``engine`` follows the spec-layer contract:
+    ``"auto"`` replays trace-pure runs through :mod:`repro.fastpath` and
+    falls back to the event loop otherwise; ``"fastpath"`` raises when the
+    run cannot be replayed.
     """
+    architecture = getattr(architecture, "value", architecture)
+    from repro.fastpath.engine import fastpath_driver_attempt, resolve_engine
+
+    requested = resolve_engine(engine)
+    if requested != "event":
+        result, reason = fastpath_driver_attempt(
+            driver, device, architecture, buffer_count, dvsync_config,
+            telemetry, verify,
+        )
+        if result is not None:
+            telemetry_runtime.collect(result.telemetry)
+            return result
+        if requested == "fastpath":
+            raise ConfigurationError(
+                f"engine='fastpath' cannot replay this run: {reason}"
+            )
     if architecture == "vsync":
         scheduler = VSyncScheduler(
             driver,
@@ -92,6 +112,7 @@ def scenario_spec(
     telemetry: bool | None = None,
     verify: bool | None = None,
     timeout_s: float | None = None,
+    engine: str = "auto",
 ) -> RunSpec:
     """Describe one repetition of a scenario as a RunSpec.
 
@@ -117,6 +138,7 @@ def scenario_spec(
         telemetry=telemetry,
         verify=verify,
         timeout_s=timeout_s,
+        engine=engine,
     )
 
 
@@ -179,12 +201,27 @@ def _comparison_from_results(
     )
 
 
+def _comparison_knobs(vsync_buffers, dvsync_config):
+    """Accept a typed :class:`~repro.core.api.SimConfig` for either arm.
+
+    The legacy spellings (int buffer count / bare :class:`DVSyncConfig`)
+    remain the native wire types and pass through unchanged.
+    """
+    from repro.core.api import Arch, SimConfig
+
+    if isinstance(vsync_buffers, SimConfig):
+        vsync_buffers, _ = vsync_buffers.normalize(Arch.VSYNC)
+    if isinstance(dvsync_config, SimConfig):
+        _, dvsync_config = dvsync_config.normalize(Arch.DVSYNC)
+    return vsync_buffers, dvsync_config
+
+
 def add_comparison_arms(
     matrix: Study,
     workload: Scenario,
     device: DeviceProfile,
-    vsync_buffers: int | None = None,
-    dvsync_config: DVSyncConfig | None = None,
+    vsync_buffers: "int | SimConfig | None" = None,
+    dvsync_config: "DVSyncConfig | SimConfig | None" = None,
     runs: int = DEFAULT_RUNS,
     **coords,
 ) -> Study:
@@ -198,6 +235,7 @@ def add_comparison_arms(
     deliberately not named after common axis names, so coordinates like
     ``scenario=...`` pass through ``**coords`` unobstructed.)
     """
+    vsync_buffers, dvsync_config = _comparison_knobs(vsync_buffers, dvsync_config)
     for run in range(runs):
         matrix.add(
             scenario_spec(
@@ -265,8 +303,8 @@ def scenario_study(
 def compare_scenario(
     scenario: Scenario,
     device: DeviceProfile,
-    vsync_buffers: int | None = None,
-    dvsync_config: DVSyncConfig | None = None,
+    vsync_buffers: "int | SimConfig | None" = None,
+    dvsync_config: "DVSyncConfig | SimConfig | None" = None,
     runs: int = DEFAULT_RUNS,
     driver_factory: Callable[[int], ScenarioDriver] | None = None,
 ) -> ScenarioComparison:
@@ -275,8 +313,10 @@ def compare_scenario(
     Without a custom ``driver_factory`` this is :func:`scenario_study`
     executed on the spot: the ``2 × runs`` arms go out as one supervised
     executor batch. A custom factory (an in-memory driver the spec layer
-    cannot name) falls back to serial in-process execution.
+    cannot name) falls back to serial in-process execution. Either arm's
+    knob also accepts a typed :class:`~repro.core.api.SimConfig`.
     """
+    vsync_buffers, dvsync_config = _comparison_knobs(vsync_buffers, dvsync_config)
     if driver_factory is not None:
         vsync_results = []
         dvsync_results = []

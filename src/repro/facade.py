@@ -24,9 +24,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.core.api import Arch, SimConfig
 from repro.core.config import DVSyncConfig
 from repro.errors import ConfigurationError
-from repro.exec.spec import ARCHITECTURES
 from repro.pipeline.driver import ScenarioDriver
 from repro.pipeline.scheduler_base import RunResult
 from repro.workloads.scenarios import Scenario
@@ -36,40 +36,24 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.verify.invariants import InvariantChecker
 
 
-def _split_config(
-    architecture: str, config: DVSyncConfig | int | None
-) -> tuple[int | None, DVSyncConfig | None]:
-    """Normalize *config* into (buffer_count, dvsync_config) for the runner."""
-    if architecture not in ARCHITECTURES:
+def _merge_knob(name: str, config_value, keyword_value):
+    """Combine a SimConfig field with its legacy keyword argument."""
+    if config_value is None:
+        return keyword_value
+    if keyword_value is not None and keyword_value != config_value:
         raise ConfigurationError(
-            f"unknown architecture {architecture!r}; "
-            f"known: {', '.join(ARCHITECTURES)}"
+            f"{name} was given both on the SimConfig ({config_value!r}) and "
+            f"as a keyword argument ({keyword_value!r}); pass it once"
         )
-    if config is None:
-        return None, None
-    if isinstance(config, DVSyncConfig):
-        if architecture != "dvsync":
-            raise ConfigurationError(
-                "a DVSyncConfig only applies to architecture='dvsync'; "
-                "pass an int buffer count for the vsync baseline"
-            )
-        return None, config
-    if isinstance(config, int) and not isinstance(config, bool):
-        if architecture == "dvsync":
-            return None, DVSyncConfig(buffer_count=config)
-        return config, None
-    raise ConfigurationError(
-        f"config must be a DVSyncConfig, an int buffer count, or None; "
-        f"got {config!r}"
-    )
+    return config_value
 
 
 def simulate(
     scenario: Scenario | ScenarioDriver,
     device,
     *,
-    architecture: str = "dvsync",
-    config: DVSyncConfig | int | None = None,
+    architecture: Arch | str = Arch.DVSYNC,
+    config: SimConfig | DVSyncConfig | int | None = None,
     telemetry: "bool | Telemetry | NullTelemetry | None" = None,
     verify: "bool | InvariantChecker | None" = None,
     seed: int | None = None,
@@ -82,11 +66,13 @@ def simulate(
             executor: cached, parallelizable) or a live
             :class:`ScenarioDriver` (runs in-process).
         device: The :class:`~repro.display.device.DeviceProfile` under test.
-        architecture: ``"dvsync"`` (the paper's system, default) or
-            ``"vsync"`` (the classic baseline).
-        config: Architecture configuration — a :class:`DVSyncConfig` for
-            D-VSync, a plain int buffer count for either architecture, or
-            ``None`` for the defaults.
+        architecture: :attr:`Arch.DVSYNC` (the paper's system, default) or
+            :attr:`Arch.VSYNC` (the classic baseline); the wire strings
+            ``"dvsync"``/``"vsync"`` are equivalent (``Arch`` is a str enum).
+        config: A :class:`SimConfig` bundling buffers, pre-render limit,
+            engine, seed and timeout, or ``None`` for the defaults. The
+            legacy spellings — a bare :class:`DVSyncConfig` or a plain int
+            buffer count — still work behind a :class:`DeprecationWarning`.
         telemetry: ``None`` defers to the process-wide switch
             (:func:`repro.telemetry.runtime.set_enabled`); ``True``/``False``
             force recording on/off for this run; an explicit session records
@@ -115,7 +101,11 @@ def simulate(
     """
     from repro.experiments.runner import run_driver, run_spec, scenario_spec
 
-    buffer_count, dvsync_config = _split_config(architecture, config)
+    arch = Arch.coerce(architecture)
+    cfg = SimConfig.coerce(config)
+    buffer_count, dvsync_config = cfg.normalize(arch)
+    seed = _merge_knob("seed", cfg.seed, seed)
+    timeout_s = _merge_knob("timeout_s", cfg.timeout_s, timeout_s)
 
     if isinstance(scenario, Scenario):
         if telemetry is not None and not isinstance(telemetry, bool):
@@ -134,13 +124,14 @@ def simulate(
             scenario_spec(
                 scenario,
                 device,
-                architecture,
+                arch.value,
                 run=seed or 0,
                 buffer_count=buffer_count,
                 dvsync_config=dvsync_config,
                 telemetry=telemetry,
                 verify=verify,
                 timeout_s=timeout_s,
+                engine=cfg.engine,
             )
         )
 
@@ -159,11 +150,12 @@ def simulate(
         return run_driver(
             scenario,
             device,
-            architecture,
+            arch.value,
             buffer_count=buffer_count,
             dvsync_config=dvsync_config,
             telemetry=telemetry,
             verify=verify,
+            engine=cfg.engine,
         )
 
     raise ConfigurationError(

@@ -1,0 +1,220 @@
+"""Engine selection: which specs the fastpath replay may execute.
+
+The replay engine is byte-exact only for *trace-pure* runs: the driver's
+demand is a deterministic function of time and nothing observes or perturbs
+the run from outside the scheduling rules. :func:`spec_ineligibility`
+encodes those rules; :func:`fastpath_attempt` is what the executor calls.
+
+The process-wide default engine (consulted by ``engine="auto"`` specs) comes
+from ``--engine`` on the CLI or the ``REPRO_ENGINE`` environment variable —
+the latter so process-pool workers inherit the parent's choice.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.exec.spec import ENGINES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.spec import RunSpec
+    from repro.pipeline.driver import ScenarioDriver
+    from repro.pipeline.scheduler_base import RunResult
+
+_ENV_VAR = "REPRO_ENGINE"
+_default_engine: str | None = None
+
+
+def _validate(engine: str, source: str) -> str:
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"{source}: unknown engine {engine!r}; known: {', '.join(ENGINES)}"
+        )
+    return engine
+
+
+def get_default_engine() -> str:
+    """The engine ``engine="auto"`` specs resolve to in this process."""
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = _validate(
+            os.environ.get(_ENV_VAR, "auto"), f"{_ENV_VAR} environment variable"
+        )
+    return _default_engine
+
+
+def set_default_engine(engine: str) -> None:
+    """Set the process default (the CLI's ``--engine``)."""
+    global _default_engine
+    _default_engine = _validate(engine, "set_default_engine")
+
+
+def reset_default_engine() -> None:
+    """Re-read the default from the environment on next use (tests)."""
+    global _default_engine
+    _default_engine = None
+
+
+def resolve_engine(engine: "str | None") -> str:
+    """Resolve an engine request string against the process default."""
+    requested = getattr(engine, "value", engine) or "auto"
+    requested = _validate(requested, "engine")
+    if requested == "auto":
+        requested = get_default_engine()
+    return requested
+
+
+def resolve_requested_engine(spec: "RunSpec") -> str:
+    """Resolve a spec's engine request against the process default.
+
+    Returns ``"event"``, ``"fastpath"``, or ``"auto"`` (meaning: fastpath
+    when eligible, event otherwise).
+    """
+    return resolve_engine(getattr(spec, "engine", "auto"))
+
+
+def _numpy_available() -> bool:
+    try:
+        import numpy  # noqa: F401
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        return False
+    return True
+
+
+def spec_ineligibility(spec: "RunSpec") -> str | None:
+    """Why *spec* cannot be replayed, or ``None`` if it is trace-pure.
+
+    The driver's own purity (``replay_profile()``) is checked separately by
+    :func:`fastpath_attempt`, because answering it requires building the
+    driver.
+    """
+    if spec.faults:
+        return "fault injection perturbs the run from outside the scheduling rules"
+    if spec.watchdog:
+        return "the degradation watchdog observes live fault telemetry"
+    if spec.telemetry:
+        return "the run records a telemetry session over event-loop probes"
+    if spec.verify:
+        return "the run attaches an event-loop invariant checker"
+    from repro.telemetry import runtime as telemetry_runtime
+
+    if telemetry_runtime.enabled():
+        return "the process-wide telemetry switch is on (event-loop probes)"
+    from repro.verify import runtime as verify_runtime
+
+    if verify_runtime.enabled():
+        return "the process-wide verification switch is on (event-loop checker)"
+    if spec.architecture == "dvsync":
+        config = spec.dvsync
+        if config is not None and not config.enabled:
+            return "DVSyncConfig(enabled=False) routes frames through live fallback"
+    if spec.start_time < 0:
+        return "negative start_time (the event engine rejects it at schedule time)"
+    if not _numpy_available():
+        return "numpy is unavailable"
+    return None
+
+
+def driver_run_ineligibility(
+    architecture: str,
+    dvsync_config,
+    telemetry,
+    verify,
+) -> str | None:
+    """Why a live-driver run cannot be replayed, or ``None`` if it can.
+
+    Mirrors :func:`spec_ineligibility` for the in-process ``run_driver``
+    path, where telemetry/verify may be live session objects rather than
+    wire flags: anything other than an explicit ``False`` (or a ``None``
+    deferring to an *off* process switch) observes the event loop.
+    """
+    if architecture not in ("vsync", "dvsync"):
+        # fall through to the event path, which raises the canonical error
+        return f"unknown architecture {architecture!r}"
+    if telemetry is None:
+        from repro.telemetry import runtime as telemetry_runtime
+
+        if telemetry_runtime.enabled():
+            return "the process-wide telemetry switch is on (event-loop probes)"
+    elif telemetry is not False:
+        return "the run records a telemetry session over event-loop probes"
+    if verify is None:
+        from repro.verify import runtime as verify_runtime
+
+        if verify_runtime.enabled():
+            return "the process-wide verification switch is on (event-loop checker)"
+    elif verify is not False:
+        return "the run attaches an event-loop invariant checker"
+    if architecture == "dvsync":
+        if dvsync_config is not None and not dvsync_config.enabled:
+            return "DVSyncConfig(enabled=False) routes frames through live fallback"
+    if not _numpy_available():
+        return "numpy is unavailable"
+    return None
+
+
+def fastpath_driver_attempt(
+    driver: "ScenarioDriver",
+    device,
+    architecture: str,
+    buffer_count: int | None,
+    dvsync_config,
+    telemetry,
+    verify,
+) -> tuple["RunResult | None", str | None]:
+    """Try to replay a live driver in-process.
+
+    Returns ``(result, None)`` on success, ``(None, reason)`` when the run
+    must fall back to the event engine. The driver's profile is compiled on
+    the spot (no cache: a live driver has no content identity to key on).
+    """
+    reason = driver_run_ineligibility(architecture, dvsync_config, telemetry, verify)
+    if reason is not None:
+        return None, reason
+    profile = driver.replay_profile()
+    if profile is None:
+        return None, "the driver is not trace-pure (no replay profile)"
+    from repro.fastpath.profile import compile_profile
+
+    compiled = compile_profile(profile)
+    if compiled.frame_times.shape[0] == 0:
+        return None, "the driver's replay profile has no frame times"
+    import types
+
+    from repro.fastpath.replay import replay_spec
+
+    pseudo_spec = types.SimpleNamespace(
+        device=device,
+        architecture=architecture,
+        buffer_count=buffer_count,
+        dvsync=dvsync_config,
+        start_time=0,
+        horizon=None,
+    )
+    return replay_spec(pseudo_spec, driver, compiled), None
+
+
+def fastpath_attempt(
+    spec: "RunSpec",
+) -> tuple["RunResult | None", "ScenarioDriver | None", str | None]:
+    """Try to replay *spec*.
+
+    Returns ``(result, None, None)`` on success. On ineligibility returns
+    ``(None, driver, reason)`` where ``driver`` is a freshly built driver the
+    event engine should reuse (``None`` when the driver was never built).
+    """
+    reason = spec_ineligibility(spec)
+    if reason is not None:
+        return None, None, reason
+    from repro.fastpath.profile import load_compiled
+
+    driver, compiled = load_compiled(spec.driver)
+    if compiled is None:
+        return None, driver, "the driver is not trace-pure (no replay profile)"
+    if compiled.frame_times.shape[0] == 0:
+        return None, None, "the driver's replay profile has no frame times"
+    from repro.fastpath.replay import replay_spec
+
+    return replay_spec(spec, driver, compiled), None, None

@@ -1,0 +1,40 @@
+"""Uniform result coercion for metric entry points.
+
+Metrics are computed from many sources: a live scheduler run, a fastpath
+replay, an executor cache hit, a study cell pulled from disk, or a raw
+wire-form dict parsed out of an exported JSON report. :func:`as_result`
+lets every metric entry point accept all of them uniformly — a
+:class:`~repro.pipeline.scheduler_base.RunResult` passes through, and a
+mapping carrying the serializer's ``"schema"`` key is rebuilt through
+:func:`repro.exec.serialize.result_from_wire` (the same lossless round-trip
+the executor itself normalizes results through).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.pipeline.scheduler_base import RunResult
+
+
+def as_result(result: "RunResult | Mapping[str, Any]") -> RunResult:
+    """Coerce *result* into a :class:`RunResult`.
+
+    Accepts a :class:`RunResult` (from either engine — the fastpath replay
+    produces the same normalized type) or its wire-form dict as produced by
+    :func:`repro.exec.serialize.result_to_wire`.
+    """
+    if isinstance(result, RunResult):
+        return result
+    if isinstance(result, Mapping):
+        if "schema" not in result:
+            raise TypeError(
+                "mapping is not a RunResult wire form (missing 'schema' key); "
+                "produce one with repro.exec.serialize.result_to_wire"
+            )
+        from repro.exec.serialize import result_from_wire  # lazy: avoids a cycle
+
+        return result_from_wire(dict(result))
+    raise TypeError(
+        f"expected a RunResult or its wire-form mapping, got {type(result).__name__}"
+    )

@@ -7,20 +7,22 @@ are FDPS bar charts.
 
 from __future__ import annotations
 
-from repro.pipeline.scheduler_base import RunResult
+from repro.metrics.coerce import as_result
 from repro.units import to_seconds
 
 
-def fdps(result: RunResult) -> float:
+def fdps(result) -> float:
     """Frame drops per second of active display time for one run."""
+    result = as_result(result)
     span = result.display_span_ns
     if span <= 0:
         return 0.0
     return len(result.effective_drops) / to_seconds(span)
 
 
-def drop_fraction(result: RunResult) -> float:
+def drop_fraction(result) -> float:
     """Janks as a fraction of total display slots (Fig 5's FD %)."""
+    result = as_result(result)
     drops = len(result.effective_drops)
     slots = drops + len(result.presents)
     if slots == 0:
@@ -28,8 +30,9 @@ def drop_fraction(result: RunResult) -> float:
     return drops / slots
 
 
-def effective_fps(result: RunResult) -> float:
+def effective_fps(result) -> float:
     """Distinct frames actually shown per second (the 95–105 FPS of §3.2)."""
+    result = as_result(result)
     span = result.display_span_ns
     if span <= 0:
         return 0.0

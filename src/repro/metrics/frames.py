@@ -19,8 +19,8 @@ from __future__ import annotations
 import dataclasses
 import enum
 
+from repro.metrics.coerce import as_result
 from repro.pipeline.frame import FrameRecord
-from repro.pipeline.scheduler_base import RunResult
 
 
 class FrameOutcome(enum.Enum):
@@ -64,8 +64,9 @@ def classify_frame(frame: FrameRecord, period_ns: int) -> FrameOutcome | None:
     return FrameOutcome.STUFFED
 
 
-def frame_distribution(result: RunResult) -> FrameDistribution:
+def frame_distribution(result) -> FrameDistribution:
     """Compute the Fig 6 distribution for one run."""
+    result = as_result(result)
     period = result.device.vsync_period
     direct = stuffed = 0
     for frame in result.presented_frames:

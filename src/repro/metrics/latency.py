@@ -14,7 +14,7 @@ from __future__ import annotations
 import dataclasses
 import statistics
 
-from repro.pipeline.scheduler_base import RunResult
+from repro.metrics.coerce import as_result
 from repro.units import to_ms
 
 
@@ -43,17 +43,17 @@ class LatencySummary:
         )
 
 
-def frame_latencies_ms(result: RunResult) -> list[float]:
+def frame_latencies_ms(result) -> list[float]:
     """Per-frame §6.3 rendering latency, in milliseconds."""
-    return [to_ms(f.latency_ns) for f in result.presented_frames]
+    return [to_ms(f.latency_ns) for f in as_result(result).presented_frames]
 
 
-def latency_summary(result: RunResult) -> LatencySummary:
+def latency_summary(result) -> LatencySummary:
     """Summary of the §6.3 rendering latency for one run."""
     return LatencySummary.from_values(frame_latencies_ms(result))
 
 
-def content_staleness_ms(result: RunResult) -> list[float]:
+def content_staleness_ms(result) -> list[float]:
     """Age of the displayed content at each present (ms).
 
     ``present − content_timestamp``: how far behind "now" the pixels are.
@@ -61,19 +61,19 @@ def content_staleness_ms(result: RunResult) -> list[float]:
     residence, because DTV future-dates the content.
     """
     values = []
-    for frame in result.presented_frames:
+    for frame in as_result(result).presented_frames:
         assert frame.present_time is not None
         values.append(to_ms(frame.present_time - frame.content_timestamp))
     return values
 
 
-def queue_wait_ms(result: RunResult) -> list[float]:
+def queue_wait_ms(result) -> list[float]:
     """Per-frame buffer-queue residence time (the stuffing wait), ms."""
-    return [to_ms(f.queue_wait_ns) for f in result.presented_frames]
+    return [to_ms(f.queue_wait_ns) for f in as_result(result).presented_frames]
 
 
 def touch_lag_pixels(
-    result: RunResult, true_value_at, panel_height_px: int
+    result, true_value_at, panel_height_px: int
 ) -> list[float]:
     """Fig 7's ball-behind-finger lag, in pixels.
 
@@ -84,7 +84,7 @@ def touch_lag_pixels(
     screen.
     """
     lags = []
-    for frame in result.presented_frames:
+    for frame in as_result(result).presented_frames:
         if frame.content_value is None or frame.present_time is None:
             continue
         actual = true_value_at(frame.present_time)

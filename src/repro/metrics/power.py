@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.pipeline.scheduler_base import RunResult
+from repro.metrics.coerce import as_result
 from repro.units import to_seconds
 
 # Representative mobile-SoC power levels (watts).
@@ -48,12 +48,13 @@ class PowerBreakdown:
         return self.cpu_mj + self.scheduler_mj + self.gpu_mj + self.baseline_mj
 
 
-def power_breakdown(result: RunResult, extra_overhead_ns: int = 0) -> PowerBreakdown:
+def power_breakdown(result, extra_overhead_ns: int = 0) -> PowerBreakdown:
     """Compute the energy ledger for one run.
 
     ``extra_overhead_ns`` adds app-side costs (e.g. the IPL curve fitting the
     map app runs per frame, §6.5) at big-core power.
     """
+    result = as_result(result)
     duration_s = to_seconds(max(result.end_time - result.start_time, 1))
     cpu_busy_s = to_seconds(result.ui_busy_ns + result.render_busy_ns + extra_overhead_ns)
     scheduler_s = to_seconds(result.scheduler_overhead_ns)
@@ -67,8 +68,8 @@ def power_breakdown(result: RunResult, extra_overhead_ns: int = 0) -> PowerBreak
 
 
 def power_increase_percent(
-    baseline: RunResult,
-    improved: RunResult,
+    baseline,
+    improved,
     baseline_extra_ns: int = 0,
     improved_extra_ns: int = 0,
 ) -> float:
@@ -78,6 +79,8 @@ def power_increase_percent(
     different lengths compare fairly, exactly like a fixed-window power-tester
     reading.
     """
+    baseline = as_result(baseline)
+    improved = as_result(improved)
     base = power_breakdown(baseline, baseline_extra_ns)
     new = power_breakdown(improved, improved_extra_ns)
     base_duration = to_seconds(max(baseline.end_time - baseline.start_time, 1))
@@ -89,12 +92,13 @@ def power_increase_percent(
     return (new_watts - base_watts) / base_watts * 100.0
 
 
-def instructions_per_frame(result: RunResult) -> float:
+def instructions_per_frame(result) -> float:
     """Render-service instructions per frame (§6.7's 10.8 M figure).
 
     Counts render-thread work at big-core throughput plus the little-core
     scheduler-module overhead, divided by the number of frames executed.
     """
+    result = as_result(result)
     frames = max(1, len(result.frames))
     instructions = (
         result.render_busy_ns * INSTRUCTIONS_PER_BUSY_NS
@@ -103,7 +107,8 @@ def instructions_per_frame(result: RunResult) -> float:
     return instructions / frames
 
 
-def scheduler_overhead_per_frame_us(result: RunResult) -> float:
+def scheduler_overhead_per_frame_us(result) -> float:
     """Average FPE+DTV execution time per frame in microseconds (§6.4)."""
+    result = as_result(result)
     frames = max(1, len(result.frames))
     return result.scheduler_overhead_ns / frames / 1000

@@ -18,8 +18,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable
 
+from repro.metrics.coerce import as_result
 from repro.pipeline.compositor import DropEvent
-from repro.pipeline.scheduler_base import RunResult
 
 # Motion faster than this (panel heights per second) makes even a single
 # missed refresh visible to a trained evaluator.
@@ -63,7 +63,7 @@ def drop_episodes(drops: list[DropEvent]) -> list[DropEpisode]:
 
 
 def count_perceived_stutters(
-    result: RunResult,
+    result,
     speed_at: Callable[[int], float] | None = None,
     speed_jnd: float = DEFAULT_SPEED_JND,
 ) -> int:
@@ -77,7 +77,7 @@ def count_perceived_stutters(
         speed_jnd: Speed above which a single missed refresh is noticeable.
     """
     stutters = 0
-    for episode in drop_episodes(result.effective_drops):
+    for episode in drop_episodes(as_result(result).effective_drops):
         if episode.length >= 2:
             stutters += 1
         elif speed_at is None or speed_at(episode.start_time) >= speed_jnd:
@@ -85,8 +85,9 @@ def count_perceived_stutters(
     return stutters
 
 
-def longest_freeze_ms(result: RunResult) -> float:
+def longest_freeze_ms(result) -> float:
     """Longest consecutive freeze in milliseconds (QoE tail indicator)."""
+    result = as_result(result)
     episodes = drop_episodes(result.effective_drops)
     if not episodes:
         return 0.0

@@ -20,8 +20,61 @@ Two times matter:
 from __future__ import annotations
 
 import abc
+import dataclasses
 
 from repro.pipeline.frame import FrameCategory, FrameWorkload
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplayProfile:
+    """A trace-pure driver's declarative replay contract (``repro.fastpath``).
+
+    A driver that can describe itself this way is *trace pure*: its demand is
+    a deterministic function of time (gated only by input arrivals), and its
+    per-frame cost is a precomputed frame-time array. The fastpath replay
+    engine uses the profile to fast-forward idle spans between bursts and to
+    inline the per-frame lookups; where the profile leaves a field unset it
+    falls back to the live driver's ``wants_frame`` / ``make_workload`` /
+    ``true_value`` for the authoritative answers, so a minimal profile never
+    has to duplicate policy.
+
+    Attributes:
+        input_arrival_offsets: Offsets (ns) from the run's start time at which
+            gating user inputs arrive, ascending. Between one burst's demand
+            ending and the next offset, the driver neither wants frames nor
+            finishes — the screen is simply idle.
+        total_span_ns: Offset (ns) from start time at which ``finished``
+            becomes (and stays) True. This is a contract, not a hint:
+            ``finished(now)`` must be exactly ``now - start >= total_span_ns``
+            (the replay kernel never calls ``finished``).
+        frame_times: Per-frame ``(ui_ns, render_ns, gpu_ns)`` stage durations,
+            indexed by frame index (clamped to the last entry, or wrapped when
+            ``loop`` is set — the same convention as ``make_workload``).
+        loop: True when frame indexes wrap around ``frame_times`` instead of
+            clamping (looping trace replay).
+        workloads: Optional pre-normalized :class:`FrameWorkload` objects,
+            aligned with ``frame_times``. When set, ``workloads[i]`` (under
+            the same clamp/wrap convention) must equal what
+            ``make_workload(i, ...)`` would return, category included; the
+            kernel then indexes this tuple instead of calling the driver per
+            frame. ``None`` falls back to ``make_workload``.
+        burst_duration_ns: Optional demand window after each input arrival.
+            When set, it declares ``wants_frame(ts, now)`` analytically:
+            with ``rel = ts - start``, a frame is wanted iff
+            ``0 <= rel < total_span_ns``, ``rel - k * stride <
+            burst_duration_ns`` for the burst ``k`` containing ``rel``
+            (``stride`` being the uniform arrival spacing; the window must
+            not exceed it), and ``now`` is at or past burst *k*'s arrival.
+            ``None`` (or non-uniform arrivals) falls back to the driver's
+            ``wants_frame``.
+    """
+
+    input_arrival_offsets: tuple[int, ...]
+    total_span_ns: int
+    frame_times: tuple[tuple[int, int, int], ...]
+    loop: bool = False
+    workloads: "tuple[FrameWorkload, ...] | None" = None
+    burst_duration_ns: int | None = None
 
 
 class ScenarioDriver(abc.ABC):
@@ -78,6 +131,27 @@ class ScenarioDriver(abc.ABC):
 
     def true_value(self, at: int) -> float | None:
         """Ground-truth content value at time *at* (for correctness metrics)."""
+        return None
+
+    def replay_profile(self) -> ReplayProfile | None:
+        """Declare this driver trace-pure for the fastpath replay engine.
+
+        ``None`` (the default) means the driver's demand depends on state the
+        replay engine cannot precompute (live input streams, gestures built at
+        ``begin`` time, non-deterministic categories), so only the full
+        discrete-event engine may run it. Deterministic drivers override this.
+        """
+        return None
+
+    def replay_values(self):
+        """A faster exact equivalent of ``true_value`` for the replay engine.
+
+        Called once per replay, after ``begin``, so the returned callable can
+        capture the run's start time. It must return the *same floats*
+        ``true_value`` returns for every timestamp — dual-engine parity is
+        byte-exact — or ``None`` (the default) to make the kernel call
+        ``true_value`` per frame instead.
+        """
         return None
 
     def animation_speed(self, at: int) -> float:

@@ -22,7 +22,7 @@ import math
 from typing import Callable
 
 from repro.errors import WorkloadError
-from repro.pipeline.driver import ScenarioDriver
+from repro.pipeline.driver import ReplayProfile, ScenarioDriver
 from repro.pipeline.frame import FrameCategory, FrameWorkload
 from repro.sim.rng import SeededRng
 from repro.units import NSEC_PER_SEC
@@ -190,6 +190,52 @@ class AnimationDriver(ScenarioDriver):
         du_per_second = NSEC_PER_SEC / self.duration_ns
         return abs(self.curve.velocity(self._progress(at))) * self.distance * du_per_second
 
+    def replay_profile(self) -> ReplayProfile | None:
+        # Mixed-category runs route some frames through the IPL or VSync
+        # fallback channels, which only the event engine models.
+        deterministic = FrameCategory.DETERMINISTIC_ANIMATION
+        if any(category is not deterministic for category in self._categories):
+            return None
+        return ReplayProfile(
+            input_arrival_offsets=tuple(
+                burst * self.burst_period_ns for burst in range(self.bursts)
+            ),
+            total_span_ns=self.total_span_ns,
+            frame_times=tuple(
+                (w.ui_ns, w.render_ns, w.gpu_ns) for w in self._workloads
+            ),
+            workloads=tuple(
+                w
+                if w.category is deterministic
+                else dataclasses.replace(w, category=deterministic)
+                for w in self._workloads
+            ),
+            burst_duration_ns=self.duration_ns,
+        )
+
+    def replay_values(self):
+        # Same arithmetic as true_value/_progress/_burst_phase, with the
+        # attribute lookups hoisted out of the per-frame call.
+        bp = self.burst_period_ns
+        dur = self.duration_ns
+        bmax = self.bursts - 1
+        dist = self.distance
+        pos = self.curve.position
+        start = self.start_time
+
+        def value(at: int) -> float:
+            rel = at - start
+            k = rel // bp
+            if k < 0:
+                k = 0
+            elif k > bmax:
+                k = bmax
+            # _progress's clamp is elided: every MotionCurve.position clamps
+            # its input identically (idempotent), so the floats match.
+            return pos((rel - k * bp) / dur) * dist
+
+        return value
+
 
 class InteractionDriver(ScenarioDriver):
     """A continuous touch interaction driving the screen content.
@@ -302,3 +348,30 @@ class TraceDriver(ScenarioDriver):
         # Scene animations progress linearly through the trace.
         u = (at - self.start_time) / max(1, self.trace.duration_ns)
         return min(1.0, max(0.0, u))
+
+    def replay_profile(self) -> ReplayProfile | None:
+        if self.category is not FrameCategory.DETERMINISTIC_ANIMATION:
+            return None
+        items = [self.trace[i] for i in range(len(self.trace))]
+        return ReplayProfile(
+            input_arrival_offsets=(0,),
+            total_span_ns=self.trace.duration_ns,
+            frame_times=tuple((w.ui_ns, w.render_ns, w.gpu_ns) for w in items),
+            loop=self.loop,
+            workloads=tuple(
+                w
+                if w.category is self.category
+                else dataclasses.replace(w, category=self.category)
+                for w in items
+            ),
+            burst_duration_ns=self.trace.duration_ns,
+        )
+
+    def replay_values(self):
+        start = self.start_time
+        denom = max(1, self.trace.duration_ns)
+
+        def value(at: int) -> float:
+            return min(1.0, max(0.0, (at - start) / denom))
+
+        return value

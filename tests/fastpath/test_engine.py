@@ -1,0 +1,155 @@
+"""Engine selection: auto fallback, forced-fastpath errors, hash neutrality."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import DVSyncConfig
+from repro.display.device import PIXEL_5
+from repro.errors import ConfigurationError
+from repro.exec.executor import execute_spec
+from repro.exec.serialize import result_to_wire
+from repro.exec.spec import DriverSpec, RunSpec, canonical_json
+from repro.fastpath.engine import (
+    get_default_engine,
+    reset_default_engine,
+    resolve_engine,
+    set_default_engine,
+    spec_ineligibility,
+)
+
+
+@pytest.fixture(autouse=True)
+def _engine_default_isolation():
+    reset_default_engine()
+    yield
+    reset_default_engine()
+
+
+def _burst_spec(**overrides) -> RunSpec:
+    driver = DriverSpec.of(
+        "repro.exec.builders:burst_animation",
+        name="engine-test",
+        target_fdps=3.0,
+        refresh_hz=60,
+        duration_ms=150,
+    )
+    fields = dict(driver=driver, device=PIXEL_5, architecture="vsync", buffer_count=3)
+    fields.update(overrides)
+    return RunSpec(**fields)
+
+
+# --------------------------------------------------------------- resolution
+def test_resolve_engine_accepts_known_names_and_rejects_unknown():
+    assert resolve_engine("event") == "event"
+    assert resolve_engine("fastpath") == "fastpath"
+    assert resolve_engine(None) == get_default_engine()
+    with pytest.raises(ConfigurationError, match="unknown engine"):
+        resolve_engine("warp")
+
+
+def test_process_default_comes_from_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE", "event")
+    reset_default_engine()
+    assert get_default_engine() == "event"
+    assert resolve_engine("auto") == "event"
+    set_default_engine("fastpath")
+    assert resolve_engine("auto") == "fastpath"
+
+
+def test_invalid_environment_engine_raises(monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE", "bogus")
+    reset_default_engine()
+    with pytest.raises(ConfigurationError, match="REPRO_ENGINE"):
+        get_default_engine()
+
+
+# ------------------------------------------------------------- eligibility
+def test_spec_ineligibility_names_the_observer():
+    from repro.verify import runtime
+
+    runtime.set_enabled(False)  # the suite-wide strict fixture resets this
+    assert spec_ineligibility(_burst_spec(verify=False)) is None
+    assert "invariant checker" in spec_ineligibility(_burst_spec(verify=True))
+    assert "telemetry" in spec_ineligibility(_burst_spec(telemetry=True))
+    disabled = _burst_spec(
+        architecture="dvsync",
+        buffer_count=None,
+        dvsync=DVSyncConfig(buffer_count=4, enabled=False),
+    )
+    assert "fallback" in spec_ineligibility(disabled)
+
+
+def test_process_wide_verify_switch_blocks_fastpath():
+    # The suite-wide strict fixture keeps the switch armed in this module.
+    reason = spec_ineligibility(_burst_spec(verify=False))
+    assert reason is not None and "verification switch" in reason
+
+
+# ---------------------------------------------------------------- fallback
+def test_forced_fastpath_raises_for_ineligible_spec():
+    spec = _burst_spec(verify=True, engine="fastpath")
+    with pytest.raises(ConfigurationError, match="cannot replay this spec"):
+        execute_spec(spec)
+
+
+def test_auto_falls_back_to_event_for_non_trace_pure_driver():
+    """A driver without a replay profile silently takes the event engine."""
+    from repro.verify import runtime
+
+    runtime.set_enabled(False)
+    try:
+        driver = DriverSpec.of(
+            "repro.experiments.fig07_touch_latency:build_touch_driver",
+            repetition=0,
+        )
+        spec = RunSpec(
+            driver=driver, device=PIXEL_5, architecture="dvsync", engine="auto"
+        )
+        auto = execute_spec(spec)
+        event = execute_spec(dataclasses.replace(spec, engine="event"))
+        assert canonical_json(result_to_wire(auto)) == canonical_json(
+            result_to_wire(event)
+        )
+    finally:
+        runtime.reset()
+
+
+def test_forced_fastpath_raises_for_live_non_trace_pure_driver():
+    from repro import simulate
+    from repro.core.api import SimConfig
+    from repro.pipeline.driver import ScenarioDriver
+    from repro.pipeline.frame import FrameWorkload
+
+    class Opaque(ScenarioDriver):
+        def wants_frame(self, content_timestamp, now):
+            return now - self.start_time < 50_000_000
+
+        def finished(self, now):
+            return now - self.start_time >= 50_000_000
+
+        def make_workload(self, frame_index, content_timestamp):
+            return FrameWorkload(ui_ns=1_000_000, render_ns=1_000_000, gpu_ns=0)
+
+    with pytest.raises(ConfigurationError, match="cannot replay this run"):
+        simulate(
+            Opaque(),
+            PIXEL_5,
+            architecture="vsync",
+            config=SimConfig(engine="fastpath"),
+            verify=False,
+        )
+
+
+# -------------------------------------------------------------------- hash
+def test_engine_rides_outside_the_content_hash():
+    """Both engines are byte-exact, so results are engine-interchangeable."""
+    base = _burst_spec()
+    for engine in ("auto", "event", "fastpath"):
+        assert dataclasses.replace(base, engine=engine).content_hash() == (
+            base.content_hash()
+        )
+    with pytest.raises(ConfigurationError, match="unknown engine"):
+        _burst_spec(engine="warp")

@@ -1,0 +1,66 @@
+"""Metric entry points accept wire-form dicts uniformly (repro.metrics.coerce).
+
+A result that went to JSON (an exported report, a cached study cell) and came
+back as a plain dict must yield exactly the same metrics as the live
+``RunResult`` it was serialized from.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import simulate
+from repro.display.device import PIXEL_5
+from repro.exec.builders import burst_animation
+from repro.exec.serialize import result_to_wire
+from repro.metrics.coerce import as_result
+from repro.metrics.fdps import drop_fraction, effective_fps, fdps
+from repro.metrics.frames import frame_distribution
+from repro.metrics.latency import frame_latencies_ms, latency_summary
+from repro.metrics.power import power_breakdown, scheduler_overhead_per_frame_us
+from repro.metrics.stutter import longest_freeze_ms
+
+
+@pytest.fixture(scope="module")
+def result_and_wire():
+    driver = burst_animation("metrics-wire", target_fdps=6.0, duration_ms=200)
+    result = simulate(driver, PIXEL_5, architecture="dvsync", verify=False)
+    # Through actual JSON text: the dict a report consumer would hold.
+    wire = json.loads(json.dumps(result_to_wire(result)))
+    return result, wire
+
+
+@pytest.mark.parametrize(
+    "metric",
+    [
+        fdps,
+        drop_fraction,
+        effective_fps,
+        longest_freeze_ms,
+        frame_latencies_ms,
+        latency_summary,
+        frame_distribution,
+        power_breakdown,
+        scheduler_overhead_per_frame_us,
+    ],
+    ids=lambda fn: fn.__name__,
+)
+def test_metric_matches_between_live_result_and_wire_dict(result_and_wire, metric):
+    result, wire = result_and_wire
+    assert metric(wire) == metric(result)
+
+
+def test_as_result_round_trips_the_wire_form(result_and_wire):
+    result, wire = result_and_wire
+    rebuilt = as_result(wire)
+    assert result_to_wire(rebuilt) == result_to_wire(result)
+    assert as_result(result) is result
+
+
+def test_as_result_rejects_non_wire_mappings():
+    with pytest.raises(TypeError, match="missing 'schema' key"):
+        as_result({"frames": []})
+    with pytest.raises(TypeError, match="expected a RunResult"):
+        as_result(42)

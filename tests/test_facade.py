@@ -32,19 +32,22 @@ def test_scenario_defaults_to_dvsync():
 
 
 def test_scenario_vsync_with_buffer_count():
-    result = simulate(make_scenario(), PIXEL_5, architecture="vsync", config=3)
+    with pytest.deprecated_call(match="SimConfig"):
+        result = simulate(make_scenario(), PIXEL_5, architecture="vsync", config=3)
     assert result.scheduler == "vsync"
     assert result.buffer_count == 3
 
 
 def test_scenario_dvsync_config_object():
     config = DVSyncConfig(buffer_count=5)
-    result = simulate(make_scenario(), PIXEL_5, config=config)
+    with pytest.deprecated_call(match="SimConfig"):
+        result = simulate(make_scenario(), PIXEL_5, config=config)
     assert result.buffer_count == 5
 
 
 def test_scenario_int_config_means_dvsync_buffers():
-    result = simulate(make_scenario(), PIXEL_5, config=5)
+    with pytest.deprecated_call(match="SimConfig"):
+        result = simulate(make_scenario(), PIXEL_5, config=5)
     assert result.scheduler == "dvsync"
     assert result.buffer_count == 5
 
@@ -63,7 +66,8 @@ def test_seed_gives_independent_repetitions():
 
 def test_live_driver_path(pixel5):
     driver = make_animation(light_params(), "facade-live")
-    result = simulate(driver, pixel5, architecture="vsync", config=3)
+    with pytest.deprecated_call(match="SimConfig"):
+        result = simulate(driver, pixel5, architecture="vsync", config=3)
     assert result.scenario == "facade-live"
     assert result.scheduler == "vsync"
 
@@ -99,7 +103,9 @@ def test_unknown_architecture_rejected():
 
 
 def test_dvsync_config_rejected_for_vsync():
-    with pytest.raises(ConfigurationError, match="DVSyncConfig"):
+    with pytest.deprecated_call(match="SimConfig"), pytest.raises(
+        ConfigurationError, match="DVSyncConfig"
+    ):
         simulate(
             make_scenario(),
             PIXEL_5,
