@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""CI gate: the differential spec fuzzer must be clean *and* deterministic.
+
+Runs the same fuzz campaign twice (identical budget and seed) and asserts:
+
+1. **Zero findings** — no metamorphic relation is violated anywhere in the
+   sampled knob space, and no probe crashed, timed out, or misconfigured in
+   the supervised batch.
+2. **Byte-identical findings files** — the two passes write exactly the same
+   canonical JSON, proving the campaign is free of wall-clock, ordering, or
+   cache nondeterminism (a findings file that cannot be reproduced is not a
+   repro).
+
+The first pass's findings file is left at ``--out`` as the CI artifact, so a
+red run uploads the violating (shrunk) specs for local replay. Corpus
+emission is disabled: CI must never mutate the checked-in regression corpus.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_fuzz.py --budget 150 --seed 0
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import tempfile
+
+
+def _run_campaign(budget: int, seed: int, out: pathlib.Path) -> "FuzzReport":
+    from repro.exec.executor import Executor
+    from repro.fuzz.campaign import FuzzCampaign
+
+    executor = Executor(jobs=1, cache=False)
+    try:
+        report = FuzzCampaign(
+            budget=budget, seed=seed, executor=executor, corpus_dir=None
+        ).run()
+    finally:
+        executor.close()
+    report.save(out)
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--budget", type=int, default=150, metavar="N")
+    parser.add_argument("--seed", type=int, default=0, metavar="S")
+    parser.add_argument(
+        "--out",
+        default="FUZZ_findings.json",
+        metavar="PATH",
+        help="findings artifact from the first pass (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.errors import ConfigurationError
+    from repro.fuzz.campaign import validate_budget, validate_seed
+
+    try:
+        budget = validate_budget(args.budget, source="--budget")
+        seed = validate_seed(args.seed, source="--seed")
+    except ConfigurationError as exc:
+        parser.error(str(exc))
+
+    out = pathlib.Path(args.out)
+    first = _run_campaign(budget, seed, out)
+    print(first.render())
+    print(f"findings: {out}")
+
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-ci-") as scratch:
+        rerun_path = pathlib.Path(scratch) / "findings-rerun.json"
+        second = _run_campaign(budget, seed, rerun_path)
+        first_bytes = out.read_bytes()
+        second_bytes = rerun_path.read_bytes()
+
+    failed = False
+    if not first.ok:
+        print(
+            f"FAIL: campaign produced {len(first.findings)} finding(s); "
+            f"see {out} for the shrunk repro specs",
+            file=sys.stderr,
+        )
+        failed = True
+    if first_bytes != second_bytes:
+        print(
+            "FAIL: findings file is not reproducible — two campaigns with "
+            f"budget={budget} seed={seed} wrote different bytes "
+            f"({len(first.findings)} vs {len(second.findings)} findings)",
+            file=sys.stderr,
+        )
+        failed = True
+    if failed:
+        return 1
+    print(f"OK: two passes (budget={budget} seed={seed}) clean and byte-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,12 +21,18 @@ and over the verification subsystem, for correctness questions:
 
     python -m repro --verify
     python -m repro --verify --jobs 4
+
+and over the differential spec fuzzer, for everything nobody hand-wrote:
+
+    python -m repro fuzz --budget 200 --seed 0
+    python -m repro fuzz --budget 50 --relation engine-parity
 """
 
 from __future__ import annotations
 
 import argparse
 import os
+import sys
 
 from repro.errors import ConfigurationError
 from repro.exec.cache import DEFAULT_CACHE_DIR, ResultCache
@@ -44,6 +50,12 @@ BENCH_TELEMETRY_PATH = "BENCH_telemetry.json"
 
 
 def main(argv: list[str] | None = None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "fuzz":
+        from repro.fuzz.cli import main as fuzz_main
+
+        return fuzz_main(arguments[1:])
+    argv = arguments
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate D-VSync paper artifacts (figures/tables).",

@@ -606,19 +606,51 @@ class _Replay:
                 ):
                     head_entry = heap[0]
                     if head_entry[2] == _TICK and head_entry[1] not in cancelled:
-                        target = finish_at
-                        pos = int(np.searchsorted(arrivals, t, side="right"))
-                        if pos < arrivals.shape[0]:
-                            nxt = int(arrivals[pos])
-                            if nxt < target:
-                                target = nxt
-                        pending = head_entry[0]
-                        skipped = (target - pending + period - 1) // period
-                        if skipped > 0:
-                            relocated = pending + skipped * period
-                            heap[0] = (relocated, head_entry[1], _TICK, 0, 0)
-                            tick_index += skipped
-                            next_tick_time = relocated
+                        # With DTV on, the pump's demand query runs in
+                        # *content* time: a drained tick t' asks
+                        # wants(c(t'), t') with c(t') = max(t' + lead, floor),
+                        # where lead and floor are constant across the gap
+                        # (no commits, frozen EWMA). The next gating input
+                        # must therefore be located on the content timeline
+                        # and translated back into now-space through `lead`.
+                        # For the default pipeline depth the two timelines
+                        # coincide (lead == 0).
+                        if dvsync and dtv_enabled:
+                            bumps = dtv_est // period + 1
+                            lead = (bumps + 1) * period - depth_offset
+                            content_now = t + lead
+                            lc = dtv_last_committed
+                            if lc is not None:
+                                floor_c = lc + period - depth_offset
+                                if floor_c > content_now:
+                                    content_now = floor_c
+                            li = dtv_last_issued
+                            if li is not None:
+                                floor_c = li + quarter_period
+                                if floor_c > content_now:
+                                    content_now = floor_c
+                        else:
+                            lead = 0
+                            content_now = t
+                        # A D-Timestamp running *ahead* of the clock means a
+                        # demand window's now-gate can open mid-gap; skipping
+                        # is not provably a no-op, so step tick by tick.
+                        if content_now <= t:
+                            target = finish_at
+                            pos = int(
+                                np.searchsorted(arrivals, content_now, side="right")
+                            )
+                            if pos < arrivals.shape[0]:
+                                nxt = int(arrivals[pos]) - lead
+                                if nxt < target:
+                                    target = nxt
+                            pending = head_entry[0]
+                            skipped = (target - pending + period - 1) // period
+                            if skipped > 0:
+                                relocated = pending + skipped * period
+                                heap[0] = (relocated, head_entry[1], _TICK, 0, 0)
+                                tick_index += skipped
+                                next_tick_time = relocated
             elif kind == _UI_END:
                 frame = frames[efid]
                 frame.ui_end = t

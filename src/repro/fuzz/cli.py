@@ -1,0 +1,144 @@
+"""The ``repro fuzz`` subcommand.
+
+Dispatched from ``python -m repro fuzz ...``. Runs one campaign, prints the
+report, writes the canonical findings JSON, and exits non-zero when any
+finding survived — which makes it directly usable as a CI gate
+(:mod:`scripts.check_fuzz` adds the determinism double-run on top).
+
+Budget and seed are validated at the boundary: non-positive or non-integer
+values (from the flags or from ``REPRO_FUZZ_BUDGET``) are rejected with a
+:class:`~repro.errors.ConfigurationError` before any spec is generated.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.errors import ConfigurationError
+from repro.exec.executor import Executor
+from repro.fuzz.campaign import (
+    DEFAULT_FINDINGS_PATH,
+    FuzzCampaign,
+    budget_from_env,
+    validate_budget,
+    validate_seed,
+)
+from repro.fuzz.corpus import DEFAULT_CORPUS_DIR
+from repro.fuzz.relations import RELATIONS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fuzz",
+        description=(
+            "Differential spec fuzzer: sample the RunSpec knob space, check "
+            "metamorphic relations, shrink violations to replayable repros."
+        ),
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "specs to generate (default: REPRO_FUZZ_BUDGET or 100); the "
+            "supervised probe batch is larger"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="generator seed; identical seeds replay identical campaigns",
+    )
+    parser.add_argument(
+        "--relation",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict to one relation (repeatable); default: full catalog",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallel batch workers (default: 1, in-process)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-probe wall-clock deadline in the supervised batch; an "
+            "overdue probe becomes a structured timeout finding"
+        ),
+    )
+    parser.add_argument(
+        "--out",
+        default=DEFAULT_FINDINGS_PATH,
+        metavar="PATH",
+        help="findings JSON artifact (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--corpus",
+        default=str(DEFAULT_CORPUS_DIR),
+        metavar="DIR",
+        help=(
+            "directory shrunk violations are emitted into as replayable "
+            "repros (default: %(default)s); 'none' disables emission"
+        ),
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="record raw violating specs without minimizing them",
+    )
+    parser.add_argument(
+        "--list-relations",
+        action="store_true",
+        help="print the metamorphic-relation catalog and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_relations:
+        width = max(len(relation.name) for relation in RELATIONS)
+        for relation in RELATIONS:
+            print(f"{relation.name:<{width}}  {relation.description}")
+        return 0
+    try:
+        budget = (
+            budget_from_env()
+            if args.budget is None
+            else validate_budget(args.budget, source="--budget")
+        )
+        seed = validate_seed(args.seed, source="--seed")
+        executor = Executor(
+            jobs=args.jobs if args.jobs is not None else 1,
+            cache=False,  # cache hits must never change the findings file
+            timeout_s=args.timeout,
+        )
+        campaign = FuzzCampaign(
+            budget=budget,
+            seed=seed,
+            relations=args.relation,
+            executor=executor,
+            corpus_dir=None if args.corpus == "none" else args.corpus,
+            shrink=not args.no_shrink,
+        )
+    except ConfigurationError as exc:
+        parser.error(str(exc))  # exits 2 with a one-line message
+    try:
+        report = campaign.run()
+    finally:
+        executor.close()
+    path = report.save(args.out)
+    try:
+        print(report.render())
+        print(f"findings: {path}")
+    except BrokenPipeError:  # piping into `head` etc. is fine
+        pass
+    return 0 if report.ok else 1

@@ -1,0 +1,153 @@
+"""The replayable finding corpus: minimized specs as permanent regressions.
+
+Every violation the fuzzer shrinks is emitted as one JSON file under
+``tests/fuzz/corpus/`` pairing a relation name with a minimized
+:class:`~repro.exec.spec.RunSpec` wire form. ``tests/fuzz/
+test_corpus_replay.py`` re-runs every entry through its recorded relation on
+each tier-1 pass, so a bug found once can never silently return. The corpus
+is also seeded with hand-crafted edge specs sitting on boundaries the
+hand-written suites historically missed.
+
+Filenames are content-derived (``<relation>-<hash12>.json``) so re-finding
+the same minimized spec overwrites, never duplicates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Any, Iterator, Mapping
+
+from repro.errors import ConfigurationError
+from repro.exec.spec import RunSpec, canonical_json
+from repro.fuzz.relations import ExecuteFn, relations_by_name
+
+#: Bump when the corpus entry layout changes.
+CORPUS_SCHEMA_VERSION = 1
+
+#: The tree-relative corpus directory the CLI and replay suite share.
+DEFAULT_CORPUS_DIR = pathlib.Path("tests") / "fuzz" / "corpus"
+
+
+@dataclasses.dataclass(frozen=True)
+class CorpusEntry:
+    """One replayable finding (or hand-seeded edge case).
+
+    Attributes:
+        relation: Name of the relation to re-check on replay.
+        spec_wire: Wire form of the (minimized) spec.
+        detail: The violation message at discovery time, or the reason a
+            hand-crafted entry exists. Documentation only — replay asserts
+            the relation *holds*, whatever the historical message said.
+        source: Provenance: ``"hand-crafted"`` or ``"fuzz seed=S budget=N"``.
+        knob_delta: Shrinker's distance-from-default count, if shrunk.
+    """
+
+    relation: str
+    spec_wire: dict
+    detail: str
+    source: str = "hand-crafted"
+    knob_delta: int | None = None
+
+    def spec(self) -> RunSpec:
+        return RunSpec.from_wire(self.spec_wire)
+
+    def to_wire(self) -> dict:
+        return {
+            "schema": CORPUS_SCHEMA_VERSION,
+            "relation": self.relation,
+            "spec": self.spec_wire,
+            "detail": self.detail,
+            "source": self.source,
+            "knob_delta": self.knob_delta,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: Mapping[str, Any]) -> "CorpusEntry":
+        schema = wire.get("schema")
+        if schema != CORPUS_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported corpus entry schema {schema!r} "
+                f"(expected {CORPUS_SCHEMA_VERSION})"
+            )
+        return cls(
+            relation=wire["relation"],
+            spec_wire=dict(wire["spec"]),
+            detail=wire.get("detail", ""),
+            source=wire.get("source", "hand-crafted"),
+            knob_delta=wire.get("knob_delta"),
+        )
+
+    def filename(self) -> str:
+        return f"{self.relation}-{self.spec().content_hash()[:12]}.json"
+
+
+def save_entry(entry: CorpusEntry, corpus_dir: str | pathlib.Path) -> pathlib.Path:
+    """Write *entry* into *corpus_dir* (created if missing); returns the path."""
+    root = pathlib.Path(corpus_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    path = root / entry.filename()
+    path.write_text(json.dumps(entry.to_wire(), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_corpus(
+    corpus_dir: str | pathlib.Path = DEFAULT_CORPUS_DIR,
+) -> list[tuple[pathlib.Path, CorpusEntry]]:
+    """Load every entry under *corpus_dir*, sorted by filename.
+
+    A malformed file raises :class:`~repro.errors.ConfigurationError` naming
+    it — a corrupt regression corpus should fail the suite, not skip.
+    """
+    root = pathlib.Path(corpus_dir)
+    entries: list[tuple[pathlib.Path, CorpusEntry]] = []
+    if not root.is_dir():
+        return entries
+    for path in sorted(root.glob("*.json")):
+        try:
+            entries.append((path, CorpusEntry.from_wire(json.loads(path.read_text()))))
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ConfigurationError(f"corrupt corpus entry {path}: {exc}") from None
+    return entries
+
+
+def iter_corpus_specs(
+    corpus_dir: str | pathlib.Path = DEFAULT_CORPUS_DIR,
+) -> Iterator[tuple[str, RunSpec]]:
+    """Yield ``(relation, spec)`` pairs for every corpus entry."""
+    for _, entry in load_corpus(corpus_dir):
+        yield entry.relation, entry.spec()
+
+
+def replay_entry(entry: CorpusEntry, execute: ExecuteFn) -> str | None:
+    """Re-run one corpus entry through its recorded relation.
+
+    Returns the violation detail if the relation fails *today* (a
+    regression), or ``None`` when it holds. A relation that no longer
+    applies to the stored spec passes vacuously — shifting eligibility
+    rules must not break historical repros.
+    """
+    (relation,) = relations_by_name([entry.relation])
+    spec = entry.spec()
+    if not relation.applies(spec):
+        return None
+    results = [execute(probe) for probe in relation.probes(spec)]
+    return relation.check(spec, results, execute)
+
+
+def entry_from_finding(
+    relation: str,
+    spec: RunSpec,
+    detail: str,
+    source: str,
+    knob_delta: int | None,
+) -> CorpusEntry:
+    """Build the corpus entry for one shrunk campaign finding."""
+    return CorpusEntry(
+        relation=relation,
+        spec_wire=json.loads(canonical_json(spec.to_wire())),
+        detail=detail,
+        source=source,
+        knob_delta=knob_delta,
+    )

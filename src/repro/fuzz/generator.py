@@ -1,0 +1,226 @@
+"""Seeded, coverage-guided sampling of the :class:`RunSpec` knob space.
+
+The generator is a pure function of its seed: the same ``(seed, budget)``
+always yields the same spec sequence, which is what makes a whole campaign
+(and its findings file) byte-reproducible. Coverage feedback is the one
+adaptive ingredient — each spec maps to a coarse *cell* (driver family ×
+architecture × engine × fault-kind set × device), and every draw rejects
+already-visited cells a few times before settling, spreading the budget
+across the space instead of hammering the likeliest corner.
+
+All sampled specs are *valid by construction*: the generator never emits a
+combination :class:`~repro.exec.spec.RunSpec` would reject (watchdog on the
+baseline, out-of-range pre-render limits), because a configuration error in
+a generated spec would be a finding about the generator, not the library.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.core.config import DVSyncConfig
+from repro.display.device import ALL_DEVICES, DeviceProfile
+from repro.errors import ConfigurationError
+from repro.exec.spec import DriverSpec, RunSpec
+from repro.units import ms
+
+#: How many redraws a sample spends looking for an unvisited coverage cell.
+COVERAGE_RETRIES = 4
+
+#: Motion curves and tail profiles the scenario family samples from.
+_CURVES = ("linear", "ease-in-out", "decelerate", "spring")
+_PROFILES = ("scattered", "moderate", "skewed")
+
+#: Fault clause templates: (kind, {param: candidate values}).
+_FAULT_TEMPLATES = (
+    ("vsync-jitter", {"sigma_us": (150.0, 400.0, 900.0)}),
+    ("thermal", {"factor": (1.6, 2.4), "start_ms": (50.0,), "end_ms": (250.0,)}),
+    ("buffer-pressure", {"deny_prob": (0.1, 0.3), "retry_us": (400.0,)}),
+    ("input-loss", {"drop_prob": (0.01, 0.05)}),
+    ("callback-crash", {"prob": (0.01, 0.03)}),
+)
+
+
+def coverage_cell(spec: RunSpec) -> tuple:
+    """The coarse coverage coordinate of one spec.
+
+    Deliberately low-cardinality — (driver family, architecture, engine,
+    fault-kind set, device) — so a few hundred draws can plausibly visit
+    every cell and the feedback loop has something to steer by.
+    """
+    fault_kinds: tuple[str, ...] = ()
+    if spec.faults:
+        fault_kinds = tuple(
+            sorted({clause.split("(")[0].strip() for clause in spec.faults.split(";")})
+        )
+    return (
+        spec.driver.builder.rsplit(":", 1)[-1],
+        spec.architecture,
+        spec.engine,
+        fault_kinds,
+        spec.device.name,
+    )
+
+
+class SpecGenerator:
+    """Deterministic spec sampler with coverage-biased draws.
+
+    Args:
+        seed: Root of the sampling stream; identical seeds replay
+            identical spec sequences.
+        devices: Device pool to draw from (defaults to every profile the
+            evaluation registers).
+        max_duration_ms: Cap on one burst's animation length — fuzz
+            workloads stay short so hundreds of them fit in a CI budget.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        devices: tuple[DeviceProfile, ...] = ALL_DEVICES,
+        max_duration_ms: float = 260.0,
+    ) -> None:
+        if not isinstance(seed, int) or isinstance(seed, bool) or seed < 0:
+            raise ConfigurationError(
+                f"fuzz seed must be a non-negative integer, got {seed!r}"
+            )
+        if not devices:
+            raise ConfigurationError("the generator needs at least one device")
+        self.seed = seed
+        self.devices = tuple(devices)
+        self.max_duration_ms = max_duration_ms
+        self.rng = random.Random(f"repro-fuzz:{seed}")
+        self.visited: dict[tuple, int] = {}
+        self._index = 0
+
+    # ----------------------------------------------------------- driver space
+    def _burst_driver(self, rng: random.Random, index: int) -> DriverSpec:
+        duration = rng.choice((60.0, 120.0, 180.0, self.max_duration_ms))
+        bursts = rng.choice((1, 1, 2))
+        return DriverSpec.of(
+            "repro.exec.builders:burst_animation",
+            name=f"fuzz-{self.seed}-{index}",
+            target_fdps=rng.choice((0.5, 2.0, 4.0, 7.0)),
+            refresh_hz=rng.choice((60, 90, 120)),
+            duration_ms=duration,
+            bursts=bursts,
+            burst_period_ms=(
+                rng.choice((None, 400.0)) if bursts == 1 else rng.choice((350.0, 500.0))
+            ),
+        )
+
+    def _scenario_driver(self, rng: random.Random, index: int) -> DriverSpec:
+        interactive = rng.random() < 0.35
+        fields: dict = {
+            "name": f"fuzz-scn-{self.seed}-{index}",
+            "description": "fuzz-generated scenario",
+            "refresh_hz": rng.choice((60, 90, 120)),
+            "target_vsync_fdps": rng.choice((1.0, 3.0, 6.0)),
+            "profile": rng.choice(_PROFILES),
+            "duration_ms": rng.choice((80.0, 150.0, self.max_duration_ms)),
+            "bursts": rng.choice((1, 2)),
+            "burst_period_ms": rng.choice((None, 300.0, 450.0)),
+            "curve": rng.choice(_CURVES),
+            "interactive": interactive,
+            "base_fraction": rng.choice((0.3, 0.42, 0.55)),
+        }
+        if interactive:
+            fields["gesture"] = rng.choice(("swipe", "pinch"))
+        else:
+            fields["gpu_fraction"] = rng.choice((0.0, 0.0, 0.25))
+            if rng.random() < 0.3:
+                fields["key_zone_period_ms"] = rng.choice((100.0, 200.0))
+        return DriverSpec.of("repro.exec.builders:scenario_driver", run=0, **fields)
+
+    # ------------------------------------------------------------ fault space
+    def _fault_clause(self, rng: random.Random) -> str:
+        kind, params = rng.choice(_FAULT_TEMPLATES)
+        chosen = ",".join(
+            f"{key}={rng.choice(values):g}" for key, values in sorted(params.items())
+        )
+        return f"{kind}({chosen})" if chosen else kind
+
+    def _faults(self, rng: random.Random) -> str | None:
+        roll = rng.random()
+        if roll < 0.55:
+            return None
+        clauses = [self._fault_clause(rng)]
+        if roll > 0.85:
+            second = self._fault_clause(rng)
+            if second.split("(")[0] != clauses[0].split("(")[0]:
+                clauses.append(second)
+        return ";".join(clauses)
+
+    # -------------------------------------------------------------- one draw
+    def _draw(self, rng: random.Random, index: int) -> RunSpec:
+        device = rng.choice(self.devices)
+        if rng.random() < 0.5:
+            driver = self._burst_driver(rng, index)
+        else:
+            driver = self._scenario_driver(rng, index)
+        architecture = rng.choice(("vsync", "dvsync"))
+        buffer_count = None
+        dvsync = None
+        watchdog = False
+        faults = self._faults(rng)
+        if architecture == "dvsync":
+            if rng.random() < 0.6:
+                buffers = rng.choice((3, 4, 5, 7))
+                limit = rng.choice((None, None, 1, 2, buffers - 1))
+                if limit is not None:
+                    limit = min(limit, buffers - 1)
+                dvsync = DVSyncConfig(
+                    buffer_count=buffers,
+                    prerender_limit=limit,
+                    dtv_enabled=rng.random() > 0.15,
+                    ipl_enabled=rng.random() > 0.15,
+                    pipeline_depth_periods=rng.choice((1, 2, 2, 3)),
+                    enabled=rng.random() > 0.1,
+                )
+            else:
+                buffer_count = rng.choice((None, 4, 5))
+            watchdog = bool(faults) and rng.random() < 0.5
+        else:
+            buffer_count = rng.choice((None, 2, 3, 4))
+        return RunSpec(
+            driver=driver,
+            device=device,
+            architecture=architecture,
+            buffer_count=buffer_count,
+            dvsync=dvsync,
+            faults=faults,
+            fault_seed=rng.choice((0, 1, 7)) if faults else 0,
+            watchdog=watchdog,
+            start_time=rng.choice((0, 0, 3_000_000, int(ms(11.0)))),
+            horizon=rng.choice((None, None, None, int(ms(140.0)))),
+            telemetry=rng.random() < 0.15,
+            verify=rng.random() < 0.2,
+            engine=rng.choice(("auto", "auto", "event")),
+        )
+
+    def sample(self) -> RunSpec:
+        """Draw the next spec, preferring unvisited coverage cells."""
+        spec = None
+        for _ in range(COVERAGE_RETRIES + 1):
+            self._index += 1
+            spec = self._draw(self.rng, self._index)
+            if coverage_cell(spec) not in self.visited:
+                break
+        cell = coverage_cell(spec)
+        self.visited[cell] = self.visited.get(cell, 0) + 1
+        return spec
+
+    def take(self, budget: int) -> Iterator[RunSpec]:
+        """Yield *budget* specs (the campaign's generation phase)."""
+        if not isinstance(budget, int) or isinstance(budget, bool) or budget < 1:
+            raise ConfigurationError(
+                f"fuzz budget must be a positive integer, got {budget!r}"
+            )
+        for _ in range(budget):
+            yield self.sample()
+
+    @property
+    def cells_visited(self) -> int:
+        """Distinct coverage cells seen so far (campaign observability)."""
+        return len(self.visited)

@@ -1,0 +1,180 @@
+"""Greedy per-knob minimization of a violating spec.
+
+A raw fuzz finding carries every knob the generator happened to sample;
+most are irrelevant to the bug. The shrinker walks a fixed list of
+simplification passes — each resets one axis of the spec (or removes one
+driver parameter) toward its default — keeping a candidate only when the
+relation *still* judges it violating. The result is the smallest spec, in
+knob-delta terms, that reproduces the finding, which is what lands in the
+corpus as a permanent regression test.
+
+Shrinking is greedy and deterministic: passes run in a fixed order, every
+accepted candidate restarts the sweep from the simpler spec, and the loop
+ends when a full sweep accepts nothing. Each accepted step strictly lowers
+:func:`knob_delta`, so ``max_rounds`` only needs to exceed the largest
+plausible delta to never truncate a shrink.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from repro.exec.spec import DriverSpec, RunSpec
+from repro.fuzz.relations import ExecuteFn, Relation
+
+#: Spec axes with their "fully default" values; each is one shrink pass and
+#: one unit of :func:`knob_delta`.
+_SPEC_DEFAULTS: tuple[tuple[str, object], ...] = (
+    ("faults", None),
+    ("watchdog", False),
+    ("telemetry", False),
+    ("verify", False),
+    ("horizon", None),
+    ("start_time", 0),
+    ("fault_seed", 0),
+    ("engine", "auto"),
+    ("timeout_s", None),
+    ("dvsync", None),
+    ("buffer_count", None),
+    ("architecture", "vsync"),
+)
+
+#: Parameters a builder cannot run without — never removed, never counted.
+_REQUIRED_PARAMS: dict[str, frozenset[str]] = {
+    "repro.exec.builders:burst_animation": frozenset({"name", "target_fdps"}),
+    "repro.exec.builders:scenario_driver": frozenset(
+        {"name", "description", "refresh_hz", "target_vsync_fdps"}
+    ),
+}
+
+
+def _required_params(builder: str) -> frozenset[str]:
+    return _REQUIRED_PARAMS.get(builder, frozenset({"name"}))
+
+
+def knob_delta(spec: RunSpec) -> int:
+    """How far *spec* sits from the all-defaults spec, in shrinkable knobs.
+
+    One unit per spec axis off its default plus one per removable driver
+    parameter still present. The mutation-smoke test asserts the shrinker
+    drives genuine findings down to a small delta.
+    """
+    delta = sum(
+        1 for name, default in _SPEC_DEFAULTS if getattr(spec, name) != default
+    )
+    required = _required_params(spec.driver.builder)
+    delta += sum(1 for key in spec.driver.params if key not in required)
+    return delta
+
+
+def _without_param(driver: DriverSpec, key: str) -> DriverSpec:
+    params = driver.params
+    params.pop(key, None)
+    return DriverSpec.of(driver.builder, **params)
+
+
+class Shrinker:
+    """Minimize a violating spec while a relation keeps failing it.
+
+    Args:
+        relation: The violated relation; candidates must stay in its
+            ``applies`` domain and keep failing its ``check``.
+        execute: In-process execution hook for the relation's probes.
+        max_rounds: Greedy steps before giving up on a fixpoint; each step
+            removes at least one knob, so the default never truncates.
+    """
+
+    def __init__(
+        self, relation: Relation, execute: ExecuteFn, max_rounds: int = 32
+    ) -> None:
+        self.relation = relation
+        self.execute = execute
+        self.max_rounds = max_rounds
+        self.evaluations = 0
+
+    # ------------------------------------------------------------ evaluation
+    def violation(self, spec: RunSpec) -> str | None:
+        """Re-judge *spec*: the violation detail, or ``None`` if it passes.
+
+        Any exception during evaluation disqualifies the candidate (the
+        shrinker must never trade a clean violation for a crash).
+        """
+        self.evaluations += 1
+        if not self.relation.applies(spec):
+            return None
+        results = [self.execute(probe) for probe in self.relation.probes(spec)]
+        return self.relation.check(spec, results, self.execute)
+
+    def _try(self, candidate: RunSpec) -> str | None:
+        try:
+            return self.violation(candidate)
+        except Exception:
+            return None
+
+    # ---------------------------------------------------------------- passes
+    def _candidates(self, spec: RunSpec) -> list[RunSpec]:
+        candidates: list[RunSpec] = []
+
+        def propose(**changes) -> None:
+            try:
+                candidate = dataclasses.replace(spec, **changes)
+            except Exception:
+                return  # invalid combination (e.g. watchdog off-architecture)
+            if candidate != spec:
+                candidates.append(candidate)
+
+        for name, default in _SPEC_DEFAULTS:
+            if getattr(spec, name) != default:
+                if name == "architecture":
+                    # Flipping to the baseline must shed D-VSync-only knobs.
+                    propose(architecture="vsync", dvsync=None, watchdog=False)
+                else:
+                    propose(**{name: default})
+        required = _required_params(spec.driver.builder)
+        for key in sorted(spec.driver.params):
+            if key in required:
+                continue
+            try:
+                slimmer = _without_param(spec.driver, key)
+            except Exception:
+                continue
+            propose(driver=slimmer)
+        return candidates
+
+    # ------------------------------------------------------------------ main
+    def shrink(self, spec: RunSpec, detail: str) -> tuple[RunSpec, str, int]:
+        """Greedily minimize *spec*; returns ``(spec, detail, knob_delta)``.
+
+        *detail* is the original violation message; the returned detail is
+        the (possibly different) message the minimized spec fails with.
+        """
+        current, current_detail = spec, detail
+        for _ in range(self.max_rounds):
+            improved = False
+            for candidate in self._candidates(current):
+                verdict = self._try(candidate)
+                if verdict is not None:
+                    current, current_detail = candidate, verdict
+                    improved = True
+                    break  # restart passes from the simpler spec
+            if not improved:
+                break
+        return current, current_detail, knob_delta(current)
+
+
+def spec_delta_summary(original: RunSpec, shrunk: RunSpec) -> str:
+    """One-line description of what shrinking removed (for reports)."""
+    kept = [
+        name
+        for name, default in _SPEC_DEFAULTS
+        if getattr(shrunk, name) != default
+    ]
+    removed = json.dumps(
+        sorted(set(original.driver.params) - set(shrunk.driver.params))
+    )
+    return (
+        f"knob delta {knob_delta(original)} -> {knob_delta(shrunk)}; "
+        f"non-default axes: {', '.join(kept) if kept else 'none'}; "
+        f"dropped driver params: {removed}"
+    )

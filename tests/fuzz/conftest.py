@@ -1,0 +1,36 @@
+"""Shared fixtures for the fuzz suite.
+
+Most relations exercise the dual-engine contract, and fastpath eligibility
+requires the process-wide verification switch *off* (the suite-wide strict
+fixture turns it on). Individual tests that probe the process switches flip
+them back deliberately.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+#: The checked-in regression corpus, resolved relative to this file so the
+#: suite replays it regardless of pytest's working directory.
+CORPUS_DIR = pathlib.Path(__file__).parent / "corpus"
+
+
+@pytest.fixture(autouse=True)
+def _verification_off():
+    """Fastpath eligibility requires the process verify switch off."""
+    from repro.verify import runtime
+
+    runtime.set_enabled(False)
+    yield
+    runtime.reset()
+
+
+@pytest.fixture
+def execute():
+    """In-process probe execution, normalized exactly like the campaign's."""
+    from repro.exec.executor import execute_spec
+    from repro.exec.serialize import normalize_result
+
+    return lambda spec: normalize_result(execute_spec(spec))

@@ -1,0 +1,136 @@
+"""Campaign mechanics: determinism, dedup accounting, failure findings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.display.device import PIXEL_5
+from repro.exec.executor import Executor
+from repro.exec.spec import DriverSpec, RunSpec, canonical_json
+from repro.fuzz.campaign import FuzzCampaign
+
+
+class FixedGenerator:
+    def __init__(self, specs):
+        self._specs = list(specs)
+        self.cells_visited = len(self._specs)
+
+    def take(self, budget):
+        return self._specs[:budget]
+
+
+@pytest.fixture
+def executor():
+    executor = Executor(jobs=1, cache=False)
+    yield executor
+    executor.close()
+
+
+def _spec(**driver_overrides) -> RunSpec:
+    params = dict(name="campaign", target_fdps=4.0, duration_ms=150.0)
+    params.update(driver_overrides)
+    return RunSpec(
+        driver=DriverSpec.of("repro.exec.builders:burst_animation", **params),
+        architecture="vsync",
+        device=PIXEL_5,
+    )
+
+
+def _report_bytes(budget, seed):
+    executor = Executor(jobs=1, cache=False)
+    try:
+        report = FuzzCampaign(budget=budget, seed=seed, executor=executor).run()
+    finally:
+        executor.close()
+    return canonical_json(report.to_wire())
+
+
+def test_report_wire_bytes_are_deterministic():
+    assert _report_bytes(3, 0) == _report_bytes(3, 0)
+
+
+def test_identical_probes_deduplicate_in_the_batch(executor):
+    spec = _spec()
+    report = FuzzCampaign(
+        budget=2,
+        seed=0,
+        relations=["content-order"],
+        executor=executor,
+        corpus_dir=None,
+        generator=FixedGenerator([spec, spec]),
+    ).run()
+    assert report.ok
+    assert report.specs_generated == 2
+    assert report.probes_submitted == 2
+    assert report.probes_unique == 1
+    assert report.pairs_checked == 2
+
+
+def test_probe_crash_becomes_an_execution_finding(executor):
+    crash = RunSpec(
+        driver=DriverSpec.of(
+            "repro.exec.builders:chaos_driver", name="boom", mode="raise"
+        ),
+        architecture="vsync",
+        device=PIXEL_5,
+    )
+    report = FuzzCampaign(
+        budget=1,
+        seed=0,
+        relations=["content-order"],
+        executor=executor,
+        corpus_dir=None,
+        generator=FixedGenerator([crash]),
+    ).run()
+    assert not report.ok
+    assert len(report.findings) == 1
+    finding = report.findings[0]
+    assert finding.relation == "execution"
+    assert "chaos driver" in finding.detail
+    assert finding.shrunk_wire is None  # harness failures are not shrunk
+    # The pair whose probe died is never judged.
+    assert report.pairs_checked == 0
+
+
+def test_crashing_check_becomes_an_evaluation_finding(executor):
+    class BrokenOracle:
+        name = "broken"
+        description = "check() always crashes"
+
+        def applies(self, spec):
+            return True
+
+        def probes(self, spec):
+            return [spec]
+
+        def check(self, spec, results, execute):
+            raise RuntimeError("oracle exploded")
+
+    campaign = FuzzCampaign(
+        budget=1,
+        seed=0,
+        relations=["content-order"],
+        executor=executor,
+        corpus_dir=None,
+        generator=FixedGenerator([_spec()]),
+    )
+    campaign.relations = [BrokenOracle()]
+    report = campaign.run()
+    assert len(report.findings) == 1
+    finding = report.findings[0]
+    assert finding.kind == "evaluation-crash"
+    assert "RuntimeError: oracle exploded" in finding.detail
+
+
+def test_render_summarizes_the_campaign(executor):
+    report = FuzzCampaign(
+        budget=1,
+        seed=0,
+        relations=["content-order"],
+        executor=executor,
+        corpus_dir=None,
+        generator=FixedGenerator([_spec()]),
+    ).run()
+    text = report.render()
+    assert "seed=0 budget=1" in text
+    assert "no violations" in text

@@ -1,0 +1,81 @@
+"""Satellite: every corpus entry re-runs through its recorded relation.
+
+The corpus under ``tests/fuzz/corpus/`` is the fuzzer's permanent memory:
+shrunk repros of past findings plus hand-crafted edge specs. Each entry is
+replayed on every tier-1 pass, so a bug the fuzzer found once (or a boundary
+a human thought worth pinning) can never silently regress.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fuzz.corpus import CorpusEntry, load_corpus, replay_entry, save_entry
+from repro.fuzz.relations import RELATIONS
+
+from tests.fuzz.conftest import CORPUS_DIR
+
+ENTRIES = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_seeded():
+    """The repo ships at least three hand-picked edge entries."""
+    assert len(ENTRIES) >= 3
+
+
+def test_corpus_covers_multiple_relations():
+    relations = {entry.relation for _, entry in ENTRIES}
+    assert len(relations) >= 3
+    known = {relation.name for relation in RELATIONS}
+    assert relations <= known
+
+
+@pytest.mark.parametrize(
+    "path,entry", ENTRIES, ids=[path.name for path, _ in ENTRIES]
+)
+def test_corpus_entry_replays_clean(path, entry, execute):
+    """The recorded relation must hold on today's tree (no regression)."""
+    verdict = replay_entry(entry, execute)
+    assert verdict is None, f"{path.name} regressed: {verdict}"
+
+
+@pytest.mark.parametrize(
+    "path,entry", ENTRIES, ids=[path.name for path, _ in ENTRIES]
+)
+def test_corpus_filenames_are_content_addressed(path, entry):
+    """Re-finding the same minimized spec must overwrite, never duplicate."""
+    assert path.name == entry.filename()
+
+
+def test_corpus_entry_wire_round_trip(tmp_path):
+    entry = ENTRIES[0][1]
+    saved = save_entry(entry, tmp_path)
+    assert CorpusEntry.from_wire(json.loads(saved.read_text())) == entry
+
+
+def test_corrupt_corpus_entry_fails_loudly(tmp_path):
+    (tmp_path / "engine-parity-deadbeef0000.json").write_text("{not json")
+    with pytest.raises(ConfigurationError, match="corrupt corpus entry"):
+        load_corpus(tmp_path)
+
+
+def test_unsupported_schema_rejected(tmp_path):
+    entry = ENTRIES[0][1]
+    wire = entry.to_wire()
+    wire["schema"] = 99
+    (tmp_path / "engine-parity-deadbeef0000.json").write_text(json.dumps(wire))
+    with pytest.raises(ConfigurationError, match="schema"):
+        load_corpus(tmp_path)
+
+
+def test_stale_relation_passes_vacuously(execute):
+    """Eligibility drift must not break historical repros: a stored spec the
+    relation no longer applies to replays as a vacuous pass."""
+    entry = ENTRIES[0][1]
+    wire = dict(entry.spec_wire)
+    wire["faults"] = "vsync-jitter(sigma_us=300)"  # makes engine-parity N/A
+    stale = CorpusEntry(relation="engine-parity", spec_wire=wire, detail="stale")
+    assert replay_entry(stale, execute) is None

@@ -1,0 +1,188 @@
+"""Greedy shrinker: knob accounting, convergence, and report summaries.
+
+The synthetic relations here never execute anything (``probes`` is empty and
+``check`` judges the spec algebraically), so shrink convergence is tested in
+isolation from the engines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DVSyncConfig
+from repro.display.device import PIXEL_5
+from repro.exec.spec import DriverSpec, RunSpec
+from repro.fuzz.shrinker import Shrinker, knob_delta, spec_delta_summary
+
+FAULTS = "vsync-jitter(sigma_us=300)"
+
+
+def _default_spec() -> RunSpec:
+    return RunSpec(
+        driver=DriverSpec.of(
+            "repro.exec.builders:burst_animation",
+            name="shrink",
+            target_fdps=3.0,
+        ),
+        architecture="vsync",
+        device=PIXEL_5,
+    )
+
+
+def _fat_spec() -> RunSpec:
+    """Every shrinkable axis off its default, plus two removable params."""
+    return RunSpec(
+        driver=DriverSpec.of(
+            "repro.exec.builders:burst_animation",
+            name="shrink",
+            target_fdps=3.0,
+            duration_ms=250.0,
+            bursts=2,
+        ),
+        architecture="dvsync",
+        device=PIXEL_5,
+        dvsync=DVSyncConfig(buffer_count=5, prerender_limit=2),
+        watchdog=True,
+        faults=FAULTS,
+        fault_seed=11,
+        telemetry=True,
+        verify=True,
+        start_time=1_000_000,
+        horizon=200_000_000,
+    )
+
+
+def _no_execute(spec):
+    raise AssertionError("probe-free relation must not execute specs")
+
+
+class FaultsOnly:
+    """Synthetic oracle: violating exactly while fault injection is on."""
+
+    name = "synthetic-faults"
+    description = "violates iff spec.faults is set"
+
+    def applies(self, spec):
+        return spec.faults is not None
+
+    def probes(self, spec):
+        return []
+
+    def check(self, spec, results, execute):
+        return f"bad: {spec.content_hash()}"
+
+
+class OriginalOnly:
+    """Synthetic oracle pinned to one exact spec: nothing can be removed."""
+
+    def __init__(self, spec):
+        self._hash = spec.content_hash()
+        self.name = "synthetic-pinned"
+        self.description = "violates only the original spec"
+
+    def applies(self, spec):
+        return True
+
+    def probes(self, spec):
+        return []
+
+    def check(self, spec, results, execute):
+        return "pinned" if spec.content_hash() == self._hash else None
+
+
+class Crashy(FaultsOnly):
+    """Every simplified candidate crashes; only the original judges clean."""
+
+    def __init__(self, spec):
+        self._hash = spec.content_hash()
+
+    def check(self, spec, results, execute):
+        if spec.content_hash() != self._hash:
+            raise RuntimeError("candidate evaluation exploded")
+        return "bad"
+
+
+# --------------------------------------------------------------- knob_delta
+def test_knob_delta_is_zero_on_a_default_spec():
+    assert knob_delta(_default_spec()) == 0
+
+
+def test_knob_delta_counts_axes_and_removable_params():
+    # 9 non-default axes (faults, watchdog, telemetry, verify, horizon,
+    # start_time, fault_seed, dvsync, architecture) + 2 removable params.
+    assert knob_delta(_fat_spec()) == 11
+
+
+def test_required_params_never_count():
+    spec = _default_spec()
+    assert set(spec.driver.params) == {"name", "target_fdps"}
+    assert knob_delta(spec) == 0
+
+
+# ------------------------------------------------------------------- shrink
+def test_shrink_converges_to_the_single_guilty_knob():
+    shrinker = Shrinker(FaultsOnly(), _no_execute)
+    fat = _fat_spec()
+    shrunk, detail, delta = shrinker.shrink(fat, f"bad: {fat.content_hash()}")
+
+    assert delta == 1 == knob_delta(shrunk)
+    assert shrunk.faults == FAULTS
+    assert shrunk.architecture == "vsync"
+    assert shrunk.dvsync is None and not shrunk.watchdog
+    assert not shrunk.telemetry and not shrunk.verify
+    assert shrunk.start_time == 0 and shrunk.fault_seed == 0
+    assert shrunk.horizon is None
+    assert set(shrunk.driver.params) == {"name", "target_fdps"}
+    # The detail is re-judged on the minimized spec, not the original.
+    assert detail == f"bad: {shrunk.content_hash()}"
+    assert shrinker.evaluations > 0
+
+
+def test_shrink_is_deterministic():
+    fat = _fat_spec()
+    first = Shrinker(FaultsOnly(), _no_execute).shrink(fat, "bad")
+    second = Shrinker(FaultsOnly(), _no_execute).shrink(fat, "bad")
+    assert first[0].content_hash() == second[0].content_hash()
+    assert first[1:] == second[1:]
+
+
+def test_shrink_keeps_the_spec_when_every_knob_matters():
+    fat = _fat_spec()
+    shrunk, detail, delta = Shrinker(OriginalOnly(fat), _no_execute).shrink(
+        fat, "pinned"
+    )
+    assert shrunk == fat
+    assert detail == "pinned"
+    assert delta == knob_delta(fat)
+
+
+def test_crashing_candidates_are_disqualified():
+    fat = _fat_spec()
+    shrunk, detail, delta = Shrinker(Crashy(fat), _no_execute).shrink(
+        fat, "bad"
+    )
+    assert shrunk == fat
+    assert delta == knob_delta(fat)
+
+
+def test_violation_respects_the_applies_domain():
+    shrinker = Shrinker(FaultsOnly(), _no_execute)
+    assert shrinker.violation(_default_spec()) is None  # out of domain
+    assert shrinker.violation(_fat_spec()) is not None
+
+
+# ------------------------------------------------------------------ summary
+def test_spec_delta_summary_names_what_survived():
+    fat = _fat_spec()
+    shrunk, _, _ = Shrinker(FaultsOnly(), _no_execute).shrink(fat, "bad")
+    summary = spec_delta_summary(fat, shrunk)
+    assert "knob delta 11 -> 1" in summary
+    assert "non-default axes: faults" in summary
+    assert '"bursts"' in summary and '"duration_ms"' in summary
+
+
+def test_spec_delta_summary_on_an_unshrunk_spec():
+    spec = _default_spec()
+    summary = spec_delta_summary(spec, spec)
+    assert "knob delta 0 -> 0" in summary
+    assert "non-default axes: none" in summary

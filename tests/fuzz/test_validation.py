@@ -1,0 +1,146 @@
+"""Satellite: boundary validation for budget/seed, env defaults, and the CLI.
+
+Bad values must die at the boundary — ``ConfigurationError`` from the
+library API, exit code 2 from the CLI — before any spec is generated.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.errors import ConfigurationError
+from repro.fuzz.campaign import (
+    BUDGET_ENV_VAR,
+    FINDINGS_SCHEMA_VERSION,
+    FuzzCampaign,
+    budget_from_env,
+    validate_budget,
+    validate_seed,
+)
+from repro.fuzz.cli import main as fuzz_main
+from repro.fuzz.relations import RELATIONS
+
+
+# ---------------------------------------------------------------- validators
+@pytest.mark.parametrize("budget", [1, 2, 100, 10**6])
+def test_valid_budgets_pass_through(budget):
+    assert validate_budget(budget) == budget
+
+
+@pytest.mark.parametrize("budget", [0, -1, -100, True, False, 2.0, "10", None])
+def test_invalid_budgets_rejected(budget):
+    with pytest.raises(ConfigurationError):
+        validate_budget(budget)
+
+
+def test_budget_error_names_its_source():
+    with pytest.raises(ConfigurationError, match="--budget"):
+        validate_budget(0, source="--budget")
+
+
+@pytest.mark.parametrize("seed", [0, 1, 10**9])
+def test_valid_seeds_pass_through(seed):
+    assert validate_seed(seed) == seed
+
+
+@pytest.mark.parametrize("seed", [-1, True, False, 1.5, "0", None])
+def test_invalid_seeds_rejected(seed):
+    with pytest.raises(ConfigurationError):
+        validate_seed(seed)
+
+
+def test_campaign_constructor_validates_at_the_boundary():
+    with pytest.raises(ConfigurationError):
+        FuzzCampaign(budget=0)
+    with pytest.raises(ConfigurationError):
+        FuzzCampaign(budget=10, seed=-1)
+    with pytest.raises(ConfigurationError, match="unknown relation"):
+        FuzzCampaign(budget=10, relations=["nope"])
+
+
+# ----------------------------------------------------------------------- env
+def test_budget_from_env_defaults_when_unset(monkeypatch):
+    monkeypatch.delenv(BUDGET_ENV_VAR, raising=False)
+    assert budget_from_env() == 100
+    assert budget_from_env(default=7) == 7
+    monkeypatch.setenv(BUDGET_ENV_VAR, "")
+    assert budget_from_env(default=7) == 7
+
+
+def test_budget_from_env_parses_integers(monkeypatch):
+    monkeypatch.setenv(BUDGET_ENV_VAR, "25")
+    assert budget_from_env() == 25
+
+
+@pytest.mark.parametrize("text", ["abc", "2.5", "0", "-3"])
+def test_budget_from_env_rejects_garbage(monkeypatch, text):
+    monkeypatch.setenv(BUDGET_ENV_VAR, text)
+    with pytest.raises(ConfigurationError, match=BUDGET_ENV_VAR):
+        budget_from_env()
+
+
+# ----------------------------------------------------------------------- CLI
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["--budget", "0"],
+        ["--budget", "-5"],
+        ["--budget", "abc"],
+        ["--seed", "-1"],
+    ],
+    ids=["budget-zero", "budget-negative", "budget-text", "seed-negative"],
+)
+def test_cli_rejects_bad_flags_with_exit_2(argv):
+    with pytest.raises(SystemExit) as excinfo:
+        fuzz_main(argv)
+    assert excinfo.value.code == 2
+
+
+def test_cli_rejects_bad_env_budget_with_exit_2(monkeypatch):
+    monkeypatch.setenv(BUDGET_ENV_VAR, "zero")
+    with pytest.raises(SystemExit) as excinfo:
+        fuzz_main([])
+    assert excinfo.value.code == 2
+
+
+def test_cli_list_relations(capsys):
+    assert fuzz_main(["--list-relations"]) == 0
+    out = capsys.readouterr().out
+    for relation in RELATIONS:
+        assert relation.name in out
+
+
+def test_cli_happy_path_writes_findings_artifact(tmp_path, capsys):
+    out = tmp_path / "findings.json"
+    code = fuzz_main(
+        [
+            "--budget",
+            "2",
+            "--seed",
+            "0",
+            "--relation",
+            "content-order",
+            "--corpus",
+            "none",
+            "--out",
+            str(out),
+        ]
+    )
+    assert code == 0
+    report = json.loads(out.read_text())
+    assert report["schema"] == FINDINGS_SCHEMA_VERSION
+    assert report["seed"] == 0
+    assert report["budget"] == 2
+    assert report["relations"] == ["content-order"]
+    assert report["findings"] == []
+    stdout = capsys.readouterr().out
+    assert "no violations" in stdout
+    assert str(out) in stdout
+
+
+def test_module_entry_point_dispatches_fuzz(capsys):
+    assert repro_main(["fuzz", "--list-relations"]) == 0
+    assert RELATIONS[0].name in capsys.readouterr().out

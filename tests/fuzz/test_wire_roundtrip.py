@@ -1,0 +1,153 @@
+"""Satellite: Hypothesis round-trip property for the RunResult wire form.
+
+``result_to_wire`` → JSON → ``repro.metrics.coerce.as_result`` must be
+lossless for *arbitrary* well-formed results, not just the ones today's
+schedulers happen to produce. Hypothesis builds synthetic results across the
+full field space (optional stage times, empty and populated event lists,
+nested ``extra`` payloads) and asserts the canonical wire text is a fixed
+point of the round trip.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.display.device import ALL_DEVICES
+from repro.exec.serialize import result_from_wire, result_to_wire
+from repro.exec.spec import canonical_json
+from repro.metrics.coerce import as_result
+from repro.pipeline.compositor import DropEvent
+from repro.pipeline.frame import FrameCategory, FrameRecord, FrameWorkload
+from repro.pipeline.scheduler_base import RunResult
+from repro.display.hal import PresentRecord
+
+times = st.integers(min_value=0, max_value=10**12)
+opt_times = st.none() | times
+durations = st.integers(min_value=0, max_value=10**9)
+
+workloads = st.builds(
+    FrameWorkload,
+    ui_ns=durations,
+    render_ns=durations,
+    gpu_ns=durations,
+    category=st.sampled_from(sorted(FrameCategory, key=lambda c: c.value)),
+)
+
+
+@st.composite
+def frames(draw, frame_id):
+    frame = FrameRecord(
+        frame_id=frame_id,
+        workload=draw(workloads),
+        trigger_time=draw(times),
+        content_timestamp=draw(times),
+        decoupled=draw(st.booleans()),
+    )
+    frame.ui_start = draw(opt_times)
+    frame.ui_end = draw(opt_times)
+    frame.render_start = draw(opt_times)
+    frame.render_end = draw(opt_times)
+    frame.gpu_end = draw(opt_times)
+    frame.queued_time = draw(opt_times)
+    frame.latch_time = draw(opt_times)
+    frame.present_time = draw(opt_times)
+    frame.buffer_slot = draw(st.none() | st.integers(min_value=0, max_value=7))
+    frame.render_rate_hz = draw(st.none() | st.integers(min_value=1, max_value=120))
+    frame.buffer_wait_ns = draw(durations)
+    frame.content_value = draw(
+        st.none() | st.floats(allow_nan=False, allow_infinity=False, width=32)
+    )
+    frame.input_predicted = draw(st.booleans())
+    return frame
+
+
+drops = st.builds(
+    DropEvent,
+    time=times,
+    vsync_index=st.integers(min_value=0, max_value=10**6),
+    queued_depth=st.integers(min_value=0, max_value=8),
+    frames_in_flight=st.integers(min_value=0, max_value=8),
+)
+
+presents = st.builds(
+    PresentRecord,
+    frame_id=st.integers(min_value=0, max_value=10**6),
+    present_time=times,
+    vsync_index=st.integers(min_value=0, max_value=10**6),
+    content_timestamp=times,
+    queue_depth_after=st.integers(min_value=0, max_value=8),
+    refresh_period=st.integers(min_value=1, max_value=10**8),
+)
+
+json_scalars = (
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(10**9), max_value=10**9)
+    | st.floats(allow_nan=False, allow_infinity=False, width=32)
+    | st.text(max_size=12)
+)
+extras = st.dictionaries(
+    st.text(min_size=1, max_size=12),
+    json_scalars | st.lists(json_scalars, max_size=4),
+    max_size=4,
+)
+
+
+@st.composite
+def results(draw):
+    frame_list = [
+        draw(frames(frame_id)) for frame_id in range(draw(st.integers(0, 4)))
+    ]
+    return RunResult(
+        scheduler=draw(st.sampled_from(["vsync", "dvsync"])),
+        scenario=draw(st.text(min_size=1, max_size=16)),
+        device=draw(st.sampled_from(ALL_DEVICES)),
+        buffer_count=draw(st.integers(min_value=2, max_value=8)),
+        frames=frame_list,
+        drops=draw(st.lists(drops, max_size=4)),
+        presents=draw(st.lists(presents, max_size=4)),
+        start_time=draw(times),
+        end_time=draw(times),
+        ui_busy_ns=draw(durations),
+        render_busy_ns=draw(durations),
+        gpu_busy_ns=draw(durations),
+        scheduler_overhead_ns=draw(durations),
+        extra=draw(extras),
+    )
+
+
+@given(results())
+@settings(max_examples=40, deadline=None)
+def test_wire_round_trip_is_a_fixed_point(result):
+    """serialize → JSON text → coerce → serialize is byte-identical."""
+    wire = result_to_wire(result)
+    text = canonical_json(wire)
+    rebuilt = as_result(json.loads(text))
+    assert isinstance(rebuilt, RunResult)
+    assert canonical_json(result_to_wire(rebuilt)) == text
+
+
+@given(results())
+@settings(max_examples=15, deadline=None)
+def test_as_result_passthrough_is_identity(result):
+    assert as_result(result) is result
+
+
+def test_as_result_rejects_schemaless_mapping():
+    with pytest.raises(TypeError, match="schema"):
+        as_result({"frames": []})
+
+
+def test_as_result_rejects_foreign_types():
+    with pytest.raises(TypeError, match="expected a RunResult"):
+        as_result(42)
+
+
+def test_result_from_wire_rejects_unknown_schema():
+    wire = {"schema": 99}
+    with pytest.raises(ValueError, match="unsupported RunResult schema"):
+        result_from_wire(wire)
