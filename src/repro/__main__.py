@@ -26,17 +26,26 @@ and over the differential spec fuzzer, for everything nobody hand-wrote:
 
     python -m repro fuzz --budget 200 --seed 0
     python -m repro fuzz --budget 50 --relation engine-parity
+
+and over the resource governor, for runs that must stay bounded:
+
+    python -m repro --all --max-events 2000000 --memory-mb 2048 --keep-going
+    python -m repro cache stats
+    python -m repro cache gc --quota-mb 256
+    python -m repro cache scrub
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import sys
 
 from repro.errors import ConfigurationError
 from repro.exec.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.exec.executor import Executor, set_default_executor
+from repro.exec.governor import ResourceBudget, budget_from_env
 from repro.experiments import registry
 from repro.experiments.registry import EXPERIMENTS, run_all, run_experiment
 from repro.experiments.runner import DEFAULT_RUNS
@@ -49,12 +58,70 @@ from repro.telemetry.profiler import render_profile, write_bench_telemetry
 BENCH_TELEMETRY_PATH = "BENCH_telemetry.json"
 
 
+def _cache_main(argv: list[str]) -> int:
+    """``python -m repro cache stats|gc|scrub`` — result-cache maintenance."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro cache",
+        description="Inspect and maintain the on-disk result cache.",
+    )
+    parser.add_argument(
+        "action",
+        choices=("stats", "gc", "scrub"),
+        help=(
+            "stats prints quota/usage/eviction counters; gc LRU-evicts "
+            "entries until the store fits its disk quota; scrub eagerly "
+            "removes entries that no longer deserialize"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache directory (default: REPRO_CACHE_DIR or .repro-cache/)",
+    )
+    parser.add_argument(
+        "--quota-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="disk quota for gc (default: REPRO_CACHE_QUOTA_MB)",
+    )
+    args = parser.parse_args(argv)
+    if args.quota_mb is not None and not args.quota_mb > 0:
+        parser.error("--quota-mb must be > 0")
+    cache_dir = args.cache_dir or os.environ.get(
+        "REPRO_CACHE_DIR", DEFAULT_CACHE_DIR
+    )
+    try:
+        budget = budget_from_env()
+    except ConfigurationError as exc:
+        parser.error(str(exc))
+    quota_bytes = None
+    if args.quota_mb is not None:
+        quota_bytes = int(args.quota_mb * 1024 * 1024)
+    elif budget is not None:
+        quota_bytes = budget.cache_quota_bytes
+    cache = ResultCache(cache_dir, quota_bytes=quota_bytes)
+    if args.action == "gc":
+        if quota_bytes is None:
+            parser.error(
+                "gc needs a quota: pass --quota-mb or set REPRO_CACHE_QUOTA_MB"
+            )
+        print(f"gc: evicted {cache.gc()} entries")
+    elif args.action == "scrub":
+        print(f"scrub: removed {cache.scrub()} corrupt entries")
+    print(cache.describe())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     arguments = list(sys.argv[1:] if argv is None else argv)
     if arguments and arguments[0] == "fuzz":
         from repro.fuzz.cli import main as fuzz_main
 
         return fuzz_main(arguments[1:])
+    if arguments and arguments[0] == "cache":
+        return _cache_main(arguments[1:])
     argv = arguments
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -146,6 +213,45 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.set_defaults(policy="fail-fast")
     parser.add_argument(
+        "--max-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "per-run simulator event budget; a run trips at exactly this "
+            "many events with a deterministic, replayable 'budget' failure"
+        ),
+    )
+    parser.add_argument(
+        "--memory-mb",
+        type=int,
+        default=None,
+        metavar="MB",
+        help=(
+            "per-run worker address-space cap (RLIMIT_AS, process backend); "
+            "a blown cap fails the run with kind 'oom' instead of invoking "
+            "the OS OOM-killer on the pool"
+        ),
+    )
+    parser.add_argument(
+        "--cache-quota-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help=(
+            "result-cache disk quota; every store LRU-evicts back under it "
+            "(see also: python -m repro cache gc)"
+        ),
+    )
+    parser.add_argument(
+        "--shed",
+        action="store_true",
+        help=(
+            "load-shedding: skip study cells marked sheddable (extra "
+            "repetitions, sweep edges) instead of executing them"
+        ),
+    )
+    parser.add_argument(
         "--cache-stats",
         action="store_true",
         help=(
@@ -214,6 +320,27 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--timeout must be > 0 seconds")
     if args.retries is not None and args.retries < 0:
         parser.error("--retries must be >= 0")
+    if args.max_events is not None and args.max_events < 1:
+        parser.error("--max-events must be >= 1")
+    if args.memory_mb is not None and args.memory_mb < 1:
+        parser.error("--memory-mb must be >= 1")
+    if args.cache_quota_mb is not None and not args.cache_quota_mb > 0:
+        parser.error("--cache-quota-mb must be > 0")
+    try:
+        budget = budget_from_env()
+    except ConfigurationError as exc:
+        parser.error(str(exc))
+    overrides = {
+        name: value
+        for name, value in (
+            ("max_events", args.max_events),
+            ("memory_mb", args.memory_mb),
+            ("cache_quota_mb", args.cache_quota_mb),
+        )
+        if value is not None
+    }
+    if overrides:
+        budget = dataclasses.replace(budget or ResourceBudget(), **overrides)
     if args.engine is not None:
         from repro.fastpath.engine import set_default_engine
 
@@ -228,6 +355,8 @@ def main(argv: list[str] | None = None) -> int:
         timeout_s=args.timeout,
         retries=args.retries,
         policy=args.policy,
+        budget=budget,
+        shed=args.shed,
     )
     set_default_executor(executor)
 

@@ -83,6 +83,17 @@ class ExecutionError(ReproError):
     """
 
 
+class BudgetExceededError(ExecutionError):
+    """A run tripped its deterministic :class:`~repro.exec.governor.ResourceBudget`.
+
+    Raised by the :class:`~repro.exec.governor.BudgetGuard` when a simulation
+    exceeds its event-count or sim-time budget. Unlike a wall-clock deadline,
+    the trip point is a pure function of the spec and the budget: the same
+    spec with the same budget fails at the identical event (count, sim-time,
+    seq) on every host, every backend, and both engines.
+    """
+
+
 class WorkerCrashError(ExecutionError):
     """A process-pool worker died while executing a spec (SIGKILL, OOM, ...)."""
 

@@ -19,6 +19,12 @@ worker-crash containment with pool respawn, a circuit breaker that degrades
 to in-process execution, and structured :class:`RunFailure` records so a
 batch returns partial results instead of losing everything to one bad spec
 (see :mod:`repro.exec.supervisor`).
+
+Runs are also *governed*: a :class:`ResourceBudget` on the spec (or the
+executor) bounds simulator events and sim-time deterministically, caps
+worker address space (``MemoryError`` → failure kind ``oom``), and puts the
+result cache under an LRU disk quota; the executor adds bounded wave
+admission and study load-shedding (see :mod:`repro.exec.governor`).
 """
 
 from repro.exec.cache import CacheStats, ResultCache, code_salt
@@ -30,6 +36,12 @@ from repro.exec.executor import (
     set_default_executor,
     using_executor,
 )
+from repro.exec.governor import (
+    BudgetGuard,
+    ResourceBudget,
+    counting_probe,
+    measure_run_events,
+)
 from repro.exec.serialize import (
     RESULT_SCHEMA_VERSION,
     result_from_wire,
@@ -38,6 +50,8 @@ from repro.exec.serialize import (
 from repro.exec.spec import DriverSpec, RunSpec
 from repro.exec.supervisor import (
     FAILURE_KINDS,
+    NON_QUARANTINE_KINDS,
+    RETRYABLE_KINDS,
     BatchOutcome,
     CircuitBreaker,
     RetryPolicy,
@@ -46,20 +60,26 @@ from repro.exec.supervisor import (
 
 __all__ = [
     "BatchOutcome",
+    "BudgetGuard",
     "CacheStats",
     "CircuitBreaker",
     "DriverSpec",
     "ExecStats",
     "Executor",
     "FAILURE_KINDS",
+    "NON_QUARANTINE_KINDS",
     "RESULT_SCHEMA_VERSION",
+    "RETRYABLE_KINDS",
+    "ResourceBudget",
     "ResultCache",
     "RetryPolicy",
     "RunFailure",
     "RunSpec",
     "code_salt",
+    "counting_probe",
     "execute_spec",
     "get_default_executor",
+    "measure_run_events",
     "result_from_wire",
     "result_to_wire",
     "set_default_executor",

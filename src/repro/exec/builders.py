@@ -98,3 +98,60 @@ def chaos_driver(
             )
         os.kill(os.getpid(), signal.SIGKILL)
     return burst_animation(name, target_fdps=target_fdps, duration_ms=duration_ms)
+
+
+def memory_hog(
+    name: str = "hog",
+    allocate_mb: int = 1024,
+    chunk_mb: int = 16,
+    target_fdps: float = 10.0,
+    duration_ms: float = 50.0,
+) -> AnimationDriver:
+    """A driver that eats *allocate_mb* of address space before building.
+
+    The governor's OOM test subject: under a budget's ``memory_mb`` cap
+    (``RLIMIT_AS`` in a pool worker) the allocation dies with a clean
+    ``MemoryError`` → failure kind ``oom``. Like :func:`chaos_driver`'s kill
+    mode it refuses to run outside a pool worker — an uncapped in-process
+    allocation would eat the harness's own memory.
+
+    Allocation is touched page by page (``bytearray``), so address-space
+    accounting cannot be cheated by lazy zero pages.
+    """
+    if multiprocessing.parent_process() is None:
+        raise WorkloadError(
+            f"memory hog {name!r} refuses to allocate outside a pool worker"
+        )
+    hoard = []
+    remaining = allocate_mb
+    while remaining > 0:
+        step = min(chunk_mb, remaining)
+        hoard.append(bytearray(step * 1024 * 1024))
+        remaining -= step
+    del hoard
+    return burst_animation(name, target_fdps=target_fdps, duration_ms=duration_ms)
+
+
+def event_storm(
+    name: str = "storm",
+    target_fdps: float = 120.0,
+    refresh_hz: int = 120,
+    duration_ms: float = 5000.0,
+    bursts: int = 1,
+) -> AnimationDriver:
+    """A long, dense animation that generates events until a budget trips.
+
+    The governor's budget test subject: a multi-second sustained burst at a
+    high refresh rate produces thousands of simulator events — far beyond
+    any small ``max_events``/``max_sim_ns`` budget — at a perfectly
+    deterministic event stream, so the trip point is byte-stable across
+    hosts, backends, and engines.
+    """
+    return burst_animation(
+        name,
+        target_fdps=target_fdps,
+        refresh_hz=refresh_hz,
+        duration_ms=duration_ms,
+        bursts=bursts,
+        burst_period_ms=duration_ms * 1.5 if bursts > 1 else None,
+    )

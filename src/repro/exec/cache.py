@@ -9,6 +9,14 @@ across identical checkouts without re-hashing).
 Entries are JSON files written atomically (temp file + rename), fanned out
 by key prefix to keep directories small. A corrupt or unreadable entry is
 treated as a miss and removed.
+
+An optional disk quota (``quota_bytes``, wired from
+``ResourceBudget.cache_quota_mb`` / ``REPRO_CACHE_QUOTA_MB`` /
+``repro --cache-quota-mb``) turns the store into an LRU cache: ``get``
+freshens an entry's mtime, and every ``put`` garbage-collects
+least-recently-used entries until the cache fits — the entry just written is
+protected, so the cache never exceeds the quota after a store settles.
+``gc``/``scrub`` are also exposed directly (``repro cache gc|scrub|stats``).
 """
 
 from __future__ import annotations
@@ -64,18 +72,31 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    quota_evictions: int = 0
+    scrubbed: int = 0
 
 
 class ResultCache:
-    """Content-addressed store mapping RunSpecs to serialized results."""
+    """Content-addressed store mapping RunSpecs to serialized results.
+
+    Args:
+        root: Cache directory.
+        salt: Code-version salt override (defaults to :func:`code_salt`).
+        quota_bytes: Optional disk quota; when set, every :meth:`put` LRU
+            garbage-collects back under it (see :meth:`gc`).
+    """
 
     def __init__(
         self,
         root: str | os.PathLike = DEFAULT_CACHE_DIR,
         salt: str | None = None,
+        quota_bytes: int | None = None,
     ) -> None:
         self.root = pathlib.Path(root)
         self.salt = salt if salt is not None else code_salt()
+        if quota_bytes is not None and quota_bytes < 1:
+            raise ValueError(f"quota_bytes must be >= 1, got {quota_bytes}")
+        self.quota_bytes = quota_bytes
         self.stats = CacheStats()
 
     def key(self, spec: RunSpec) -> str:
@@ -101,6 +122,13 @@ class ResultCache:
             self.stats.misses += 1
             self.stats.evictions += 1
             return None
+        # LRU freshness: a hit makes the entry the youngest, so the quota GC
+        # (which evicts by mtime) never reclaims a live entry before a stale
+        # one. Best-effort — a read-only cache still serves hits.
+        try:
+            os.utime(path)
+        except OSError:
+            pass
         self.stats.hits += 1
         return result
 
@@ -127,6 +155,8 @@ class ResultCache:
                 pass
             raise
         self.stats.stores += 1
+        if self.quota_bytes is not None:
+            self.gc(protect={path})
 
     # ------------------------------------------------------------ inspection
     def entries(self) -> list[pathlib.Path]:
@@ -139,15 +169,88 @@ class ResultCache:
         """Total on-disk size of all entries."""
         return sum(path.stat().st_size for path in self.entries())
 
+    # ------------------------------------------------------------ governance
+    def gc(
+        self,
+        quota_bytes: int | None = None,
+        protect: set[pathlib.Path] | None = None,
+    ) -> int:
+        """LRU garbage collection: evict oldest entries until under quota.
+
+        Entries are ranked by (mtime, path) — ``get`` freshens mtimes, so
+        recently-served entries outlive stale ones, and the path tiebreak
+        keeps eviction order deterministic on filesystems with coarse
+        timestamps. *protect* entries (the one a ``put`` just wrote) are
+        only reclaimed as a last resort, when they alone exceed the quota —
+        the cache never finishes a ``put`` over its quota. Returns how many
+        entries were removed.
+        """
+        quota = quota_bytes if quota_bytes is not None else self.quota_bytes
+        if quota is None:
+            return 0
+        protect = protect or set()
+        records: list[tuple[int, str, pathlib.Path, int]] = []
+        total = 0
+        for path in self.entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            records.append((stat.st_mtime_ns, str(path), path, stat.st_size))
+            total += stat.st_size
+        removed = 0
+        records.sort()
+        for last_resort in (False, True):
+            for _, _, path, size in records:
+                if total <= quota:
+                    break
+                if (path in protect) is not last_resort:
+                    continue
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                total -= size
+                removed += 1
+            if total <= quota:
+                break
+        self.stats.quota_evictions += removed
+        return removed
+
+    def scrub(self) -> int:
+        """Validate every entry; unlink those that cannot deserialize.
+
+        The ``get`` path already self-heals corrupt entries lazily; ``scrub``
+        does it eagerly for the whole store (``repro cache scrub``), so a
+        damaged cache stops wasting quota on bytes that can only ever miss.
+        Returns how many entries were removed.
+        """
+        removed = 0
+        for path in self.entries():
+            try:
+                result_from_wire(json.loads(path.read_text()))
+            except (ValueError, KeyError, TypeError, OSError):
+                path.unlink(missing_ok=True)
+                removed += 1
+        self.stats.scrubbed += removed
+        return removed
+
     def describe(self) -> str:
         """Human-readable cache summary for the CLI."""
         entries = self.entries()
         size_mb = sum(p.stat().st_size for p in entries) / 1e6
+        quota = (
+            f" of {self.quota_bytes / 1e6:.1f} MB quota"
+            if self.quota_bytes is not None
+            else ""
+        )
         return (
-            f"cache {self.root}: {len(entries)} entries, {size_mb:.1f} MB, "
+            f"cache {self.root}: {len(entries)} entries, {size_mb:.1f} MB{quota}, "
             f"salt {self.salt} (session: {self.stats.hits} hits, "
             f"{self.stats.misses} misses, {self.stats.stores} stores, "
-            f"{self.stats.evictions} evictions)"
+            f"{self.stats.evictions} evictions, "
+            f"{self.stats.quota_evictions} quota evictions, "
+            f"{self.stats.scrubbed} scrubbed)"
         )
 
     def clear(self) -> int:

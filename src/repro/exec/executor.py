@@ -42,8 +42,14 @@ import os
 import time
 import traceback
 
-from repro.errors import BatchExecutionError, ConfigurationError
+from repro.errors import BatchExecutionError, BudgetExceededError, ConfigurationError
 from repro.exec.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.exec.governor import (
+    ResourceBudget,
+    address_space_cap,
+    budget_from_env,
+    guard_for_spec,
+)
 from repro.exec.serialize import (
     error_envelope,
     ok_envelope,
@@ -53,6 +59,7 @@ from repro.exec.serialize import (
 from repro.exec.spec import RunSpec
 from repro.exec.supervisor import (
     FAILURE_KINDS,
+    NON_QUARANTINE_KINDS,
     BatchOutcome,
     CircuitBreaker,
     RetryPolicy,
@@ -123,7 +130,21 @@ def execute_spec(spec: RunSpec) -> RunResult:
         FaultInjector(schedule, seed=spec.fault_seed).attach(scheduler)
     if spec.watchdog:
         scheduler.attach_watchdog(DegradationWatchdog())
+    # Resource governance: the guard (the spec's budget, or an installed
+    # counting probe) trips BudgetExceededError at a deterministic event.
+    # The fastpath branch above attaches its own guard inside replay_spec.
+    guard = guard_for_spec(spec)
+    if guard is not None:
+        scheduler.sim.budget_guard = guard
     return scheduler.run(start_time=spec.start_time, horizon=spec.horizon)
+
+
+def _oom_message(memory_mb: int | None) -> str:
+    # Deliberately free of allocation sizes and addresses: oom records must
+    # be byte-identical across backends and reruns.
+    if memory_mb is not None:
+        return f"run exhausted its {memory_mb} MB address-space budget"
+    return "run exhausted available memory"
 
 
 def _pool_worker(wire_spec: dict) -> dict:
@@ -134,12 +155,29 @@ def _pool_worker(wire_spec: dict) -> dict:
     classify and retry without the pool protocol ever seeing an unpicklable
     exception. ``BaseException`` (SIGKILL, interpreter death) still breaks
     the pool; that path is the supervisor's crash-containment job.
+
+    A spec budget's ``memory_mb`` is applied here as ``RLIMIT_AS`` for the
+    duration of the run (restored afterwards — workers are reused), turning
+    a runaway allocation into a clean ``MemoryError`` → kind ``oom`` instead
+    of an OS OOM-kill that would break the whole pool. Budget trips
+    (``BudgetExceededError``) and ooms carry no traceback: their envelopes
+    are deterministic functions of spec + budget, byte-identical across
+    backends and engines.
     """
     started = time.perf_counter()
+    memory_mb = None
     try:
         spec = RunSpec.from_wire(wire_spec)
-        result = execute_spec(spec)
-        return ok_envelope(result_to_wire(result), time.perf_counter() - started)
+        if spec.budget is not None:
+            memory_mb = spec.budget.memory_mb
+        with address_space_cap(memory_mb):
+            result = execute_spec(spec)
+            wire = result_to_wire(result)
+        return ok_envelope(wire, time.perf_counter() - started)
+    except BudgetExceededError as exc:
+        return error_envelope("budget", str(exc), None)
+    except MemoryError:
+        return error_envelope("oom", _oom_message(memory_mb), None)
     except ConfigurationError as exc:
         return error_envelope("config", str(exc), traceback.format_exc())
     except Exception as exc:
@@ -166,6 +204,11 @@ class ExecStats:
     quarantined: int = 0
     cache_evictions: int = 0
     cache_write_errors: int = 0
+    budget_trips: int = 0
+    ooms: int = 0
+    shed: int = 0
+    admission_deferred: int = 0
+    cache_gc_evictions: int = 0
 
     def snapshot(self) -> "ExecStats":
         return dataclasses.replace(self)
@@ -206,6 +249,19 @@ class ExecStats:
                 f"; supervision: {self.failures} failed, {self.retries} retries, "
                 f"{self.timeouts} timeouts, {self.crashes} crashes, "
                 f"{self.pool_respawns} pool respawns"
+            )
+        if (
+            self.budget_trips
+            or self.ooms
+            or self.shed
+            or self.admission_deferred
+            or self.cache_gc_evictions
+        ):
+            line += (
+                f"; governance: {self.budget_trips} budget trips, "
+                f"{self.ooms} ooms, {self.shed} shed, "
+                f"{self.admission_deferred} admission-deferred, "
+                f"{self.cache_gc_evictions} cache GC evictions"
             )
         return line
 
@@ -267,6 +323,19 @@ class Executor:
             ``None`` holes; failures accumulate on :attr:`last_failures`).
         breaker_threshold: Consecutive pool-level failures before the
             circuit breaker degrades this executor to in-process execution.
+        budget: Default :class:`~repro.exec.governor.ResourceBudget` applied
+            to every spec that does not carry its own; like ``timeout_s`` it
+            is execution policy (excluded from content hashes). Its
+            ``cache_quota_mb`` also sizes the default on-disk cache's LRU
+            quota when ``cache=True``.
+        admission: Submission high-water mark for the process backend — at
+            most this many tasks enter a supervision wave at once, the rest
+            wait under backpressure (counted in
+            ``ExecStats.admission_deferred``). Defaults to
+            ``max(4 * jobs, 16)``; unbounded fan-out is never the default.
+        shed: Load-shedding policy flag read by the study layer: when set,
+            cells a study marked ``sheddable`` are skipped instead of
+            executed (see :func:`repro.study.core.execute_studies`).
     """
 
     def __init__(
@@ -279,6 +348,9 @@ class Executor:
         retries: int | RetryPolicy | None = None,
         policy: str = "fail-fast",
         breaker_threshold: int = 3,
+        budget: ResourceBudget | None = None,
+        admission: int | None = None,
+        shed: bool = False,
     ) -> None:
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
         if self.jobs < 1:
@@ -290,8 +362,18 @@ class Executor:
                 f"unknown executor backend {backend!r}; known: {', '.join(BACKENDS)}"
             )
         self.backend = backend
+        self.budget = budget
+        if admission is None:
+            admission = max(4 * self.jobs, 16)
+        elif admission < 1:
+            raise ConfigurationError(f"admission must be >= 1, got {admission}")
+        self.admission = admission
+        self.shed = bool(shed)
         if cache is True:
-            self.cache: ResultCache | None = ResultCache(cache_dir)
+            quota = budget.cache_quota_bytes if budget is not None else None
+            self.cache: ResultCache | None = ResultCache(
+                cache_dir, quota_bytes=quota
+            )
         elif cache is False or cache is None:
             self.cache = None
         else:
@@ -429,6 +511,11 @@ class Executor:
             if self.cache is not None:
                 self.stats.cache_misses += 1
             timeout_s = spec.timeout_s if spec.timeout_s is not None else self.timeout_s
+            if spec.budget is None and self.budget is not None:
+                # The executor default budget rides the wire like a spec's
+                # own; budget is excluded from content_hash, so the key
+                # computed above still addresses the result.
+                spec = dataclasses.replace(spec, budget=self.budget)
             tasks.append(_Task(key, spec, timeout_s))
 
         if tasks:
@@ -438,6 +525,7 @@ class Executor:
                 self.stats.runs_executed += 1
                 self.stats.run_seconds += seconds
                 if self.cache is not None:
+                    before_gc = self.cache.stats.quota_evictions
                     try:
                         # Checkpoint immediately: a later crash in this batch
                         # (or of this process) never re-simulates this spec.
@@ -447,6 +535,10 @@ class Executor:
                         # batch mid-wave: the result stands, merely uncached.
                         self.stats.cache_write_errors += 1
                         self._note("cache_write_errors")
+                    evicted = self.cache.stats.quota_evictions - before_gc
+                    if evicted:
+                        self.stats.cache_gc_evictions += evicted
+                        self._note_governor("cache_gc_evictions", evicted)
                 wires[task.key] = wire
 
             failures_by_key.update(self._execute_batch(tasks, on_success))
@@ -495,6 +587,10 @@ class Executor:
         if telemetry_runtime.enabled():
             telemetry_runtime.note_exec(name, amount)
 
+    def _note_governor(self, name: str, amount: float = 1.0) -> None:
+        if telemetry_runtime.enabled():
+            telemetry_runtime.note_governor(name, amount)
+
     def _execute_batch(self, tasks, on_success) -> dict[str, RunFailure]:
         failures: dict[str, RunFailure] = {}
         if self.backend == "process" and self.jobs > 1 and not self.breaker.tripped:
@@ -525,10 +621,22 @@ class Executor:
         elif kind == "crash":
             self.stats.crashes += 1
             self._note("crashes")
+        elif kind == "budget":
+            self.stats.budget_trips += 1
+            self._note_governor("budget_trips")
+        elif kind == "oom":
+            self.stats.ooms += 1
+            self._note_governor("ooms")
+        max_attempts = self.retry.max_attempts
+        if kind == "oom":
+            # oom retries once, without cap escalation: the first failure may
+            # be a reused worker's fragmented address space, but a second
+            # identical one under the same cap is the spec's own appetite.
+            max_attempts = min(max_attempts, 2)
         if (
             allow_retry
             and self.retry.retryable(kind)
-            and task.attempts < self.retry.max_attempts
+            and task.attempts < max_attempts
         ):
             self.stats.retries += 1
             self._note("retries")
@@ -547,12 +655,14 @@ class Executor:
         failures[task.key] = failure
         self.stats.failures += 1
         self._note("failures")
-        # Timeouts never quarantine: the quarantine key (content_hash) is
-        # deliberately blind to timeout_s, so a deadline failure must not
-        # outlive the deadline that produced it — the same spec resubmitted
-        # under a larger timeout_s deserves a fresh run. The deterministic
-        # kinds (crash/config/cache-corrupt) do quarantine.
-        if kind != "timeout" and task.key not in self._quarantine:
+        # Policy-knob failures (timeout/budget/oom) never quarantine: the
+        # quarantine key (content_hash) is deliberately blind to timeout_s
+        # and budget, so a failure caused by an allowance must not outlive
+        # the allowance that produced it — the same spec resubmitted under a
+        # larger deadline, event budget, or memory cap deserves a fresh run.
+        # The spec-deterministic kinds (crash/config/cache-corrupt) do
+        # quarantine.
+        if kind not in NON_QUARANTINE_KINDS and task.key not in self._quarantine:
             self._quarantine[task.key] = failure
             self.stats.quarantined += 1
             self._note("quarantined")
@@ -623,7 +733,14 @@ class Executor:
                     self._inprocess_supervised(pending, failures, on_success)
                 return
             if pending:
-                wave, pending = pending, []
+                # Bounded admission: at most `admission` tasks enter a wave;
+                # the remainder waits under backpressure instead of fanning
+                # out an unbounded future set (and, on a broken pool, an
+                # unbounded suspect set).
+                wave, pending = pending[: self.admission], pending[self.admission:]
+                if pending:
+                    self.stats.admission_deferred += len(pending)
+                    self._note_governor("admission_deferred", len(pending))
             else:
                 # Crash suspects run one per pool so a broken pool
                 # attributes the crash to exactly one spec.
@@ -751,6 +868,20 @@ class Executor:
                     result = execute_spec(task.spec)
                     seconds = time.perf_counter() - started
                     envelope = ok_envelope(result_to_wire(result), seconds)
+                except BudgetExceededError as exc:
+                    # Same tracebackless envelope as the pool worker: a
+                    # budget trip's wire form is byte-identical across
+                    # backends. (memory_mb is NOT applied in-process — an
+                    # RLIMIT_AS clamp here would endanger the host process —
+                    # but a genuine MemoryError still maps to the taxonomy.)
+                    envelope = error_envelope("budget", str(exc), None)
+                except MemoryError:
+                    budget = task.spec.budget
+                    envelope = error_envelope(
+                        "oom",
+                        _oom_message(budget.memory_mb if budget else None),
+                        None,
+                    )
                 except ConfigurationError as exc:
                     envelope = error_envelope(
                         "config", str(exc), traceback.format_exc()
@@ -835,6 +966,7 @@ def _executor_from_env() -> Executor:
         cache_dir=cache_dir,
         timeout_s=timeout_s,
         retries=retries,
+        budget=budget_from_env(),
     )
 
 
@@ -843,8 +975,9 @@ def get_default_executor() -> Executor:
 
     First use builds one from ``REPRO_JOBS`` / ``REPRO_EXEC_BACKEND`` /
     ``REPRO_CACHE`` / ``REPRO_CACHE_DIR`` / ``REPRO_TIMEOUT`` /
-    ``REPRO_RETRIES``; absent those, a hermetic in-process executor with the
-    cache disabled. Malformed values raise
+    ``REPRO_RETRIES`` / ``REPRO_MAX_EVENTS`` / ``REPRO_MEMORY_MB`` /
+    ``REPRO_CACHE_QUOTA_MB``; absent those, a hermetic in-process executor
+    with the cache disabled. Malformed values raise
     :class:`~repro.errors.ConfigurationError` here, at construction time.
     """
     global _default_executor

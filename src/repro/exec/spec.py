@@ -24,6 +24,7 @@ from typing import Any, Mapping
 from repro.core.config import DVSyncConfig
 from repro.display.device import DeviceProfile, GraphicsBackend, OperatingSystem
 from repro.errors import ConfigurationError
+from repro.exec.governor import ResourceBudget
 from repro.pipeline.driver import ScenarioDriver
 
 #: Architectures :func:`repro.exec.executor.execute_spec` can instantiate.
@@ -184,6 +185,12 @@ class RunSpec:
             wire (pool workers must honor it) but is excluded from
             :meth:`content_hash` and cached results are shared across
             engines.
+        budget: Optional :class:`~repro.exec.governor.ResourceBudget` bounding
+            what the run may consume (sim events, sim-time span, worker
+            address space, cache disk). Execution policy like ``timeout_s``:
+            it rides the wire so pool workers enforce it, but is excluded
+            from :meth:`content_hash` — a budget decides whether a run is
+            *allowed to finish*, never what the finished result is.
     """
 
     driver: DriverSpec
@@ -200,6 +207,7 @@ class RunSpec:
     verify: bool = False
     timeout_s: float | None = None
     engine: str = "auto"
+    budget: ResourceBudget | None = None
 
     def __post_init__(self) -> None:
         architecture = getattr(self.architecture, "value", self.architecture)
@@ -242,6 +250,7 @@ class RunSpec:
             "verify": self.verify,
             "timeout_s": self.timeout_s,
             "engine": self.engine,
+            "budget": self.budget.to_wire() if self.budget else None,
         }
 
     @classmethod
@@ -263,19 +272,26 @@ class RunSpec:
             verify=wire.get("verify", False),
             timeout_s=wire.get("timeout_s"),
             engine=wire.get("engine", "auto"),
+            budget=(
+                ResourceBudget.from_wire(wire["budget"])
+                if wire.get("budget")
+                else None
+            ),
         )
 
     def content_hash(self) -> str:
         """SHA-256 content address of this spec (hex).
 
-        Execution-policy fields (``timeout_s``, ``engine``) are excluded: a
-        deadline bounds *how long* the harness waits and the engine picks
-        *how* the deterministic result is computed, not *what* it is, so the
-        same result stays addressable under any policy.
+        Execution-policy fields (``timeout_s``, ``engine``, ``budget``) are
+        excluded: a deadline bounds *how long* the harness waits, the engine
+        picks *how* the deterministic result is computed, and a budget
+        decides whether the run may finish at all — none changes *what* the
+        result is, so the same result stays addressable under any policy.
         """
         wire = self.to_wire()
         del wire["timeout_s"]
         del wire["engine"]
+        del wire["budget"]
         return hashlib.sha256(canonical_json(wire).encode("utf-8")).hexdigest()
 
     def describe(self) -> str:

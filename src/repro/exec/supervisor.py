@@ -34,13 +34,26 @@ from repro.errors import BatchExecutionError, ConfigurationError
 #: (:class:`~repro.errors.ConfigurationError` — never retried, the same spec
 #: fails the same way every time); ``cache-corrupt`` is a result wire form
 #: that could not be deserialized (a healed cache entry never surfaces here —
-#: the cache evicts those as misses).
-FAILURE_KINDS = ("crash", "timeout", "config", "cache-corrupt")
+#: the cache evicts those as misses); ``budget`` is a deterministic
+#: :class:`~repro.exec.governor.ResourceBudget` trip (same spec + same budget
+#: fails at the identical simulator event on every host and both engines);
+#: ``oom`` is a ``MemoryError`` under the budget's worker address-space cap.
+FAILURE_KINDS = ("crash", "timeout", "config", "cache-corrupt", "budget", "oom")
 
 #: Kinds worth retrying: transient by nature (a crashed worker or a blown
-#: wall-clock deadline can succeed on a quieter machine), unlike ``config``
-#: (deterministic rejection) and ``cache-corrupt`` (deterministic bad bytes).
-RETRYABLE_KINDS = frozenset({"crash", "timeout"})
+#: wall-clock deadline can succeed on a quieter machine, and an oom may be a
+#: reused worker's fragmented address space — the executor grants it exactly
+#: one retry, never a cap escalation), unlike ``config`` (deterministic
+#: rejection), ``cache-corrupt`` (deterministic bad bytes), and ``budget``
+#: (deterministic by design — retrying replays the identical trip).
+RETRYABLE_KINDS = frozenset({"crash", "timeout", "oom"})
+
+#: Kinds that never quarantine. The quarantine key is ``content_hash``, which
+#: is deliberately blind to execution policy (``timeout_s``, ``budget``): a
+#: failure caused by an allowance must not outlive the allowance that
+#: produced it — the same spec resubmitted with a larger deadline, event
+#: budget, or memory cap deserves a fresh run.
+NON_QUARANTINE_KINDS = frozenset({"timeout", "budget", "oom"})
 
 
 @dataclasses.dataclass(frozen=True)

@@ -45,6 +45,8 @@ from repro.core.config import DVSyncConfig
 from repro.core.dtv import DisplayTimeVirtualizer
 from repro.display.hal import PresentRecord
 from repro.errors import ConfigurationError, SimulationError
+from repro.exec.governor import guard_for_spec
+from repro.sim.engine import max_events_diagnostic
 from repro.pipeline.compositor import DropEvent
 from repro.pipeline.frame import FrameRecord
 from repro.pipeline.scheduler_base import RunResult
@@ -169,6 +171,16 @@ class _Replay:
         finish_at = start_time + span
         arrivals = compiled.arrival_offsets + np.int64(start_time)
         driver.begin(start_time)
+
+        # Resource governance. The guard (a budget, or the module counting
+        # probe) must observe the *live engine's* event stream, so the replay
+        # accounts the recorder-only events it elides: every seq below is
+        # drawn exactly as the simulator would (ui/render stages consume two
+        # seqs — start recorder + completion — GPU completions one, ticks
+        # one), and elided (time, seq) pairs sit in the `rec` min-heap until
+        # the main loop reaches their position in (time, seq) order.
+        guard = guard_for_spec(spec)
+        rec: list[tuple[int, int]] = []
 
         # Per-frame policy, compiled away where the profile declares it.
         value_of = driver.replay_values() or driver.true_value
@@ -349,8 +361,12 @@ class _Replay:
                 if start <= hz:
                     frame.ui_start = start
             frames.append(frame)
-            heappush_(heap, (end, seq, _UI_END, index, 0))
-            seq += 1
+            # SimThread.submit schedules the start recorder first: the elided
+            # ui_started event owns seq, ui_finished owns seq + 1.
+            heappush_(heap, (end, seq + 1, _UI_END, index, 0))
+            if guard is not None:
+                heappush_(rec, (start, seq))
+            seq += 2
             return frame
 
         def pump(at: int) -> None:
@@ -430,8 +446,10 @@ class _Replay:
             render_total += render_ns
             if start <= hz:
                 frame.render_start = start
-            heappush_(heap, (end, seq, _RENDER_END, frame.frame_id, slot))
-            seq += 1
+            heappush_(heap, (end, seq + 1, _RENDER_END, frame.frame_id, slot))
+            if guard is not None:
+                heappush_(rec, (start, seq))
+            seq += 2
 
         def finish_frame(frame: FrameRecord, slot: int, at: int) -> None:
             # BufferQueue.queue_buffer + on_frame_queued (DTV EWMA fold, then
@@ -479,7 +497,19 @@ class _Replay:
             if cancelled and eseq in cancelled:
                 cancelled.discard(eseq)
                 continue
-            if t > hz:
+            if guard is not None:
+                # Account elided recorder events the live engine would have
+                # executed before this one, then this event itself — in the
+                # simulator's exact (time, seq) order. Elided events past the
+                # horizon never execute live, so they are never accounted.
+                while rec and rec[0] < (t, eseq):
+                    rt, rs = heappop_(rec)
+                    if rt <= hz:
+                        guard.on_event(rt, rs)
+                if t > hz:
+                    break
+                guard.on_event(t, eseq)
+            elif t > hz:
                 break
             now = t
             if kind == _TICK:
@@ -647,8 +677,22 @@ class _Replay:
                             pending = head_entry[0]
                             skipped = (target - pending + period - 1) // period
                             if skipped > 0:
+                                # The live engine executes every skipped tick
+                                # (each scheduling its successor, consuming
+                                # one seq), so the guard accounts the whole
+                                # run in O(1) and the relocated tick takes the
+                                # seq the last skipped tick would have drawn.
+                                if guard is not None:
+                                    guard.on_tick_run(
+                                        pending, period, skipped,
+                                        head_entry[1], seq,
+                                    )
                                 relocated = pending + skipped * period
-                                heap[0] = (relocated, head_entry[1], _TICK, 0, 0)
+                                pending_tick_seq = seq + skipped - 1
+                                heap[0] = (
+                                    relocated, pending_tick_seq, _TICK, 0, 0
+                                )
+                                seq += skipped
                                 tick_index += skipped
                                 next_tick_time = relocated
             elif kind == _UI_END:
@@ -687,8 +731,12 @@ class _Replay:
                         render_total += render_ns
                         if start <= hz:
                             rframe.render_start = start
-                        heappush_(heap, (end, seq, _RENDER_END, rframe.frame_id, slot))
-                        seq += 1
+                        heappush_(
+                            heap, (end, seq + 1, _RENDER_END, rframe.frame_id, slot)
+                        )
+                        if guard is not None:
+                            heappush_(rec, (start, seq))
+                        seq += 2
             elif kind == _RENDER_END:
                 frame = frames[efid]
                 frame.render_end = t
@@ -728,15 +776,20 @@ class _Replay:
                         render_total += render_ns
                         if start <= hz:
                             rframe.render_start = start
-                        heappush_(heap, (end, seq, _RENDER_END, rframe.frame_id, slot))
-                        seq += 1
+                        heappush_(
+                            heap, (end, seq + 1, _RENDER_END, rframe.frame_id, slot)
+                        )
+                        if guard is not None:
+                            heappush_(rec, (start, seq))
+                        seq += 2
             else:
                 finish_frame(frames[efid], eslot, t)
             executed += 1
             if executed >= _MAX_EVENTS:
                 raise SimulationError(
-                    f"run() exceeded max_events={_MAX_EVENTS}; likely a "
-                    "scheduling feedback loop"
+                    "run() "
+                    + max_events_diagnostic(_MAX_EVENTS, t, eseq)
+                    + "; likely a scheduling feedback loop"
                 )
         if horizon is not None and now < horizon:
             now = horizon

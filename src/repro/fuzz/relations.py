@@ -25,6 +25,9 @@ The catalog:
                      VSync baseline on identical content (§6.2).
 ``content-order``    presents follow frame generation order — decoupling
                      reorders time, never content (§4.4, §7).
+``budget-parity``    an event budget below the spec's natural event count
+                     trips both engines at the identical event with
+                     byte-identical failure messages.
 ==================== =====================================================
 
 Checks never embed wall-clock times in their violation details, so a
@@ -348,6 +351,56 @@ class ContentOrder(Relation):
         return None
 
 
+class BudgetParity(Relation):
+    """Resource-budget trips are deterministic and engine-agnostic."""
+
+    name = "budget-parity"
+    description = (
+        "an event budget below the spec's natural event count trips both "
+        "engines with byte-identical failure messages"
+    )
+
+    def applies(self, spec: RunSpec) -> bool:
+        from repro.fastpath.engine import spec_ineligibility
+
+        return spec.budget is None and spec_ineligibility(spec) is None
+
+    def probes(self, spec: RunSpec) -> list[RunSpec]:
+        return []  # derived budgeted runs cannot share the batch
+
+    def check(self, spec, results, execute) -> str | None:
+        from repro.errors import BudgetExceededError
+        from repro.exec.governor import ResourceBudget, measure_run_events
+
+        natural = measure_run_events(spec)
+        if natural < 2:
+            return None  # too short to squeeze a budget under
+        budget = ResourceBudget(max_events=natural // 2)
+        budgeted = dataclasses.replace(spec, budget=budget)
+        messages = {}
+        for engine in ("event", "fastpath"):
+            try:
+                execute(dataclasses.replace(budgeted, engine=engine))
+            except BudgetExceededError as exc:
+                messages[engine] = str(exc)
+                continue
+            except ConfigurationError:
+                # The driver declared no replay profile: forced fastpath
+                # refuses (correct), leaving no second engine to compare.
+                return None
+            return (
+                f"the {engine} engine completed under "
+                f"max_events={budget.max_events} despite a natural event "
+                f"count of {natural}"
+            )
+        if messages["event"] != messages["fastpath"]:
+            return (
+                "budget trips diverge across engines: "
+                f"{_first_difference(messages['event'], messages['fastpath'])}"
+            )
+        return None
+
+
 #: The registered catalog, in evaluation (and report) order.
 RELATIONS: tuple[Relation, ...] = (
     EngineParity(),
@@ -357,6 +410,7 @@ RELATIONS: tuple[Relation, ...] = (
     CacheRoundTrip(),
     DropsNotWorse(),
     ContentOrder(),
+    BudgetParity(),
 )
 
 

@@ -35,6 +35,7 @@ _SPEC_DEFAULTS: tuple[tuple[str, object], ...] = (
     ("fault_seed", 0),
     ("engine", "auto"),
     ("timeout_s", None),
+    ("budget", None),
     ("dvsync", None),
     ("buffer_count", None),
     ("architecture", "vsync"),

@@ -25,6 +25,19 @@ from repro.errors import SimulationError
 from repro.sim.events import Event, EventHandle
 
 
+def max_events_diagnostic(limit: int, time: int, seq: int) -> str:
+    """Shared trip diagnostic naming the offending event.
+
+    Used by both the :meth:`Simulator.run` safety valve (a
+    :class:`SimulationError`) and the resource governor's
+    :class:`~repro.exec.governor.BudgetGuard` (a
+    :class:`~repro.errors.BudgetExceededError`), so every caller reports the
+    tripping event's sim-time and scheduling seq — the coordinates that make
+    a trip reproducible and cross-engine comparable.
+    """
+    return f"exceeded max_events={limit} at t={time} ns (event seq {seq})"
+
+
 class Simulator:
     """A deterministic discrete-event simulation kernel.
 
@@ -53,6 +66,12 @@ class Simulator:
         # "sim.loop" profile block plus an executed-event count. None (the
         # default) records nothing.
         self.telemetry = None
+        # Opt-in governance: any object with on_event(time, seq) — in
+        # practice a repro.exec.governor.BudgetGuard (duck-typed so this
+        # kernel never imports the execution layer). run()/step() call it
+        # once per executed event, before the callback fires; it raises
+        # BudgetExceededError at a deterministic trip point.
+        self.budget_guard = None
 
     @property
     def now(self) -> int:
@@ -121,13 +140,16 @@ class Simulator:
                     break
                 heapq.heappop(self._queue)
                 self._now = event.time
+                if self.budget_guard is not None:
+                    self.budget_guard.on_event(event.time, event.seq)
                 self._execute(event)
                 self._events_processed += 1
                 executed += 1
                 if max_events is not None and executed >= max_events:
                     raise SimulationError(
-                        f"run() exceeded max_events={max_events}; "
-                        "likely a scheduling feedback loop"
+                        "run() "
+                        + max_events_diagnostic(max_events, event.time, event.seq)
+                        + "; likely a scheduling feedback loop"
                     )
             if until is not None and self._now < until:
                 self._now = until
@@ -159,6 +181,8 @@ class Simulator:
                 if event.cancelled:
                     continue
                 self._now = event.time
+                if self.budget_guard is not None:
+                    self.budget_guard.on_event(event.time, event.seq)
                 self._execute(event)
                 self._events_processed += 1
                 return True

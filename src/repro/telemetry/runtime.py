@@ -147,6 +147,21 @@ def note_study(name: str, amount: float = 1.0) -> None:
         _collector.exec_metrics.counter(f"study.{name}").inc(amount)
 
 
+def note_governor(name: str, amount: float = 1.0) -> None:
+    """Increment the ``governor.<name>`` resource-governance counter.
+
+    Published by the executor's governance layer: ``governor.budget_trips``
+    (deterministic ResourceBudget trips), ``governor.ooms`` (MemoryError
+    under the worker address-space cap), ``governor.shed`` (sheddable study
+    cells skipped under ``--shed``), ``governor.admission_deferred``
+    (submissions held back at a wave boundary), and
+    ``governor.cache_gc_evictions`` (entries the cache disk quota reclaimed).
+    A no-op unless the process opted in.
+    """
+    if _enabled:
+        _collector.exec_metrics.counter(f"governor.{name}").inc(amount)
+
+
 def reset() -> None:
     """Disable telemetry and drop everything collected (tests, CLI re-runs)."""
     set_enabled(False)

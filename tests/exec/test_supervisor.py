@@ -432,10 +432,12 @@ def test_run_failure_wire_round_trip_and_validation():
     assert RunFailure.from_wire(failure.to_wire()) == failure
     assert "timeout after 2 attempt(s)" in failure.describe()
     with pytest.raises(ConfigurationError, match="kind"):
-        RunFailure("x", "d", "oom", 1, "m")
+        RunFailure("x", "d", "melted", 1, "m")
     with pytest.raises(ConfigurationError, match="attempt"):
         RunFailure("x", "d", "crash", 0, "m")
-    assert set(FAILURE_KINDS) == {"crash", "timeout", "config", "cache-corrupt"}
+    assert set(FAILURE_KINDS) == {
+        "crash", "timeout", "config", "cache-corrupt", "budget", "oom",
+    }
 
 
 def test_circuit_breaker_trips_and_resets():

@@ -75,3 +75,58 @@ def test_no_telemetry_flags_record_nothing(tmp_path, capsys, monkeypatch):
     assert "=== profile ===" not in out
     assert runtime.enabled() is False
     assert runtime.collector().snapshots == []
+
+
+def test_cache_subcommand_stats_gc_scrub(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_CACHE_QUOTA_MB", raising=False)
+    assert main(["cache", "stats"]) == 0
+    assert "0 entries" in capsys.readouterr().out
+    assert main(["cache", "scrub"]) == 0
+    assert "scrub: removed 0" in capsys.readouterr().out
+    assert main(["cache", "gc", "--quota-mb", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "gc: evicted 0 entries" in out
+    assert "quota" in out
+
+
+def test_cache_gc_requires_a_quota(tmp_path, capsys, monkeypatch):
+    import pytest
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_CACHE_QUOTA_MB", raising=False)
+    with pytest.raises(SystemExit):
+        main(["cache", "gc"])
+    assert "needs a quota" in capsys.readouterr().err
+
+
+def test_governance_flags_validate(capsys):
+    import pytest
+
+    for flags in (
+        ["fig05", "--max-events", "0"],
+        ["fig05", "--memory-mb", "-1"],
+        ["fig05", "--cache-quota-mb", "0"],
+    ):
+        with pytest.raises(SystemExit):
+            main(flags)
+
+
+def test_governance_flags_reach_the_executor(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert (
+        main(
+            [
+                "fig05",
+                "--quick",
+                "--no-cache",
+                "--max-events",
+                "5000000",
+                "--memory-mb",
+                "8192",
+                "--shed",
+            ]
+        )
+        == 0
+    )
+    assert "executor:" in capsys.readouterr().out
